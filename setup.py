@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, which the PEP 660
+editable-install path needs; with this shim ``pip install -e .`` falls
+back to ``setup.py develop``, which does not.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""repro — reproduction of *Automating Entity Matching Model Development*.
+
+Public API highlights:
+
+* :func:`repro.data.synthetic.load_benchmark` — generate any of the eight
+  Table III benchmark analogs.
+* :class:`repro.core.AutoMLEM` — the paper's AutoML-EM matcher.
+* :class:`repro.core.AutoMLEMActive` — Algorithm 1 (active learning +
+  self-training).
+* :class:`repro.baselines.MagellanMatcher` /
+  :class:`repro.baselines.DeepMatcherLite` — the two baselines.
+"""
+
+__version__ = "0.1.0"

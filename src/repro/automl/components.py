@@ -1,0 +1,369 @@
+"""The AutoML search space: components and their hyperparameters.
+
+Mirrors the auto-sklearn pipeline structure the paper uses (Figures 4, 5
+and 11): data preprocessing (balancing, imputation, rescaling) → feature
+preprocessing → classifier → hyperparameters.  Configuration keys follow
+auto-sklearn's ``stage:component:param`` naming so pipelines print like
+the paper's Figure 11.
+
+``build_config_space`` assembles the space; ``build_pipeline`` turns a
+sampled configuration into a fit-able model.  The paper's two AutoML-EM
+customizations map to arguments here:
+
+* model-space shrinking (Section III-C): ``models=("random_forest",)``;
+* ablations (Figure 12): ``include_data_preprocessing`` /
+  ``include_feature_preprocessing``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import ml
+from ..ml.pipeline import Pipeline
+from .space import (
+    Categorical,
+    ConfigurationSpace,
+    Constant,
+    UniformFloat,
+    UniformInt,
+)
+
+#: Classifier choices available to the "all-model" space.
+ALL_MODELS: tuple[str, ...] = (
+    "random_forest", "extra_trees", "adaboost", "gradient_boosting",
+    "decision_tree", "k_nearest_neighbors", "liblinear_svc",
+    "logistic_regression", "gaussian_nb", "bernoulli_nb", "mlp",
+)
+
+#: Feature-preprocessing choices (Figure 4's middle column).
+ALL_PREPROCESSORS: tuple[str, ...] = (
+    "no_preprocessing", "select_percentile_classification", "select_rates",
+    "pca", "feature_agglomeration", "extra_trees_preproc",
+)
+
+#: Classifiers that natively accept class_weight="balanced"; the rest get
+#: random oversampling when balancing is on.
+_CLASS_WEIGHT_MODELS = frozenset({
+    "random_forest", "extra_trees", "decision_tree", "liblinear_svc",
+    "logistic_regression",
+})
+
+
+def build_config_space(models=("random_forest",),
+                       include_data_preprocessing: bool = True,
+                       include_feature_preprocessing: bool = True,
+                       forest_size: int = 100) -> ConfigurationSpace:
+    """Assemble the full EM pipeline configuration space.
+
+    ``models`` is a tuple of classifier names (see :data:`ALL_MODELS`) or
+    the string "all".  ``forest_size`` fixes the tree count of forest
+    models (auto-sklearn uses 100; experiments shrink it for speed).
+    """
+    if models == "all":
+        models = ALL_MODELS
+    models = tuple(models)
+    unknown = set(models) - set(ALL_MODELS)
+    if unknown:
+        raise ValueError(f"unknown models {sorted(unknown)}; "
+                         f"known: {list(ALL_MODELS)}")
+    space = ConfigurationSpace()
+    # -- data preprocessing --------------------------------------------
+    space.add(Categorical("imputation:strategy",
+                          ["mean", "median", "constant"]))
+    if include_data_preprocessing:
+        space.add(Categorical("balancing:strategy", ["none", "weighting"]))
+        space.add(Categorical("rescaling:__choice__",
+                              ["none", "standardize", "minmax",
+                               "robust_scaler", "normalize"]))
+        space.add(UniformFloat("rescaling:robust_scaler:q_min", 0.001, 0.3),
+                  parent="rescaling:__choice__",
+                  parent_values=("robust_scaler",))
+        space.add(UniformFloat("rescaling:robust_scaler:q_max", 0.7, 0.999),
+                  parent="rescaling:__choice__",
+                  parent_values=("robust_scaler",))
+    # -- feature preprocessing -----------------------------------------
+    if include_feature_preprocessing:
+        space.add(Categorical("preprocessor:__choice__",
+                              list(ALL_PREPROCESSORS)))
+        space.add(
+            UniformFloat("preprocessor:select_percentile:percentile", 1, 99),
+            parent="preprocessor:__choice__",
+            parent_values=("select_percentile_classification",))
+        space.add(
+            Categorical("preprocessor:select_percentile:score_func",
+                        ["f_classif", "chi2"]),
+            parent="preprocessor:__choice__",
+            parent_values=("select_percentile_classification",))
+        space.add(UniformFloat("preprocessor:select_rates:alpha", 0.01, 0.5),
+                  parent="preprocessor:__choice__",
+                  parent_values=("select_rates",))
+        space.add(Categorical("preprocessor:select_rates:mode",
+                              ["fpr", "fdr", "fwe"]),
+                  parent="preprocessor:__choice__",
+                  parent_values=("select_rates",))
+        space.add(Categorical("preprocessor:select_rates:score_func",
+                              ["f_classif", "chi2"]),
+                  parent="preprocessor:__choice__",
+                  parent_values=("select_rates",))
+        space.add(UniformFloat("preprocessor:pca:keep_variance", 0.5, 0.9999),
+                  parent="preprocessor:__choice__", parent_values=("pca",))
+        space.add(Categorical("preprocessor:pca:whiten", [False, True]),
+                  parent="preprocessor:__choice__", parent_values=("pca",))
+        space.add(
+            UniformInt("preprocessor:feature_agglomeration:n_clusters", 2, 25),
+            parent="preprocessor:__choice__",
+            parent_values=("feature_agglomeration",))
+        space.add(
+            UniformInt("preprocessor:extra_trees_preproc:n_estimators",
+                       10, 40, log=True),
+            parent="preprocessor:__choice__",
+            parent_values=("extra_trees_preproc",))
+        space.add(UniformInt("preprocessor:extra_trees_preproc:max_depth",
+                             3, 10),
+                  parent="preprocessor:__choice__",
+                  parent_values=("extra_trees_preproc",))
+    # -- classifiers -----------------------------------------------------
+    space.add(Categorical("classifier:__choice__", list(models)))
+
+    def clf(name: str, hp, values=None):
+        space.add(hp, parent="classifier:__choice__",
+                  parent_values=(values or (name,)))
+
+    if "random_forest" in models or "extra_trees" in models:
+        forests = tuple(m for m in ("random_forest", "extra_trees")
+                        if m in models)
+        clf("", Constant("classifier:forest:n_estimators", forest_size),
+            values=forests)
+        clf("", Categorical("classifier:forest:criterion",
+                            ["gini", "entropy"]), values=forests)
+        clf("", UniformFloat("classifier:forest:max_features", 0.1, 1.0),
+            values=forests)
+        clf("", UniformInt("classifier:forest:min_samples_split", 2, 20),
+            values=forests)
+        clf("", UniformInt("classifier:forest:min_samples_leaf", 1, 20),
+            values=forests)
+        clf("", Categorical("classifier:forest:bootstrap", [True, False]),
+            values=forests)
+    if "adaboost" in models:
+        clf("adaboost", UniformInt("classifier:adaboost:n_estimators",
+                                   20, 100, log=True))
+        clf("adaboost", UniformFloat("classifier:adaboost:learning_rate",
+                                     0.05, 2.0, log=True))
+        clf("adaboost", UniformInt("classifier:adaboost:max_depth", 1, 4))
+    if "gradient_boosting" in models:
+        clf("gradient_boosting",
+            UniformInt("classifier:gradient_boosting:n_estimators",
+                       30, 150, log=True))
+        clf("gradient_boosting",
+            UniformFloat("classifier:gradient_boosting:learning_rate",
+                         0.02, 0.5, log=True))
+        clf("gradient_boosting",
+            UniformInt("classifier:gradient_boosting:max_depth", 2, 6))
+        clf("gradient_boosting",
+            UniformFloat("classifier:gradient_boosting:subsample", 0.5, 1.0))
+    if "decision_tree" in models:
+        clf("decision_tree", Categorical("classifier:decision_tree:criterion",
+                                         ["gini", "entropy"]))
+        clf("decision_tree",
+            UniformInt("classifier:decision_tree:max_depth", 2, 20))
+        clf("decision_tree",
+            UniformInt("classifier:decision_tree:min_samples_leaf", 1, 20))
+    if "k_nearest_neighbors" in models:
+        clf("k_nearest_neighbors",
+            UniformInt("classifier:knn:n_neighbors", 1, 30, log=True))
+        clf("k_nearest_neighbors",
+            Categorical("classifier:knn:weights", ["uniform", "distance"]))
+        clf("k_nearest_neighbors", Categorical("classifier:knn:p", [1, 2]))
+    if "liblinear_svc" in models:
+        clf("liblinear_svc",
+            UniformFloat("classifier:liblinear_svc:C", 1e-2, 1e3, log=True))
+    if "logistic_regression" in models:
+        clf("logistic_regression",
+            UniformFloat("classifier:logistic_regression:C",
+                         1e-2, 1e3, log=True))
+    if "bernoulli_nb" in models:
+        clf("bernoulli_nb",
+            UniformFloat("classifier:bernoulli_nb:alpha", 0.01, 10, log=True))
+    if "mlp" in models:
+        clf("mlp", UniformInt("classifier:mlp:hidden_size", 16, 128,
+                              log=True))
+        clf("mlp", UniformFloat("classifier:mlp:alpha", 1e-6, 1e-2, log=True))
+    return space
+
+
+def _make_classifier(config: dict, random_state: int):
+    choice = config["classifier:__choice__"]
+    balanced = config.get("balancing:strategy") == "weighting"
+    class_weight = "balanced" if balanced else None
+    if choice in ("random_forest", "extra_trees"):
+        cls = (ml.RandomForestClassifier if choice == "random_forest"
+               else ml.ExtraTreesClassifier)
+        return cls(
+            n_estimators=int(config["classifier:forest:n_estimators"]),
+            criterion=config["classifier:forest:criterion"],
+            max_features=config["classifier:forest:max_features"],
+            min_samples_split=int(
+                config["classifier:forest:min_samples_split"]),
+            min_samples_leaf=int(config["classifier:forest:min_samples_leaf"]),
+            bootstrap=bool(config["classifier:forest:bootstrap"]),
+            class_weight=class_weight, random_state=random_state)
+    if choice == "adaboost":
+        return ml.AdaBoostClassifier(
+            n_estimators=int(config["classifier:adaboost:n_estimators"]),
+            learning_rate=config["classifier:adaboost:learning_rate"],
+            max_depth=int(config["classifier:adaboost:max_depth"]),
+            random_state=random_state)
+    if choice == "gradient_boosting":
+        return ml.GradientBoostingClassifier(
+            n_estimators=int(
+                config["classifier:gradient_boosting:n_estimators"]),
+            learning_rate=config["classifier:gradient_boosting:learning_rate"],
+            max_depth=int(config["classifier:gradient_boosting:max_depth"]),
+            subsample=config["classifier:gradient_boosting:subsample"],
+            random_state=random_state)
+    if choice == "decision_tree":
+        return ml.DecisionTreeClassifier(
+            criterion=config["classifier:decision_tree:criterion"],
+            max_depth=int(config["classifier:decision_tree:max_depth"]),
+            min_samples_leaf=int(
+                config["classifier:decision_tree:min_samples_leaf"]),
+            class_weight=class_weight, random_state=random_state)
+    if choice == "k_nearest_neighbors":
+        return ml.KNeighborsClassifier(
+            n_neighbors=int(config["classifier:knn:n_neighbors"]),
+            weights=config["classifier:knn:weights"],
+            p=int(config["classifier:knn:p"]))
+    if choice == "liblinear_svc":
+        return ml.LinearSVC(C=config["classifier:liblinear_svc:C"],
+                            class_weight=class_weight,
+                            random_state=random_state)
+    if choice == "logistic_regression":
+        return ml.LogisticRegression(
+            C=config["classifier:logistic_regression:C"],
+            class_weight=class_weight, random_state=random_state)
+    if choice == "gaussian_nb":
+        return ml.GaussianNB()
+    if choice == "bernoulli_nb":
+        return ml.BernoulliNB(alpha=config["classifier:bernoulli_nb:alpha"])
+    if choice == "mlp":
+        return ml.MLPClassifier(
+            hidden_layer_sizes=(int(config["classifier:mlp:hidden_size"]),),
+            alpha=config["classifier:mlp:alpha"], max_iter=40,
+            random_state=random_state)
+    raise ValueError(f"unknown classifier choice {choice!r}")
+
+
+def _make_rescaler(config: dict):
+    choice = config.get("rescaling:__choice__", "none")
+    if choice == "none":
+        return None
+    if choice == "standardize":
+        return ml.StandardScaler()
+    if choice == "minmax":
+        return ml.MinMaxScaler()
+    if choice == "normalize":
+        return ml.Normalizer()
+    if choice == "robust_scaler":
+        # Config stores quantiles as fractions (Figure 11 style);
+        # RobustScaler takes percents.
+        return ml.RobustScaler(
+            q_min=100.0 * config["rescaling:robust_scaler:q_min"],
+            q_max=100.0 * config["rescaling:robust_scaler:q_max"])
+    raise ValueError(f"unknown rescaling choice {choice!r}")
+
+
+def _make_preprocessor(config: dict, random_state: int):
+    """Returns a list of (name, transformer) steps (chi2 needs a shift)."""
+    choice = config.get("preprocessor:__choice__", "no_preprocessing")
+    if choice == "no_preprocessing":
+        return []
+    if choice == "select_percentile_classification":
+        score = config["preprocessor:select_percentile:score_func"]
+        steps = []
+        if score == "chi2":
+            steps.append(("chi2_shift", ml.NonNegativeShift()))
+        steps.append(("select_percentile", ml.SelectPercentile(
+            percentile=config["preprocessor:select_percentile:percentile"],
+            score_func=score)))
+        return steps
+    if choice == "select_rates":
+        score = config["preprocessor:select_rates:score_func"]
+        steps = []
+        if score == "chi2":
+            steps.append(("chi2_shift", ml.NonNegativeShift()))
+        steps.append(("select_rates", ml.SelectRates(
+            alpha=config["preprocessor:select_rates:alpha"],
+            mode=config["preprocessor:select_rates:mode"], score_func=score)))
+        return steps
+    if choice == "pca":
+        return [("pca", ml.PCA(
+            n_components=config["preprocessor:pca:keep_variance"],
+            whiten=bool(config["preprocessor:pca:whiten"])))]
+    if choice == "feature_agglomeration":
+        return [("feature_agglomeration", ml.FeatureAgglomeration(
+            n_clusters=int(
+                config["preprocessor:feature_agglomeration:n_clusters"])))]
+    if choice == "extra_trees_preproc":
+        return [("extra_trees_preproc", ml.TreeFeatureSelector(
+            n_estimators=int(
+                config["preprocessor:extra_trees_preproc:n_estimators"]),
+            max_depth=int(
+                config["preprocessor:extra_trees_preproc:max_depth"]),
+            random_state=random_state))]
+    raise ValueError(f"unknown preprocessor choice {choice!r}")
+
+
+class ConfiguredPipeline:
+    """A configuration dict materialized into a runnable EM pipeline.
+
+    Handles the ``balancing`` semantics: classifiers with native class
+    weighting get ``class_weight='balanced'``; the rest see a randomly
+    oversampled training set.
+    """
+
+    def __init__(self, config: dict, random_state: int = 0):
+        self.config = dict(config)
+        self.random_state = random_state
+        steps: list[tuple[str, object]] = [
+            ("imputation", ml.SimpleImputer(
+                strategy=config.get("imputation:strategy", "mean")))]
+        rescaler = _make_rescaler(config)
+        if rescaler is not None:
+            steps.append(("rescaling", rescaler))
+        steps.extend(_make_preprocessor(config, random_state))
+        steps.append(("classifier", _make_classifier(config, random_state)))
+        self.pipeline = Pipeline(steps)
+        choice = config["classifier:__choice__"]
+        self._needs_oversampling = (
+            config.get("balancing:strategy") == "weighting"
+            and choice not in _CLASS_WEIGHT_MODELS)
+
+    def fit(self, X, y) -> "ConfiguredPipeline":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if self._needs_oversampling:
+            sampler = ml.RandomOverSampler(random_state=self.random_state)
+            X, y = sampler.fit_resample(X, y)
+        self.pipeline.fit(X, y)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        return self.pipeline.predict(X)
+
+    def predict_proba(self, X) -> np.ndarray:
+        return self.pipeline.predict_proba(X)
+
+    def describe(self) -> str:
+        """Pretty-print the configuration, Figure 11 style."""
+        lines = [f"  {key!r}: {value!r}," for key, value
+                 in sorted(self.config.items())]
+        return "{\n" + "\n".join(lines) + "\n}"
+
+    def __repr__(self) -> str:
+        return f"ConfiguredPipeline({self.config['classifier:__choice__']})"
+
+
+def build_pipeline(config: dict, random_state: int = 0) -> ConfiguredPipeline:
+    """Configuration dict → runnable pipeline."""
+    return ConfiguredPipeline(config, random_state=random_state)

@@ -1,0 +1,199 @@
+"""The AutoML optimizer: budgeted pipeline search on a holdout split.
+
+Implements the loop of Section III-A: sample/propose a pipeline
+configuration, fit it on the training set, score it on the validation
+set (F1 by default), feed the result back to the search algorithm,
+repeat until the budget (iterations and/or wall-clock seconds) runs out,
+and return the best pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ml.metrics import f1_score
+from .components import ConfiguredPipeline, build_pipeline
+from .search import make_search
+from .space import ConfigurationSpace
+
+
+@dataclass
+class TrialResult:
+    """One evaluated configuration."""
+
+    config: dict
+    score: float
+    elapsed: float
+    error: str | None = None
+
+
+@dataclass
+class OptimizationHistory:
+    """All trials of one AutoML run, with incumbent tracking."""
+
+    trials: list[TrialResult] = field(default_factory=list)
+
+    def add(self, trial: TrialResult) -> None:
+        self.trials.append(trial)
+
+    @property
+    def best(self) -> TrialResult:
+        successful = [t for t in self.trials if t.error is None]
+        if not successful:
+            raise RuntimeError("no successful trials")
+        return max(successful, key=lambda t: t.score)
+
+    def incumbent_curve(self) -> list[float]:
+        """Best-so-far validation score after each trial (nan-safe)."""
+        curve: list[float] = []
+        best = -np.inf
+        for trial in self.trials:
+            if trial.error is None and trial.score > best:
+                best = trial.score
+            curve.append(best if np.isfinite(best) else 0.0)
+        return curve
+
+    def __len__(self) -> int:
+        return len(self.trials)
+
+
+class AutoML:
+    """Budgeted configuration search over an EM pipeline space.
+
+    Parameters
+    ----------
+    space:
+        The :class:`ConfigurationSpace` to search (see
+        :func:`repro.automl.components.build_config_space`).
+    search:
+        "smac" (default), "random" or "tpe".
+    n_iterations:
+        Maximum number of pipeline evaluations.
+    time_budget:
+        Optional wall-clock cap in seconds (the paper's primary budget
+        notion, Figure 10); whichever of the two budgets hits first
+        stops the search.
+    scorer:
+        ``scorer(y_true, y_pred) -> float``; higher is better.  Default
+        F1 on the positive class.
+    """
+
+    def __init__(self, space: ConfigurationSpace, search: str = "smac",
+                 n_iterations: int = 30, time_budget: float | None = None,
+                 scorer=f1_score, ensemble_size: int = 1,
+                 initial_configs: list[dict] | None = None, seed: int = 0,
+                 verbose: bool = False):
+        if n_iterations < 1:
+            raise ValueError(
+                f"n_iterations must be >= 1, got {n_iterations}")
+        if ensemble_size < 1:
+            raise ValueError(
+                f"ensemble_size must be >= 1, got {ensemble_size}")
+        self.space = space
+        self.search_name = search
+        self.n_iterations = n_iterations
+        self.time_budget = time_budget
+        self.scorer = scorer
+        self.ensemble_size = ensemble_size
+        #: meta-learning warm starts: evaluated before the search proposes
+        #: anything (see repro.automl.metalearning.ConfigPortfolio).
+        self.initial_configs = list(initial_configs or [])
+        self.seed = seed
+        self.verbose = verbose
+
+    def fit(self, X_train, y_train, X_valid, y_valid) -> "AutoML":
+        """Run the search; afterwards ``best_pipeline_`` is fitted on train."""
+        X_train = np.asarray(X_train, dtype=np.float64)
+        X_valid = np.asarray(X_valid, dtype=np.float64)
+        y_train = np.asarray(y_train)
+        y_valid = np.asarray(y_valid)
+        search = make_search(self.search_name, self.space, seed=self.seed)
+        self.history_ = OptimizationHistory()
+        evaluated: list[tuple[dict, float]] = []
+        started = time.monotonic()
+        rng = np.random.default_rng(self.seed)
+        for iteration in range(self.n_iterations):
+            if self.time_budget is not None \
+                    and time.monotonic() - started >= self.time_budget:
+                break
+            if iteration < len(self.initial_configs):
+                config = dict(self.initial_configs[iteration])
+            else:
+                config = search.propose(evaluated)
+            trial_started = time.monotonic()
+            try:
+                pipeline = build_pipeline(
+                    config, random_state=int(rng.integers(2 ** 31)))
+                pipeline.fit(X_train, y_train)
+                score = float(self.scorer(y_valid, pipeline.predict(X_valid)))
+                error = None
+            except (ValueError, RuntimeError, FloatingPointError) as exc:
+                score = 0.0
+                error = f"{type(exc).__name__}: {exc}"
+            elapsed = time.monotonic() - trial_started
+            self.history_.add(TrialResult(config, score, elapsed, error))
+            if error is None:
+                evaluated.append((config, score))
+            else:
+                # Penalize failing regions so the surrogate avoids them.
+                evaluated.append((config, 0.0))
+            if self.verbose:
+                status = f"{score:.4f}" if error is None else f"error({error})"
+                print(f"[automl] trial {iteration + 1}/{self.n_iterations}: "
+                      f"{config.get('classifier:__choice__')} -> {status}")
+        best = self.history_.best
+        self.best_config_ = best.config
+        self.best_score_ = best.score
+        self.best_pipeline_ = build_pipeline(best.config,
+                                             random_state=self.seed)
+        self.best_pipeline_.fit(X_train, y_train)
+        self.ensemble_ = None
+        if self.ensemble_size > 1:
+            # auto-sklearn style greedy ensemble over the trial history.
+            from .ensemble import build_ensemble
+            self.ensemble_ = build_ensemble(
+                self.history_, X_train, y_train, X_valid, y_valid,
+                ensemble_size=self.ensemble_size, scorer=self.scorer,
+                seed=self.seed)
+        return self
+
+    def refit(self, X, y) -> "AutoML":
+        """Refit the best pipeline on (typically train+valid) data.
+
+        Any ensemble is discarded: its members were validated on data
+        that may now be part of the refit set.
+        """
+        self._check_fitted()
+        self.best_pipeline_ = build_pipeline(self.best_config_,
+                                             random_state=self.seed)
+        self.best_pipeline_.fit(np.asarray(X, dtype=np.float64),
+                                np.asarray(y))
+        self.ensemble_ = None
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted()
+        if getattr(self, "ensemble_", None) is not None:
+            return self.ensemble_.predict(X)
+        return self.best_pipeline_.predict(X)
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        if getattr(self, "ensemble_", None) is not None:
+            return self.ensemble_.predict_proba(X)
+        return self.best_pipeline_.predict_proba(X)
+
+    def score(self, X, y) -> float:
+        return float(self.scorer(np.asarray(y), self.predict(X)))
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "best_pipeline_"):
+            raise RuntimeError("AutoML is not fitted yet; call fit first")
+
+    @property
+    def best_pipeline(self) -> ConfiguredPipeline:
+        self._check_fitted()
+        return self.best_pipeline_

@@ -1,0 +1,163 @@
+"""Search algorithms over configuration spaces.
+
+Three strategies, all proposing one configuration at a time given the
+evaluation history (list of ``(config, score)`` with score maximized):
+
+* :class:`RandomSearch` — uniform sampling (the baseline).
+* :class:`SMACSearch` — SMAC-style Bayesian optimization: a random-forest
+  surrogate predicts scores, expected improvement picks the next config
+  among random samples and neighbors of the incumbents.  This mirrors
+  the description in Section III-A of the paper.
+* :class:`TPESearch` — Tree-structured Parzen Estimator: model the
+  good/bad config densities and maximize their ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from ..ml.forest import RandomForestRegressor
+from .space import Categorical, ConfigurationSpace, Constant
+
+History = list[tuple[dict, float]]
+
+
+class BaseSearch:
+    """Shared plumbing: RNG, the space, and a warm-start phase."""
+
+    def __init__(self, space: ConfigurationSpace, seed: int = 0,
+                 n_initial: int = 8):
+        self.space = space
+        self.rng = np.random.default_rng(seed)
+        self.n_initial = n_initial
+
+    def propose(self, history: History) -> dict:
+        raise NotImplementedError
+
+
+class RandomSearch(BaseSearch):
+    """Uniform random sampling from the configuration space."""
+
+    def propose(self, history: History) -> dict:
+        return self.space.sample(self.rng)
+
+
+class SMACSearch(BaseSearch):
+    """Random-forest surrogate + expected improvement.
+
+    Candidates are a mix of fresh random configurations and local
+    neighbors of the best configurations so far; the one with the
+    highest EI under the surrogate is proposed.
+    """
+
+    def __init__(self, space: ConfigurationSpace, seed: int = 0,
+                 n_initial: int = 8, n_candidates: int = 200,
+                 n_local: int = 5, surrogate_trees: int = 20):
+        super().__init__(space, seed, n_initial)
+        self.n_candidates = n_candidates
+        self.n_local = n_local
+        self.surrogate_trees = surrogate_trees
+
+    def propose(self, history: History) -> dict:
+        if len(history) < self.n_initial:
+            return self.space.sample(self.rng)
+        X = np.stack([self.space.encode(cfg) for cfg, _ in history])
+        y = np.asarray([score for _, score in history])
+        surrogate = RandomForestRegressor(
+            n_estimators=self.surrogate_trees, max_depth=10,
+            min_samples_leaf=2,
+            random_state=int(self.rng.integers(2 ** 31)))
+        surrogate.fit(X, y)
+        candidates = self._candidates(history)
+        encoded = np.stack([self.space.encode(cfg) for cfg in candidates])
+        mean, std = surrogate.predict_with_std(encoded)
+        best_so_far = y.max()
+        ei = _expected_improvement(mean, std, best_so_far)
+        return candidates[int(np.argmax(ei))]
+
+    def _candidates(self, history: History) -> list[dict]:
+        candidates = [self.space.sample(self.rng)
+                      for _ in range(self.n_candidates)]
+        ranked = sorted(history, key=lambda item: item[1], reverse=True)
+        for config, _ in ranked[:self.n_local]:
+            for _ in range(10):
+                candidates.append(self.space.neighbor(config, self.rng))
+        return candidates
+
+
+def _expected_improvement(mean: np.ndarray, std: np.ndarray,
+                          best: float, xi: float = 0.01) -> np.ndarray:
+    """EI for maximization; zero-variance points get zero EI."""
+    std = np.maximum(std, 1e-9)
+    z = (mean - best - xi) / std
+    return (mean - best - xi) * stats.norm.cdf(z) + std * stats.norm.pdf(z)
+
+
+class TPESearch(BaseSearch):
+    """Tree-structured Parzen Estimator.
+
+    History is split into the top ``gamma`` fraction ("good") and the
+    rest; per-hyperparameter Parzen densities l(x) and g(x) are built and
+    candidates drawn from l are ranked by l(x)/g(x).
+    """
+
+    def __init__(self, space: ConfigurationSpace, seed: int = 0,
+                 n_initial: int = 8, gamma: float = 0.25,
+                 n_candidates: int = 50):
+        super().__init__(space, seed, n_initial)
+        self.gamma = gamma
+        self.n_candidates = n_candidates
+
+    def propose(self, history: History) -> dict:
+        if len(history) < self.n_initial:
+            return self.space.sample(self.rng)
+        ranked = sorted(history, key=lambda item: item[1], reverse=True)
+        n_good = max(1, int(np.ceil(self.gamma * len(ranked))))
+        good = [cfg for cfg, _ in ranked[:n_good]]
+        bad = [cfg for cfg, _ in ranked[n_good:]] or good
+        candidates = [self._sample_from(good) for _ in range(self.n_candidates)]
+        scores = [self._log_density(cfg, good) - self._log_density(cfg, bad)
+                  for cfg in candidates]
+        return candidates[int(np.argmax(scores))]
+
+    def _sample_from(self, configs: list[dict]) -> dict:
+        """Draw a config near a random member of ``configs``."""
+        anchor = configs[int(self.rng.integers(len(configs)))]
+        return self.space.neighbor(anchor, self.rng, n_changes=2)
+
+    def _log_density(self, config: dict, configs: list[dict]) -> float:
+        """Sum of per-hyperparameter Parzen log-densities."""
+        total = 0.0
+        for name, value in config.items():
+            hp = self.space.hyperparameters[name]
+            observed = [cfg[name] for cfg in configs if name in cfg]
+            if not observed:
+                continue
+            if isinstance(hp, (Categorical, Constant)):
+                count = sum(1 for obs in observed if obs == value)
+                n_choices = len(getattr(hp, "choices", [value]))
+                total += np.log((count + 1.0)
+                                / (len(observed) + n_choices))
+            else:
+                encoded = hp.encode(value)
+                points = np.asarray([hp.encode(obs) for obs in observed])
+                bandwidth = max(0.1, points.std())
+                density = stats.norm.pdf(
+                    encoded, loc=points, scale=bandwidth).mean()
+                total += np.log(max(density, 1e-12))
+        return float(total)
+
+
+_SEARCHES = {"random": RandomSearch, "smac": SMACSearch, "tpe": TPESearch}
+
+
+def make_search(name: str, space: ConfigurationSpace, seed: int = 0,
+                **kwargs) -> BaseSearch:
+    """Factory: "random" | "smac" | "tpe" → search instance."""
+    try:
+        cls = _SEARCHES[name]
+    except KeyError:
+        raise ValueError(f"unknown search {name!r}; "
+                         f"known: {sorted(_SEARCHES)}") from None
+    return cls(space, seed=seed, **kwargs)

@@ -1,0 +1,220 @@
+"""Configuration spaces: typed hyperparameters with conditionals.
+
+The AutoML search operates over *configurations* — flat dicts like the
+auto-sklearn pipelines of Figures 5 and 11, e.g.::
+
+    {'balancing:strategy': 'weighting',
+     'rescaling:__choice__': 'robust_scaler',
+     'rescaling:robust_scaler:q_min': 0.19, ...}
+
+A :class:`ConfigurationSpace` holds the hyperparameters, their ranges
+and activation conditions (a child is active only when its parent takes
+one of the listed values), and supports sampling, neighborhood moves
+(for SMAC local search) and encoding to numeric vectors (for the
+surrogate model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class Hyperparameter:
+    """Base: a named dimension of the search space."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def sample(self, rng: np.random.Generator):
+        raise NotImplementedError
+
+    def neighbor(self, value, rng: np.random.Generator):
+        raise NotImplementedError
+
+    def encode(self, value) -> float:
+        """Map a value to [0, 1] for the surrogate."""
+        raise NotImplementedError
+
+
+class Categorical(Hyperparameter):
+    def __init__(self, name: str, choices: list):
+        super().__init__(name)
+        if not choices:
+            raise ValueError(f"{name}: empty choice list")
+        self.choices = list(choices)
+
+    def sample(self, rng):
+        return self.choices[int(rng.integers(len(self.choices)))]
+
+    def neighbor(self, value, rng):
+        if len(self.choices) == 1:
+            return value
+        others = [c for c in self.choices if c != value]
+        return others[int(rng.integers(len(others)))]
+
+    def encode(self, value) -> float:
+        return self.choices.index(value) / max(1, len(self.choices) - 1)
+
+
+class Constant(Hyperparameter):
+    def __init__(self, name: str, value):
+        super().__init__(name)
+        self.value = value
+
+    def sample(self, rng):
+        return self.value
+
+    def neighbor(self, value, rng):
+        return value
+
+    def encode(self, value) -> float:
+        return 0.0
+
+
+class UniformFloat(Hyperparameter):
+    def __init__(self, name: str, low: float, high: float, log: bool = False):
+        super().__init__(name)
+        if not low < high:
+            raise ValueError(f"{name}: need low < high, got [{low}, {high}]")
+        if log and low <= 0:
+            raise ValueError(f"{name}: log scale needs low > 0")
+        self.low = float(low)
+        self.high = float(high)
+        self.log = log
+
+    def _to_unit(self, value: float) -> float:
+        if self.log:
+            return (np.log(value) - np.log(self.low)) \
+                / (np.log(self.high) - np.log(self.low))
+        return (value - self.low) / (self.high - self.low)
+
+    def _from_unit(self, unit: float) -> float:
+        unit = float(np.clip(unit, 0.0, 1.0))
+        if self.log:
+            return float(np.exp(np.log(self.low)
+                                + unit * (np.log(self.high)
+                                          - np.log(self.low))))
+        return self.low + unit * (self.high - self.low)
+
+    def sample(self, rng):
+        return self._from_unit(rng.random())
+
+    def neighbor(self, value, rng, scale: float = 0.2):
+        unit = self._to_unit(value) + rng.normal(0.0, scale)
+        return self._from_unit(unit)
+
+    def encode(self, value) -> float:
+        return float(np.clip(self._to_unit(value), 0.0, 1.0))
+
+
+class UniformInt(UniformFloat):
+    def __init__(self, name: str, low: int, high: int, log: bool = False):
+        super().__init__(name, float(low), float(high), log)
+
+    def sample(self, rng):
+        return int(round(super().sample(rng)))
+
+    def neighbor(self, value, rng, scale: float = 0.2):
+        moved = int(round(super().neighbor(float(value), rng, scale)))
+        if moved == value:
+            moved = value + (1 if rng.random() < 0.5 else -1)
+        return int(np.clip(moved, self.low, self.high))
+
+    def encode(self, value) -> float:
+        return super().encode(float(value))
+
+
+@dataclass
+class Condition:
+    """Child hyperparameter is active iff parent's value ∈ ``values``."""
+
+    parent: str
+    values: tuple
+
+
+@dataclass
+class ConfigurationSpace:
+    """Hyperparameters + activation conditions, with sampling/encoding."""
+
+    hyperparameters: dict[str, Hyperparameter] = field(default_factory=dict)
+    conditions: dict[str, Condition] = field(default_factory=dict)
+
+    def add(self, hp: Hyperparameter, parent: str | None = None,
+            parent_values: tuple | None = None) -> "ConfigurationSpace":
+        if hp.name in self.hyperparameters:
+            raise ValueError(f"duplicate hyperparameter {hp.name!r}")
+        self.hyperparameters[hp.name] = hp
+        if parent is not None:
+            if parent not in self.hyperparameters:
+                raise ValueError(
+                    f"{hp.name}: unknown parent {parent!r} (add parents first)")
+            self.conditions[hp.name] = Condition(parent,
+                                                 tuple(parent_values or ()))
+        return self
+
+    def is_active(self, name: str, config: dict) -> bool:
+        condition = self.conditions.get(name)
+        if condition is None:
+            return True
+        if not self.is_active(condition.parent, config):
+            return False
+        return config.get(condition.parent) in condition.values
+
+    def _ordered_names(self) -> list[str]:
+        # Parents were added before children (enforced by add()), so
+        # insertion order is a valid topological order.
+        return list(self.hyperparameters)
+
+    def sample(self, rng: np.random.Generator) -> dict:
+        """Draw one configuration (only active hyperparameters present)."""
+        config: dict = {}
+        for name in self._ordered_names():
+            if self.is_active(name, config):
+                config[name] = self.hyperparameters[name].sample(rng)
+        return config
+
+    def neighbor(self, config: dict, rng: np.random.Generator,
+                 n_changes: int = 1) -> dict:
+        """A nearby configuration: mutate ``n_changes`` active parameters.
+
+        Mutating a parent re-samples any children whose activation
+        changed.
+        """
+        out = dict(config)
+        active = [n for n in out if self.is_active(n, out)]
+        if not active:
+            return out
+        for _ in range(n_changes):
+            name = active[int(rng.integers(len(active)))]
+            out[name] = self.hyperparameters[name].neighbor(out[name], rng)
+        return self._repair(out, rng)
+
+    def _repair(self, config: dict, rng: np.random.Generator) -> dict:
+        """Drop inactive params; sample newly-activated ones."""
+        repaired: dict = {}
+        for name in self._ordered_names():
+            if not self.is_active(name, repaired | config):
+                continue
+            if name in config:
+                repaired[name] = config[name]
+            else:
+                repaired[name] = self.hyperparameters[name].sample(rng)
+        # Re-check: activation depends only on repaired ancestors.
+        final: dict = {}
+        for name in self._ordered_names():
+            if self.is_active(name, final) and name in repaired:
+                final[name] = repaired[name]
+        return final
+
+    def encode(self, config: dict) -> np.ndarray:
+        """Fixed-width numeric vector; inactive dimensions encode as -1."""
+        vector = np.full(len(self.hyperparameters), -1.0)
+        for i, name in enumerate(self._ordered_names()):
+            if name in config:
+                vector[i] = self.hyperparameters[name].encode(config[name])
+        return vector
+
+    def __len__(self) -> int:
+        return len(self.hyperparameters)

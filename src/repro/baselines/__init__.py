@@ -1,0 +1,6 @@
+"""Baselines the paper compares against: Magellan and DeepMatcher."""
+
+from .deepmatcher import DeepMatcherLite
+from .magellan import DEFAULT_MODEL_ZOO, MagellanMatcher
+
+__all__ = ["DEFAULT_MODEL_ZOO", "DeepMatcherLite", "MagellanMatcher"]

@@ -1,0 +1,211 @@
+"""DeepMatcherLite: the deep-learning baseline substitute.
+
+The real DeepMatcher (PyTorch RNNs over fastText embeddings) is not
+reproducible offline; this substitute keeps its defining architecture at
+a scale a numpy MLP can train (see DESIGN.md's substitution table):
+
+1. *Distributed text representation* — each attribute value is embedded
+   by hashing its word tokens and character trigrams into dense vectors
+   (the hashing trick is a data-independent random projection of the
+   bag-of-features, i.e. a fixed "embedding layer").
+2. *Attribute summarization + comparison* — per attribute, the two
+   summaries are compared with element-wise |u−v| and u∘v, like
+   DeepMatcher's attribute-comparator.
+3. *Learned matcher* — a two-layer MLP classifies the concatenated
+   comparison vectors.
+
+Like the original, it learns sub-token signal on long dirty text but is
+data-hungry on small training sets — the axis Figure 8 explores.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from ..data.pairs import PairSet
+from ..features.types import DataType, infer_schema_types
+from ..ml.metrics import precision_recall_f1
+from ..ml.neural import MLPClassifier
+from ..similarity.tokenizers import alphanumeric_tokenize, qgram_tokenize
+
+
+def _cosine(u: np.ndarray, v: np.ndarray) -> float:
+    denominator = np.linalg.norm(u) * np.linalg.norm(v)
+    if denominator < 1e-12:
+        return 0.0
+    return float(u @ v / denominator)
+
+
+def _hash_embed(tokens: list[str], dim: int, salt: int) -> np.ndarray:
+    """Signed hashing-trick embedding: mean of ±1 one-hot token vectors."""
+    vector = np.zeros(dim)
+    if not tokens:
+        return vector
+    for token in tokens:
+        digest = zlib.crc32(token.encode("utf-8")) ^ salt
+        index = digest % dim
+        sign = 1.0 if (digest >> 16) & 1 else -1.0
+        vector[index] += sign
+    return vector / np.sqrt(len(tokens))
+
+
+class DeepMatcherLite:
+    """Hashed-embedding attribute comparator + MLP matcher.
+
+    Parameters
+    ----------
+    embedding_dim:
+        Width of each word/trigram hash embedding.
+    hidden:
+        Hidden-layer widths of the classifier MLP.
+    epochs:
+        Training epochs for the MLP (with early stopping).
+    """
+
+    def __init__(self, embedding_dim: int = 48,
+                 hidden: tuple[int, ...] = (96, 48), epochs: int = 60,
+                 learning_rate: float = 1e-3, seed: int = 0):
+        if embedding_dim < 4:
+            raise ValueError(
+                f"embedding_dim must be >= 4, got {embedding_dim}")
+        self.embedding_dim = embedding_dim
+        self.hidden = tuple(hidden)
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.seed = seed
+
+    # -- representation --------------------------------------------------
+
+    def _attribute_vector(self, value, kind_is_string: bool) -> np.ndarray:
+        dim = self.embedding_dim
+        if not kind_is_string:
+            scalar = 0.0 if value is None else float(value)
+            present = 0.0 if value is None else 1.0
+            return np.asarray([scalar, np.log1p(abs(scalar)), present])
+        if value is None:
+            return np.zeros(2 * dim)
+        text = str(value).lower()
+        words = alphanumeric_tokenize(text)
+        trigrams = qgram_tokenize(text, q=3)
+        return np.concatenate([
+            _hash_embed(words, dim, salt=0x9E3779B9),
+            _hash_embed(trigrams, dim, salt=0x7F4A7C15),
+        ])
+
+    def _word_matrix(self, value) -> np.ndarray:
+        """Per-word trigram-hash embeddings, L2-normalized rows.
+
+        Embedding each word by its character trigrams makes the soft
+        alignment typo-robust, standing in for DeepMatcher's fastText
+        subword embeddings.
+        """
+        key = str(value)
+        cached = self._word_cache.get(key)
+        if cached is not None:
+            return cached
+        words = alphanumeric_tokenize(key)[:32]
+        if not words:
+            matrix = np.zeros((0, self.embedding_dim))
+        else:
+            rows = [_hash_embed(qgram_tokenize(word, q=3),
+                                self.embedding_dim, salt=0x51ED270B)
+                    for word in words]
+            matrix = np.stack(rows)
+            norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+            matrix = matrix / np.maximum(norms, 1e-12)
+        self._word_cache[key] = matrix
+        return matrix
+
+    def _soft_alignment(self, left_value, right_value) -> np.ndarray:
+        """Attention-lite: mean best-cosine word alignment, both ways.
+
+        A linear stand-in for DeepMatcher's attention comparator: every
+        word attends to its best counterpart on the other side.
+        """
+        if left_value is None or right_value is None:
+            return np.zeros(2)
+        left = self._word_matrix(left_value)
+        right = self._word_matrix(right_value)
+        if len(left) == 0 or len(right) == 0:
+            return np.zeros(2)
+        similarities = left @ right.T
+        return np.asarray([similarities.max(axis=1).mean(),
+                           similarities.max(axis=0).mean()])
+
+    def _pair_vector(self, pair) -> np.ndarray:
+        parts = []
+        for attribute, dtype in self._types.items():
+            is_string = dtype.is_string
+            left_value = pair.left.get(attribute)
+            right_value = pair.right.get(attribute)
+            u = self._attribute_vector(left_value, is_string)
+            v = self._attribute_vector(right_value, is_string)
+            # DeepMatcher-style comparator: absolute difference and
+            # element-wise product of the two attribute summaries, plus a
+            # pooled cosine per summary half and an attention-lite soft
+            # word alignment, so the alignment signal survives small data.
+            parts.append(np.abs(u - v))
+            parts.append(u * v)
+            if is_string:
+                half = len(u) // 2
+                parts.append(np.asarray([
+                    _cosine(u[:half], v[:half]),
+                    _cosine(u[half:], v[half:]),
+                ]))
+                parts.append(self._soft_alignment(left_value, right_value))
+        return np.concatenate(parts)
+
+    def transform(self, pairs: PairSet) -> np.ndarray:
+        """Comparison-vector matrix for a pair set."""
+        if not hasattr(self, "_types"):
+            raise RuntimeError("call fit first (types are inferred there)")
+        return np.stack([self._pair_vector(pair) for pair in pairs])
+
+    # -- training / inference --------------------------------------------
+
+    def fit(self, train: PairSet, valid: PairSet) -> "DeepMatcherLite":
+        self._types = infer_schema_types(train.table_a, train.table_b)
+        self._word_cache: dict[str, np.ndarray] = {}
+        X_train = self.transform(train)
+        X_valid = self.transform(valid)
+        # Normalize the numeric columns (hash embeddings are already unit
+        # scale; raw scalars are not).
+        self._scale = np.maximum(np.abs(X_train).max(axis=0), 1.0)
+        X_train = X_train / self._scale
+        X_valid = X_valid / self._scale
+        self.model_ = MLPClassifier(
+            hidden_layer_sizes=self.hidden, learning_rate=self.learning_rate,
+            max_iter=self.epochs, random_state=self.seed)
+        # Early stopping monitors an internal split; concatenate train and
+        # valid so the paper's validation pairs also inform stopping.
+        X_all = np.vstack([X_train, X_valid])
+        y_all = np.concatenate([train.labels, valid.labels])
+        # EM data is heavily skewed toward non-matches; like DeepMatcher's
+        # weighted loss, balance the classes so the MLP cannot win by
+        # predicting all-negative.
+        from ..ml.preprocessing import RandomOverSampler
+        X_all, y_all = RandomOverSampler(
+            random_state=self.seed).fit_resample(X_all, y_all)
+        self.model_.fit(X_all, y_all)
+        return self
+
+    def predict(self, pairs: PairSet) -> np.ndarray:
+        self._check_fitted()
+        X = self.transform(pairs) / self._scale
+        return self.model_.predict(X)
+
+    def evaluate(self, test: PairSet) -> dict:
+        predictions = self.predict(test)
+        precision, recall, f1 = precision_recall_f1(test.labels, predictions)
+        return {"precision": precision, "recall": recall, "f1": f1}
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "model_"):
+            raise RuntimeError(
+                "DeepMatcherLite is not fitted yet; call fit first")
+
+
+# Re-export for type hints in docs.
+__all__ = ["DeepMatcherLite", "DataType"]

@@ -1,0 +1,13 @@
+"""Blocking substrate: candidate-pair generation."""
+
+from .blockers import (
+    AttributeEquivalenceBlocker,
+    OverlapBlocker,
+    blocking_recall,
+)
+
+__all__ = [
+    "AttributeEquivalenceBlocker",
+    "OverlapBlocker",
+    "blocking_recall",
+]

@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the common workflows without writing Python:
+
+* ``list-datasets`` — the available Table III benchmark analogs;
+* ``generate`` — write a benchmark's tables/pairs to CSV files;
+* ``match`` — train AutoML-EM (or a baseline) and report test F1;
+* ``experiment`` — run one paper table/figure runner and print it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_list_datasets(args) -> int:
+    from .data.synthetic import DATASET_SPECS
+
+    print(f"{'key':20s} {'name':18s} {'pairs':>6s} {'pos':>5s} "
+          f"{'attrs':>5s}  description")
+    for key, spec in DATASET_SPECS.items():
+        print(f"{key:20s} {spec.name:18s} {spec.total_pairs:6d} "
+              f"{spec.positive_pairs:5d} {len(spec.factory.attributes):5d}"
+              f"  {spec.description}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from .data.io import write_pairs, write_table
+    from .data.synthetic import load_benchmark
+
+    benchmark = load_benchmark(args.dataset, seed=args.seed,
+                               scale=args.scale)
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    write_table(benchmark.table_a, out / "tableA.csv")
+    write_table(benchmark.table_b, out / "tableB.csv")
+    train, valid, test = benchmark.splits(seed=args.seed)
+    write_pairs(train, out / "train.csv")
+    write_pairs(valid, out / "valid.csv")
+    write_pairs(test, out / "test.csv")
+    print(f"wrote {benchmark.name} ({len(benchmark.pairs)} pairs, "
+          f"{benchmark.pairs.num_positive} positive) to {out}/")
+    return 0
+
+
+def _load_splits(args):
+    """Either a generated benchmark or a user-supplied CSV directory."""
+    if args.data_dir:
+        from .data.io import read_pairs, read_table
+
+        data = Path(args.data_dir)
+        table_a = read_table(data / "tableA.csv")
+        table_b = read_table(data / "tableB.csv")
+        return (read_pairs(data / "train.csv", table_a, table_b),
+                read_pairs(data / "valid.csv", table_a, table_b),
+                read_pairs(data / "test.csv", table_a, table_b))
+    from .data.synthetic import load_benchmark
+
+    benchmark = load_benchmark(args.dataset, seed=args.seed,
+                               scale=args.scale)
+    return benchmark.splits(seed=args.seed)
+
+
+def _cmd_match(args) -> int:
+    train, valid, test = _load_splits(args)
+    if args.system == "automl-em":
+        from .core import AutoMLEM
+
+        matcher = AutoMLEM(n_iterations=args.budget,
+                           forest_size=args.forest_size,
+                           model_space="all" if args.all_models
+                           else "random_forest", seed=args.seed)
+    elif args.system == "magellan":
+        from .baselines import MagellanMatcher
+
+        matcher = MagellanMatcher(forest_size=args.forest_size,
+                                  seed=args.seed)
+    else:
+        from .baselines import DeepMatcherLite
+
+        matcher = DeepMatcherLite(seed=args.seed)
+    print(f"training {args.system} on {len(train)} train / "
+          f"{len(valid)} valid pairs ...")
+    matcher.fit(train, valid)
+    result = matcher.evaluate(test)
+    print(f"test precision={result['precision']:.4f} "
+          f"recall={result['recall']:.4f} f1={result['f1']:.4f}")
+    if args.system == "automl-em" and args.show_pipeline:
+        print("\nbest pipeline:")
+        print(matcher.describe_pipeline())
+    return 0
+
+
+_EXPERIMENTS = {
+    "table3": "run_table3", "table4": "run_table4", "fig8": "run_fig8",
+    "fig9": "run_fig9", "fig10": "run_fig10", "fig12": "run_fig12",
+    "fig13": "run_fig13", "fig14": "run_fig14", "fig15": "run_fig15",
+}
+
+
+def _cmd_experiment(args) -> int:
+    from . import experiments
+
+    if args.name == "fig3":
+        tables = experiments.run_fig3(config=experiments.FAST)
+        for table in tables.values():
+            table.show()
+        return 0
+    runner = getattr(experiments, _EXPERIMENTS[args.name])
+    table = runner(config=experiments.FAST)
+    table.show()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AutoML-EM reproduction (ICDE 2021) command line")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list-datasets",
+                        help="list the Table III benchmark analogs")
+
+    generate = commands.add_parser(
+        "generate", help="write a benchmark to CSV files")
+    generate.add_argument("dataset", help="dataset key (see list-datasets)")
+    generate.add_argument("output", help="output directory")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--scale", type=float, default=1.0)
+
+    match = commands.add_parser(
+        "match", help="train a matcher and report test F1")
+    match.add_argument("--dataset", default="fodors_zagats",
+                       help="generated benchmark key")
+    match.add_argument("--data-dir", default=None,
+                       help="CSV directory (tableA/tableB/train/valid/test)"
+                            " instead of a generated benchmark")
+    match.add_argument("--system", default="automl-em",
+                       choices=("automl-em", "magellan", "deepmatcher"))
+    match.add_argument("--budget", type=int, default=20,
+                       help="AutoML pipeline evaluations")
+    match.add_argument("--forest-size", type=int, default=50)
+    match.add_argument("--all-models", action="store_true",
+                       help="search the full model space, not RF-only")
+    match.add_argument("--show-pipeline", action="store_true")
+    match.add_argument("--seed", type=int, default=0)
+    match.add_argument("--scale", type=float, default=1.0)
+
+    experiment = commands.add_parser(
+        "experiment", help="run one paper table/figure runner")
+    experiment.add_argument("name",
+                            choices=("fig3", *sorted(_EXPERIMENTS)))
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list-datasets": _cmd_list_datasets,
+        "generate": _cmd_generate,
+        "match": _cmd_match,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""The paper's contribution: AutoML-EM and AutoML-EM-Active."""
+
+from .active import ActiveIteration, ActiveRunHistory, AutoMLEMActive
+from .automl_em import AutoMLEM
+from .labelers import (
+    InferredLabels,
+    LabelPropagationLabeler,
+    TransitivityLabeler,
+)
+from .oracle import GroundTruthOracle, LabelBudgetExceeded
+from .selftraining import (
+    SelfTrainingSelection,
+    select_confident,
+    select_uncertain,
+)
+from .thresholding import ThresholdResult, apply_threshold, tune_threshold
+from .strategies import (
+    CommitteeStrategy,
+    EntropyStrategy,
+    MarginStrategy,
+    QueryStrategy,
+    RandomStrategy,
+    UncertaintyStrategy,
+    make_strategy,
+)
+
+__all__ = [
+    "ActiveIteration",
+    "ActiveRunHistory",
+    "AutoMLEM",
+    "AutoMLEMActive",
+    "CommitteeStrategy",
+    "EntropyStrategy",
+    "GroundTruthOracle",
+    "InferredLabels",
+    "LabelBudgetExceeded",
+    "LabelPropagationLabeler",
+    "MarginStrategy",
+    "QueryStrategy",
+    "RandomStrategy",
+    "SelfTrainingSelection",
+    "ThresholdResult",
+    "TransitivityLabeler",
+    "UncertaintyStrategy",
+    "apply_threshold",
+    "make_strategy",
+    "select_confident",
+    "select_uncertain",
+    "tune_threshold",
+]

@@ -1,0 +1,172 @@
+"""AutoML-EM: the paper's automated EM model-development pipeline.
+
+Combines the Table II generate-everything feature generator with the
+AutoML engine, defaulting to the random-forest-only model space the
+paper selects in Section III-C.  The ablation switches of Figure 12
+(``include_data_preprocessing`` / ``include_feature_preprocessing``) and
+the model-space study of Figure 10 (``model_space``) are constructor
+arguments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..automl.components import build_config_space
+from ..automl.optimizer import AutoML
+from ..data.pairs import PairSet
+from ..features.vectorize import (
+    FeatureGenerator,
+    make_autoem_features,
+    make_magellan_features,
+)
+from ..ml.metrics import precision_recall_f1
+
+
+class AutoMLEM:
+    """Automated entity-matching model development.
+
+    Parameters
+    ----------
+    model_space:
+        "random_forest" (the paper's AutoML-EM default), "all"
+        (the general-purpose space), or a tuple of classifier names.
+    feature_plan:
+        "autoem" (Table II, default) or "magellan" (Table I) — the
+        Figure 9 comparison axis.
+    search:
+        AutoML search algorithm: "smac" (default), "random", "tpe".
+    n_iterations / time_budget:
+        Search budget (evaluations; optional wall-clock seconds).
+    include_data_preprocessing / include_feature_preprocessing:
+        Figure 12 ablation switches.
+    forest_size:
+        Tree count for forest classifiers (auto-sklearn fixes 100).
+
+    >>> matcher = AutoMLEM(n_iterations=20, seed=0)
+    >>> matcher.fit(train_pairs, valid_pairs)
+    >>> matcher.evaluate(test_pairs)["f1"]
+    """
+
+    def __init__(self, model_space="random_forest", feature_plan: str = "autoem",
+                 search: str = "smac", n_iterations: int = 30,
+                 time_budget: float | None = None,
+                 include_data_preprocessing: bool = True,
+                 include_feature_preprocessing: bool = True,
+                 forest_size: int = 100, ensemble_size: int = 1,
+                 exclude_attributes: tuple[str, ...] = (),
+                 seed: int = 0, verbose: bool = False):
+        if feature_plan not in ("autoem", "magellan"):
+            raise ValueError(
+                f"feature_plan must be autoem/magellan, got {feature_plan!r}")
+        if model_space == "random_forest":
+            model_space = ("random_forest",)
+        self.model_space = model_space
+        self.feature_plan = feature_plan
+        self.search = search
+        self.n_iterations = n_iterations
+        self.time_budget = time_budget
+        self.include_data_preprocessing = include_data_preprocessing
+        self.include_feature_preprocessing = include_feature_preprocessing
+        self.forest_size = forest_size
+        self.ensemble_size = ensemble_size
+        self.exclude_attributes = tuple(exclude_attributes)
+        self.seed = seed
+        self.verbose = verbose
+
+    # -- feature plumbing ---------------------------------------------------
+
+    def make_feature_generator(self, pairs: PairSet) -> FeatureGenerator:
+        """The configured feature generator for this matcher."""
+        maker = (make_autoem_features if self.feature_plan == "autoem"
+                 else make_magellan_features)
+        return maker(pairs.table_a, pairs.table_b,
+                     exclude_attributes=self.exclude_attributes)
+
+    # -- training -------------------------------------------------------
+
+    def fit(self, train: PairSet, valid: PairSet,
+            feature_generator: FeatureGenerator | None = None) -> "AutoMLEM":
+        """Search for the best pipeline on (train, valid) labeled pairs.
+
+        ``feature_generator`` lets callers reuse precomputed plans; by
+        default one is built from the training pair set's tables.
+        """
+        self.feature_generator_ = (feature_generator
+                                   or self.make_feature_generator(train))
+        X_train = self.feature_generator_.transform(train)
+        X_valid = self.feature_generator_.transform(valid)
+        return self.fit_matrices(X_train, train.labels, X_valid, valid.labels)
+
+    def fit_matrices(self, X_train, y_train, X_valid, y_valid) -> "AutoMLEM":
+        """Fit from precomputed feature matrices (the fast path)."""
+        space = build_config_space(
+            models=self.model_space,
+            include_data_preprocessing=self.include_data_preprocessing,
+            include_feature_preprocessing=self.include_feature_preprocessing,
+            forest_size=self.forest_size)
+        self.automl_ = AutoML(space, search=self.search,
+                              n_iterations=self.n_iterations,
+                              time_budget=self.time_budget,
+                              ensemble_size=self.ensemble_size,
+                              seed=self.seed, verbose=self.verbose)
+        self.automl_.fit(X_train, y_train, X_valid, y_valid)
+        return self
+
+    # -- inference ------------------------------------------------------
+
+    def _features(self, pairs: PairSet) -> np.ndarray:
+        self._check_fitted()
+        if not hasattr(self, "feature_generator_"):
+            raise RuntimeError(
+                "matcher was fitted from matrices; pass matrices to "
+                "predict_matrix/evaluate_matrix instead of pair sets")
+        return self.feature_generator_.transform(pairs)
+
+    def predict(self, pairs: PairSet) -> np.ndarray:
+        """Match (1) / non-match (0) predictions for candidate pairs."""
+        return self.automl_.predict(self._features(pairs))
+
+    def predict_proba(self, pairs: PairSet) -> np.ndarray:
+        return self.automl_.predict_proba(self._features(pairs))
+
+    def predict_matrix(self, X) -> np.ndarray:
+        self._check_fitted()
+        return self.automl_.predict(X)
+
+    def evaluate(self, test: PairSet) -> dict:
+        """Precision / recall / F1 on a labeled test pair set."""
+        return self.evaluate_matrix(self._features(test), test.labels)
+
+    def evaluate_matrix(self, X_test, y_test) -> dict:
+        self._check_fitted()
+        predictions = self.automl_.predict(X_test)
+        precision, recall, f1 = precision_recall_f1(y_test, predictions)
+        return {"precision": precision, "recall": recall, "f1": f1}
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def best_config_(self) -> dict:
+        self._check_fitted()
+        return self.automl_.best_config_
+
+    @property
+    def best_score_(self) -> float:
+        """Best validation F1 found during the search."""
+        self._check_fitted()
+        return self.automl_.best_score_
+
+    @property
+    def history_(self):
+        self._check_fitted()
+        return self.automl_.history_
+
+    def describe_pipeline(self) -> str:
+        """The winning configuration, printed Figure 11 style."""
+        self._check_fitted()
+        return self.automl_.best_pipeline.describe()
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "automl_"):
+            raise RuntimeError("AutoMLEM is not fitted yet; call fit first")

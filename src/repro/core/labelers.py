@@ -1,0 +1,182 @@
+"""Alternative automatic label-inference approaches.
+
+Section I of the paper: *"There are certainly other approaches that can
+be used to infer labels, such as transitivity [39], labeling function,
+clustering, and label propagation [43]."*  Two of them are implemented
+here so they can be plugged into the AutoML-EM-Active loop in place of
+(or on top of) self-training:
+
+* :class:`TransitivityLabeler` — matches are an equivalence relation
+  over records: if (a, b) and (b, c) match then (a, c) must match, and a
+  pair joining two *different* match-clusters with a known non-match
+  edge between them must be a non-match.
+* :class:`LabelPropagationLabeler` — Zhu & Ghahramani's iterative label
+  propagation over a k-NN similarity graph of the candidate pairs'
+  feature vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from ..data.pairs import MATCH, NON_MATCH, PairSet, RecordPair
+
+
+@dataclass
+class InferredLabels:
+    """Labels inferred for a subset of pool indices."""
+
+    indices: np.ndarray
+    labels: np.ndarray
+    confidences: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+def _node(side: str, record_id: int) -> tuple[str, int]:
+    return (side, record_id)
+
+
+class TransitivityLabeler:
+    """Closure of the match relation over labeled pairs.
+
+    Build it from the currently labeled pairs; :meth:`infer` then labels
+    any unlabeled pair whose endpoints fall in the same match-cluster
+    (→ match, confidence 1) or in two clusters connected by a known
+    non-match edge (→ non-match, confidence 1).
+    """
+
+    def __init__(self, labeled_pairs: list[RecordPair]):
+        graph = nx.Graph()
+        self._non_matches: list[tuple] = []
+        for pair in labeled_pairs:
+            if pair.label is None:
+                raise ValueError(f"pair {pair.key} is unlabeled")
+            left = _node("a", pair.left.record_id)
+            right = _node("b", pair.right.record_id)
+            graph.add_node(left)
+            graph.add_node(right)
+            if pair.label == MATCH:
+                graph.add_edge(left, right)
+            else:
+                self._non_matches.append((left, right))
+        self._cluster_of: dict = {}
+        for cluster_id, component in enumerate(
+                nx.connected_components(graph)):
+            for node in component:
+                self._cluster_of[node] = cluster_id
+        # Non-match edges between clusters make those *clusters* known
+        # non-matching.
+        self._non_matching_clusters: set[tuple[int, int]] = set()
+        for left, right in self._non_matches:
+            cl, cr = self._cluster_of.get(left), self._cluster_of.get(right)
+            if cl is not None and cr is not None and cl != cr:
+                self._non_matching_clusters.add((min(cl, cr), max(cl, cr)))
+
+    def infer_pair(self, pair: RecordPair) -> int | None:
+        """The transitively implied label of one pair, or ``None``."""
+        left = self._cluster_of.get(_node("a", pair.left.record_id))
+        right = self._cluster_of.get(_node("b", pair.right.record_id))
+        if left is None or right is None:
+            return None
+        if left == right:
+            return MATCH
+        if (min(left, right), max(left, right)) in self._non_matching_clusters:
+            return NON_MATCH
+        return None
+
+    def infer(self, pool: PairSet) -> InferredLabels:
+        """All implied labels for a pool of (possibly unlabeled) pairs."""
+        indices, labels = [], []
+        for i, pair in enumerate(pool):
+            implied = self.infer_pair(pair)
+            if implied is not None:
+                indices.append(i)
+                labels.append(implied)
+        indices = np.asarray(indices, dtype=np.int64)
+        labels = np.asarray(labels, dtype=np.int64)
+        return InferredLabels(indices, labels, np.ones(len(indices)))
+
+
+class LabelPropagationLabeler:
+    """Zhu-Ghahramani label propagation over a k-NN feature graph.
+
+    Nodes are candidate pairs (their feature vectors), edges connect
+    k nearest neighbours with RBF weights; labeled nodes are clamped and
+    labels diffuse until convergence.  ``infer`` returns the unlabeled
+    nodes whose propagated posterior clears ``confidence_threshold``.
+    """
+
+    def __init__(self, n_neighbors: int = 7, alpha: float = 0.9,
+                 max_iterations: int = 50, tolerance: float = 1e-4,
+                 confidence_threshold: float = 0.9):
+        if n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        self.n_neighbors = n_neighbors
+        self.alpha = alpha
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.confidence_threshold = confidence_threshold
+
+    def infer(self, X: np.ndarray, labels: np.ndarray) -> InferredLabels:
+        """Propagate.  ``labels`` uses -1 for unlabeled, 0/1 otherwise."""
+        X = np.asarray(X, dtype=np.float64)
+        labels = np.asarray(labels)
+        if X.ndim != 2 or len(X) != len(labels):
+            raise ValueError("X must be (n, d) with one label per row")
+        if not (labels != -1).any():
+            raise ValueError("label propagation needs at least one label")
+        n = len(X)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        Z = X / scale
+        # k-NN RBF affinity (symmetrized).
+        distances = ((Z[:, None, :] - Z[None, :, :]) ** 2).sum(axis=2) \
+            if n <= 600 else None
+        if distances is None:
+            # chunked distance computation for larger pools
+            distances = np.empty((n, n))
+            for start in range(0, n, 200):
+                block = Z[start:start + 200]
+                distances[start:start + 200] = \
+                    ((block[:, None, :] - Z[None, :, :]) ** 2).sum(axis=2)
+        np.fill_diagonal(distances, np.inf)
+        k = min(self.n_neighbors, n - 1)
+        bandwidth = np.median(distances[np.isfinite(distances)]) + 1e-12
+        affinity = np.zeros((n, n))
+        neighbor_idx = np.argpartition(distances, k - 1, axis=1)[:, :k]
+        rows = np.repeat(np.arange(n), k)
+        cols = neighbor_idx.ravel()
+        weights = np.exp(-distances[rows, cols] / bandwidth)
+        affinity[rows, cols] = weights
+        affinity = np.maximum(affinity, affinity.T)
+        degree = affinity.sum(axis=1)
+        degree[degree == 0.0] = 1.0
+        transition = affinity / degree[:, None]
+        # Iterate F <- alpha * T F + (1 - alpha) * Y with clamping.
+        Y = np.zeros((n, 2))
+        labeled_mask = labels != -1
+        Y[labeled_mask, labels[labeled_mask].astype(int)] = 1.0
+        F = Y.copy()
+        for _ in range(self.max_iterations):
+            updated = self.alpha * transition @ F + (1 - self.alpha) * Y
+            updated[labeled_mask] = Y[labeled_mask]
+            if np.abs(updated - F).max() < self.tolerance:
+                F = updated
+                break
+            F = updated
+        row_sums = F.sum(axis=1, keepdims=True)
+        posterior = F / np.maximum(row_sums, 1e-12)
+        confident = (~labeled_mask) & (row_sums[:, 0] > 1e-9) \
+            & (posterior.max(axis=1) >= self.confidence_threshold)
+        indices = np.flatnonzero(confident)
+        inferred = posterior[indices].argmax(axis=1)
+        confidences = posterior[indices].max(axis=1)
+        return InferredLabels(indices, inferred.astype(np.int64),
+                              confidences)

@@ -1,0 +1,53 @@
+"""The simulated human labeler for active-learning experiments.
+
+Real active learning asks a person; the experiments (like the
+active-learning EM literature the paper builds on) answer label queries
+from the benchmark's ground truth while counting every query against a
+budget.
+"""
+
+from __future__ import annotations
+
+from ..data.pairs import PairSet, RecordPair
+
+
+class LabelBudgetExceeded(RuntimeError):
+    """Raised when the oracle is asked for more labels than budgeted."""
+
+
+class GroundTruthOracle:
+    """Answers pair-label queries from gold labels, counting the cost.
+
+    Build it from any fully labeled :class:`PairSet`; the matcher-facing
+    views of the same pairs have their labels stripped.
+    """
+
+    def __init__(self, gold: PairSet, budget: int | None = None):
+        if not gold.is_labeled:
+            raise ValueError("oracle needs fully labeled gold pairs")
+        self._labels = {pair.key: pair.label for pair in gold}
+        self.budget = budget
+        self.queries_used = 0
+
+    def label(self, pair: RecordPair) -> int:
+        """The gold label of one pair (consumes one query)."""
+        if self.budget is not None and self.queries_used >= self.budget:
+            raise LabelBudgetExceeded(
+                f"label budget of {self.budget} exhausted")
+        try:
+            label = self._labels[pair.key]
+        except KeyError:
+            raise KeyError(f"oracle has no gold label for pair {pair.key}") \
+                from None
+        self.queries_used += 1
+        return label
+
+    def label_batch(self, pairs: list[RecordPair]) -> list[int]:
+        """Labels for a batch (consumes one query per pair)."""
+        return [self.label(pair) for pair in pairs]
+
+    @property
+    def remaining(self) -> int | None:
+        if self.budget is None:
+            return None
+        return max(0, self.budget - self.queries_used)

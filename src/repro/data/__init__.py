@@ -1,0 +1,21 @@
+"""Data substrate: typed tables, candidate pairs, splits and CSV I/O."""
+
+from .io import read_pairs, read_table, write_pairs, write_table
+from .pairs import MATCH, NON_MATCH, PairSet, RecordPair
+from .splits import stratified_split, train_valid_test_split
+from .table import Record, Table
+
+__all__ = [
+    "MATCH",
+    "NON_MATCH",
+    "PairSet",
+    "Record",
+    "RecordPair",
+    "Table",
+    "read_pairs",
+    "read_table",
+    "stratified_split",
+    "train_valid_test_split",
+    "write_pairs",
+    "write_table",
+]

@@ -1,0 +1,120 @@
+"""Candidate record pairs — the unit the matcher classifies.
+
+A :class:`RecordPair` joins one record from table A with one from table B;
+a :class:`PairSet` is an ordered collection of pairs with (optionally)
+gold labels, supporting the split/sample operations the experiments need.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from .table import Record, Table
+
+MATCH = 1
+NON_MATCH = 0
+
+
+class RecordPair:
+    """A candidate pair ``(left, right)`` with an optional gold label."""
+
+    __slots__ = ("left", "right", "label")
+
+    def __init__(self, left: Record, right: Record, label: int | None = None):
+        if label not in (None, MATCH, NON_MATCH):
+            raise ValueError(f"label must be None, 0 or 1, got {label!r}")
+        self.left = left
+        self.right = right
+        self.label = label
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.left.record_id, self.right.record_id)
+
+    def with_label(self, label: int) -> "RecordPair":
+        return RecordPair(self.left, self.right, label)
+
+    def __repr__(self) -> str:
+        return (f"RecordPair(left={self.left.record_id}, "
+                f"right={self.right.record_id}, label={self.label})")
+
+
+class PairSet:
+    """An ordered set of candidate pairs over two tables.
+
+    The experiments treat a ``PairSet`` as a dataset: it knows its source
+    tables (for feature typing) and exposes labels as a numpy array.
+    """
+
+    def __init__(self, table_a: Table, table_b: Table,
+                 pairs: Sequence[RecordPair]):
+        self.table_a = table_a
+        self.table_b = table_b
+        self.pairs = list(pairs)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[RecordPair]:
+        return iter(self.pairs)
+
+    def __getitem__(self, index):
+        if isinstance(index, (slice, list, np.ndarray)):
+            if isinstance(index, slice):
+                subset = self.pairs[index]
+            else:
+                subset = [self.pairs[i] for i in np.asarray(index)]
+            return PairSet(self.table_a, self.table_b, subset)
+        return self.pairs[index]
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Gold labels as an int array; raises if any pair is unlabeled."""
+        out = np.empty(len(self.pairs), dtype=np.int64)
+        for i, pair in enumerate(self.pairs):
+            if pair.label is None:
+                raise ValueError(f"pair {pair.key} has no label")
+            out[i] = pair.label
+        return out
+
+    @property
+    def is_labeled(self) -> bool:
+        return all(pair.label is not None for pair in self.pairs)
+
+    @property
+    def num_positive(self) -> int:
+        return sum(1 for p in self.pairs if p.label == MATCH)
+
+    @property
+    def positive_rate(self) -> float:
+        if not self.pairs:
+            return 0.0
+        return self.num_positive / len(self.pairs)
+
+    def subset(self, indices) -> "PairSet":
+        return self[list(indices)]
+
+    def without_labels(self) -> "PairSet":
+        """A copy with every label stripped (the 'unlabeled pool' view)."""
+        stripped = [RecordPair(p.left, p.right) for p in self.pairs]
+        return PairSet(self.table_a, self.table_b, stripped)
+
+    def concat(self, other: "PairSet") -> "PairSet":
+        if other.table_a is not self.table_a or other.table_b is not self.table_b:
+            # Allow concatenation across equal-schema tables (e.g. splits of
+            # the same benchmark); only the schema must agree.
+            if (other.table_a.columns != self.table_a.columns
+                    or other.table_b.columns != self.table_b.columns):
+                raise ValueError("cannot concat pair sets over different schemas")
+        return PairSet(self.table_a, self.table_b, self.pairs + other.pairs)
+
+    def shuffled(self, rng) -> "PairSet":
+        order = rng.permutation(len(self.pairs))
+        return self[order]
+
+    def __repr__(self) -> str:
+        labeled = sum(1 for p in self.pairs if p.label is not None)
+        return (f"PairSet({len(self.pairs)} pairs, {labeled} labeled, "
+                f"{self.num_positive} positive)")

@@ -1,0 +1,69 @@
+"""Seeded stratified splitting of pair sets.
+
+The paper follows DeepMatcher's protocol: split labeled pairs 3:1:1 into
+train/validation/test (it phrases this as "training set split 4:1" after
+an 80/20 train/test split).  Splits are stratified on the match label so
+the skewed positive rate is preserved in every fold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pairs import PairSet
+
+
+def _stratified_order(labels: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """A permutation that shuffles within each class independently."""
+    order = np.empty(0, dtype=np.int64)
+    for cls in np.unique(labels):
+        idx = np.flatnonzero(labels == cls)
+        order = np.concatenate([order, rng.permutation(idx)])
+    return order
+
+
+def stratified_split(pairs: PairSet, fractions: tuple[float, ...],
+                     seed: int = 0) -> tuple[PairSet, ...]:
+    """Split ``pairs`` into ``len(fractions)`` stratified folds.
+
+    ``fractions`` must sum to 1 (within rounding).  Every class is divided
+    proportionally; remainders go to the last fold.
+
+    >>> train, valid, test = stratified_split(ps, (0.6, 0.2, 0.2), seed=7)
+    """
+    if abs(sum(fractions) - 1.0) > 1e-9:
+        raise ValueError(f"fractions must sum to 1, got {fractions}")
+    if not pairs.is_labeled:
+        raise ValueError("stratified_split requires labeled pairs")
+    rng = np.random.default_rng(seed)
+    labels = pairs.labels
+    folds: list[list[int]] = [[] for _ in fractions]
+    for cls in np.unique(labels):
+        idx = rng.permutation(np.flatnonzero(labels == cls))
+        start = 0
+        for k, frac in enumerate(fractions):
+            if k == len(fractions) - 1:
+                take = len(idx) - start
+            else:
+                take = int(round(frac * len(idx)))
+            folds[k].extend(idx[start:start + take].tolist())
+            start += take
+    out = []
+    for fold in folds:
+        fold_idx = rng.permutation(np.asarray(fold, dtype=np.int64))
+        out.append(pairs[fold_idx])
+    return tuple(out)
+
+
+def train_valid_test_split(pairs: PairSet, seed: int = 0,
+                           test_fraction: float = 0.2,
+                           valid_fraction_of_train: float = 0.2,
+                           ) -> tuple[PairSet, PairSet, PairSet]:
+    """The paper's protocol: 80/20 train/test, then 4:1 train/validation.
+
+    Returns ``(train, valid, test)`` — by default 64% / 16% / 20%.
+    """
+    train_frac = (1.0 - test_fraction) * (1.0 - valid_fraction_of_train)
+    valid_frac = (1.0 - test_fraction) * valid_fraction_of_train
+    return stratified_split(
+        pairs, (train_frac, valid_frac, test_fraction), seed=seed)

@@ -1,0 +1,46 @@
+"""Synthetic analogs of the paper's eight benchmark datasets."""
+
+from .benchmarks import (
+    ALL_DATASETS,
+    DATASET_SPECS,
+    EASY_LARGE,
+    EASY_SMALL,
+    HARD_LARGE,
+    load_benchmark,
+)
+from .corruption import CorruptionProfile, Corruptor
+from .generator import (
+    Benchmark,
+    BenchmarkGenerator,
+    DatasetSpec,
+    generate_benchmark,
+)
+
+__all__ = [
+    "ALL_DATASETS",
+    "Benchmark",
+    "BenchmarkGenerator",
+    "CorruptionProfile",
+    "Corruptor",
+    "DATASET_SPECS",
+    "DatasetSpec",
+    "EASY_LARGE",
+    "EASY_SMALL",
+    "HARD_LARGE",
+    "generate_benchmark",
+    "load_benchmark",
+]
+
+from .profiler import (  # noqa: E402 (registered after generator imports)
+    AttributeProfile,
+    BenchmarkProfile,
+    SeparabilityProfile,
+    profile_benchmark,
+)
+
+__all__ += [
+    "AttributeProfile",
+    "BenchmarkProfile",
+    "SeparabilityProfile",
+    "profile_benchmark",
+]

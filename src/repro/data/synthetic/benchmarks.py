@@ -1,0 +1,499 @@
+"""The eight Table III benchmark analogs.
+
+Each spec mirrors the corresponding public dataset's schema, pair count,
+positive count and difficulty tier (easy&small / easy&large / hard&large)
+from Table III of the paper.  The data itself is synthetic (see
+DESIGN.md's substitution table): a domain entity factory plus corruption
+profiles tuned so the easy datasets are nearly separable and the hard
+product datasets have heavy noise, long text and many near-duplicate
+negatives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import vocab
+from .corruption import CorruptionProfile
+from .generator import Benchmark, DatasetSpec, generate_benchmark
+
+
+def _pick(rng: np.random.Generator, options) -> str:
+    return options[int(rng.integers(len(options)))]
+
+
+def _price(rng: np.random.Generator, low: float = 5.0,
+           high: float = 900.0) -> float:
+    return round(float(np.exp(rng.uniform(np.log(low), np.log(high)))), 2)
+
+
+def _phone(rng: np.random.Generator) -> str:
+    return (f"{rng.integers(200, 999)}-{rng.integers(200, 999)}-"
+            f"{rng.integers(1000, 9999)}")
+
+
+def _model_number(rng: np.random.Generator) -> str:
+    letters = "".join(_pick(rng, "abcdefghjkmnpqrstvwxyz")
+                      for _ in range(2)).upper()
+    return f"{letters}{rng.integers(100, 9999)}"
+
+
+def _adjacent_model(rng: np.random.Generator, model: str) -> str:
+    """A model number one 'step' away: same letters, nearby digits.
+
+    e.g. ``FH5571`` → ``FH5573`` — the near-duplicate siblings real
+    product catalogs are full of.
+    """
+    head = "".join(c for c in model if not c.isdigit())
+    digits = "".join(c for c in model if c.isdigit()) or "100"
+    bumped = int(digits) + int(rng.integers(1, 9)) * (1 if rng.random() < 0.5
+                                                      else -1)
+    return f"{head}{abs(bumped)}"
+
+
+def _person(rng: np.random.Generator) -> str:
+    return f"{_pick(rng, vocab.FIRST_NAMES)} {_pick(rng, vocab.LAST_NAMES)}"
+
+
+class RestaurantFactory:
+    """Fodors-Zagats analog: restaurants with address/city/phone/type."""
+
+    attributes = ("name", "address", "city", "phone", "type", "class")
+
+    def make_base(self, rng):
+        n_words = int(rng.integers(1, 4))
+        name = " ".join(_pick(rng, vocab.RESTAURANT_WORDS)
+                        for _ in range(n_words))
+        street_no = int(rng.integers(1, 9999))
+        address = (f"{street_no} {_pick(rng, vocab.STREET_NAMES)} "
+                   f"{_pick(rng, vocab.STREET_SUFFIXES)}")
+        return {
+            "name": name,
+            "address": address,
+            "city": _pick(rng, vocab.CITIES),
+            "phone": _phone(rng),
+            "type": _pick(rng, vocab.CUISINES),
+            "class": float(rng.integers(0, 800)),
+        }
+
+    def make_sibling(self, rng, base):
+        # A different branch of the same restaurant "chain": shares the
+        # name's head tokens, differs in location and phone.
+        sibling = self.make_base(rng)
+        head = base["name"].split()[0]
+        sibling["name"] = f"{head} {_pick(rng, vocab.RESTAURANT_WORDS)}"
+        sibling["type"] = base["type"]
+        return sibling
+
+
+class BeerFactory:
+    """BeerAdvo-RateBeer analog: beers with brewery, style and ABV."""
+
+    attributes = ("beer_name", "brew_factory_name", "style", "abv")
+
+    def make_base(self, rng):
+        name = (f"{_pick(rng, vocab.BEER_ADJECTIVES)} "
+                f"{_pick(rng, vocab.BEER_NOUNS)}")
+        if rng.random() < 0.4:
+            name = f"{_pick(rng, vocab.BREWERY_WORDS)} {name}"
+        brewery = (f"{_pick(rng, vocab.BREWERY_WORDS)} "
+                   f"{_pick(rng, ['brewing', 'brewery', 'brewhouse', 'ales'])}")
+        return {
+            "beer_name": name,
+            "brew_factory_name": brewery,
+            "style": _pick(rng, vocab.BEER_STYLES),
+            "abv": round(float(rng.uniform(3.5, 13.0)), 1),
+        }
+
+    def make_sibling(self, rng, base):
+        # Same brewery, different beer in the same series.
+        sibling = self.make_base(rng)
+        sibling["brew_factory_name"] = base["brew_factory_name"]
+        head = base["beer_name"].split()[0]
+        sibling["beer_name"] = f"{head} {_pick(rng, vocab.BEER_NOUNS)}"
+        return sibling
+
+
+class MusicFactory:
+    """iTunes-Amazon analog: songs with 8 attributes."""
+
+    attributes = ("song_name", "artist_name", "album_name", "genre",
+                  "price", "copyright", "time", "released")
+
+    def make_base(self, rng):
+        n_words = int(rng.integers(1, 4))
+        song = " ".join(_pick(rng, vocab.SONG_WORDS) for _ in range(n_words))
+        album = (f"{_pick(rng, vocab.SONG_WORDS)} "
+                 f"{_pick(rng, vocab.SONG_WORDS)}")
+        year = int(rng.integers(1995, 2020))
+        label = _pick(rng, vocab.LABELS)
+        template = _pick(rng, vocab.COPYRIGHT_TEMPLATES)
+        minutes = int(rng.integers(2, 7))
+        seconds = int(rng.integers(0, 60))
+        return {
+            "song_name": song,
+            "artist_name": _person(rng),
+            "album_name": album,
+            "genre": _pick(rng, vocab.GENRES),
+            "price": round(float(rng.uniform(0.69, 1.99)), 2),
+            "copyright": template.format(year=year, label=label),
+            "time": f"{minutes}:{seconds:02d}",
+            "released": f"{_pick(rng, ['january', 'march', 'june', 'september', 'november'])} {year}",
+        }
+
+    def make_sibling(self, rng, base):
+        # Another track on the same album — the classic hard negative.
+        sibling = self.make_base(rng)
+        sibling["artist_name"] = base["artist_name"]
+        sibling["album_name"] = base["album_name"]
+        sibling["genre"] = base["genre"]
+        sibling["copyright"] = base["copyright"]
+        sibling["released"] = base["released"]
+        return sibling
+
+
+class CitationFactory:
+    """DBLP-ACM / DBLP-Scholar analog: paper title/authors/venue/year."""
+
+    attributes = ("title", "authors", "venue", "year")
+
+    def make_base(self, rng):
+        pattern = _pick(rng, vocab.PAPER_PATTERNS)
+        words = rng.choice(len(vocab.PAPER_TOPIC_WORDS), size=3, replace=False)
+        title = pattern.format(a=vocab.PAPER_TOPIC_WORDS[words[0]],
+                               b=vocab.PAPER_TOPIC_WORDS[words[1]],
+                               c=vocab.PAPER_TOPIC_WORDS[words[2]])
+        n_authors = int(rng.integers(1, 5))
+        authors = ", ".join(_person(rng) for _ in range(n_authors))
+        return {
+            "title": title,
+            "authors": authors,
+            "venue": _pick(rng, vocab.VENUES_FULL),
+            "year": float(rng.integers(1995, 2021)),
+        }
+
+    def make_sibling(self, rng, base):
+        # Follow-up paper by the same group: shared topic words and venue.
+        sibling = self.make_base(rng)
+        sibling["authors"] = base["authors"]
+        sibling["venue"] = base["venue"]
+        base_words = base["title"].split()
+        keep = [w for w in base_words if w in vocab.PAPER_TOPIC_WORDS][:2]
+        if keep:
+            pattern = _pick(rng, vocab.PAPER_PATTERNS)
+            extra = _pick(rng, vocab.PAPER_TOPIC_WORDS)
+            fills = (keep + [extra, extra])[:3]
+            sibling["title"] = pattern.format(a=fills[0], b=fills[1],
+                                              c=fills[2])
+        return sibling
+
+
+class SoftwareFactory:
+    """Amazon-Google analog: software products with long titles."""
+
+    attributes = ("title", "manufacturer", "price")
+
+    def restyle(self, rng, entity):
+        """Source B's catalog style: version/edition often omitted,
+        platform phrased differently — matching Google's terse listings
+        against Amazon's verbose ones."""
+        tokens = entity["title"].split()
+        roll = rng.random()
+        if roll < 0.12:
+            # drop the version token ("12.0")
+            tokens = [t for t in tokens
+                      if not (t.endswith(".0") and t[:-2].isdigit())]
+        elif roll < 0.22:
+            # drop "<edition> edition"
+            tokens = [t for t in tokens
+                      if t not in vocab.SOFTWARE_EDITIONS and t != "edition"]
+        return {"title": " ".join(tokens),
+                "manufacturer": entity["manufacturer"],
+                "price": entity["price"]}
+
+    def make_base(self, rng):
+        brand = _pick(rng, vocab.BRANDS)
+        software = _pick(rng, vocab.SOFTWARE_TYPES)
+        edition = _pick(rng, vocab.SOFTWARE_EDITIONS)
+        version = int(rng.integers(1, 15))
+        platform = _pick(rng, ["windows", "mac", "windows/mac", "linux"])
+        title = f"{brand} {software} {version}.0 {edition} edition for {platform}"
+        return {
+            "title": title,
+            "manufacturer": f"{brand} software",
+            "price": _price(rng, 9.0, 600.0),
+        }
+
+    def make_sibling(self, rng, base):
+        # Same product line, different edition or version — everything
+        # else (manufacturer, price band) stays close to the base, which
+        # is what makes these negatives hard.
+        tokens = base["title"].split()
+        sibling = dict(base)
+        if rng.random() < 0.5:
+            # bump the version number token (e.g. "12.0" → "13.0")
+            for i, tok in enumerate(tokens):
+                if tok.endswith(".0") and tok[:-2].isdigit():
+                    tokens[i] = f"{int(tok[:-2]) + 1}.0"
+                    break
+        else:
+            old = _pick(rng, vocab.SOFTWARE_EDITIONS)
+            tokens = [old if t in vocab.SOFTWARE_EDITIONS else t
+                      for t in tokens]
+        sibling["title"] = " ".join(tokens)
+        sibling["price"] = round(base["price"] * float(rng.uniform(0.8, 1.25)),
+                                 2)
+        return sibling
+
+
+class ElectronicsFactory:
+    """Walmart-Amazon analog: electronics with brand/model/category."""
+
+    attributes = ("title", "category", "brand", "modelno", "price")
+
+    def restyle(self, rng, entity):
+        """Source B's listing style: model number often missing from the
+        title and reformatted in the modelno field."""
+        out = dict(entity)
+        if rng.random() < 0.22:
+            out["title"] = " ".join(t for t in entity["title"].split()
+                                    if t != entity["modelno"])
+        if rng.random() < 0.20:
+            model = entity["modelno"]
+            head = "".join(c for c in model if not c.isdigit())
+            digits = "".join(c for c in model if c.isdigit())
+            out["modelno"] = f"{head.lower()}-{digits}"
+        return out
+
+    def make_base(self, rng):
+        brand = _pick(rng, vocab.BRANDS)
+        qualifier = _pick(rng, vocab.PRODUCT_QUALIFIERS)
+        ptype = _pick(rng, vocab.PRODUCT_TYPES)
+        model = _model_number(rng)
+        title = f"{brand} {qualifier} {ptype} {model}"
+        if rng.random() < 0.5:
+            title += f" {_pick(rng, vocab.PRODUCT_QUALIFIERS)}"
+        return {
+            "title": title,
+            "category": _pick(rng, vocab.CATEGORIES),
+            "brand": brand,
+            "modelno": model,
+            "price": _price(rng),
+        }
+
+    def make_sibling(self, rng, base):
+        # Adjacent model in the same product family: title and price
+        # nearly identical, only the model number differs.
+        sibling = dict(base)
+        model = _adjacent_model(rng, base["modelno"])
+        sibling["modelno"] = model
+        tokens = [model if t == base["modelno"] else t
+                  for t in base["title"].split()]
+        if rng.random() < 0.5:
+            # Sibling listings often tweak one qualifier word too.
+            qualifier_slots = [i for i, t in enumerate(tokens)
+                               if t in vocab.PRODUCT_QUALIFIERS]
+            if qualifier_slots:
+                i = qualifier_slots[int(rng.integers(len(qualifier_slots)))]
+                tokens[i] = _pick(rng, vocab.PRODUCT_QUALIFIERS)
+        sibling["title"] = " ".join(tokens)
+        sibling["price"] = round(base["price"] * float(rng.uniform(0.85, 1.2)),
+                                 2)
+        return sibling
+
+
+class ProductFactory:
+    """Abt-Buy analog: name + long free-text description + price."""
+
+    attributes = ("name", "description", "price")
+
+    def restyle(self, rng, entity):
+        """Source B's listing conventions: reordered name tokens, model
+        number frequently omitted, description re-punctuated.
+
+        This is what makes the real Abt-Buy hard: the matching listing
+        often *lacks* the one token that distinguishes sibling products.
+        """
+        tokens = entity["name"].split()
+        model = tokens[-1]
+        head = tokens[:-1]
+        roll = rng.random()
+        if roll < 0.40:
+            name = " ".join(head)                      # model dropped
+        elif roll < 0.65:
+            name = " ".join([head[-1], *head[:-1], model])  # type-first
+        else:
+            name = entity["name"]
+        description = entity["description"].replace(" - ", ", ")
+        if rng.random() < 0.4:
+            description = description.replace(model, "").strip(", ")
+        return {"name": name, "description": description,
+                "price": entity["price"]}
+
+    def make_base(self, rng):
+        brand = _pick(rng, vocab.BRANDS)
+        qualifier = _pick(rng, vocab.PRODUCT_QUALIFIERS)
+        ptype = _pick(rng, vocab.PRODUCT_TYPES)
+        model = _model_number(rng)
+        name = f"{brand} {qualifier} {ptype} {model}"
+        n_phrases = int(rng.integers(2, 5))
+        phrases = [_pick(rng, vocab.MARKETING_PHRASES)
+                   for _ in range(n_phrases)]
+        description = f"{name} - " + " - ".join(phrases)
+        return {"name": name, "description": description,
+                "price": _price(rng)}
+
+    def make_sibling(self, rng, base):
+        # Same product family: identical marketing copy, adjacent model
+        # number, nearby price — only the model token tells them apart.
+        old_model = base["name"].split()[-1]
+        model = _adjacent_model(rng, old_model)
+        name = " ".join(model if t == old_model else t
+                        for t in base["name"].split())
+        description = base["description"].replace(old_model, model)
+        return {"name": name, "description": description,
+                "price": round(base["price"] * float(rng.uniform(0.85, 1.2)),
+                               2)}
+
+
+_CUISINE_SYNONYMS = {
+    "american": ["american (new)", "steakhouses"],
+    "japanese": ["asian", "sushi"],
+    "french": ["french (new)", "continental"],
+    "italian": ["trattorias", "pizza"],
+    "chinese": ["asian"],
+    "delis": ["sandwiches"],
+}
+
+_VENUE_SYNONYMS = {k: v for k, v in vocab.VENUE_VARIANTS.items()}
+
+_CLEAN = CorruptionProfile(
+    typo_prob=0.03, abbreviation_prob=0.03, token_drop_prob=0.02,
+    token_swap_prob=0.01)
+
+_MILD = CorruptionProfile(
+    typo_prob=0.10, abbreviation_prob=0.12, token_drop_prob=0.08,
+    token_swap_prob=0.04, synonym_prob=0.25, numeric_jitter=0.02)
+
+_MODERATE = CorruptionProfile(
+    typo_prob=0.12, abbreviation_prob=0.15, token_drop_prob=0.12,
+    token_swap_prob=0.06, synonym_prob=0.35, missing_prob=0.03,
+    numeric_jitter=0.02, numeric_missing_prob=0.10)
+
+# The beer sources disagree heavily on naming conventions, which is why
+# even this "easy" dataset tops out around F1 0.8 in the paper.
+_BEER = CorruptionProfile(
+    typo_prob=0.30, abbreviation_prob=0.32, token_drop_prob=0.30,
+    token_swap_prob=0.10, synonym_prob=0.3, numeric_jitter=0.10,
+    numeric_missing_prob=0.25, missing_prob=0.05)
+
+_HEAVY = CorruptionProfile(
+    typo_prob=0.30, abbreviation_prob=0.22, token_drop_prob=0.30,
+    token_swap_prob=0.12, token_inject_prob=0.45, synonym_prob=0.2,
+    missing_prob=0.06, numeric_jitter=0.15, numeric_missing_prob=0.40,
+    noise_words=vocab.PRODUCT_QUALIFIERS + ["new", "oem", "retail", "bulk"])
+
+
+def _with_synonyms(profile: CorruptionProfile,
+                   synonyms: dict) -> CorruptionProfile:
+    clone = profile.scaled(1.0)
+    clone.synonyms = synonyms
+    return clone
+
+
+def _specs() -> dict[str, DatasetSpec]:
+    restaurant_kinds = {"name": "string", "address": "string",
+                        "city": "string", "phone": "string",
+                        "type": "string", "class": "numeric"}
+    beer_kinds = {"beer_name": "string", "brew_factory_name": "string",
+                  "style": "string", "abv": "numeric"}
+    music_kinds = {"song_name": "string", "artist_name": "string",
+                   "album_name": "string", "genre": "string",
+                   "price": "numeric", "copyright": "string",
+                   "time": "string", "released": "string"}
+    citation_kinds = {"title": "string", "authors": "string",
+                      "venue": "string", "year": "numeric"}
+    software_kinds = {"title": "string", "manufacturer": "string",
+                      "price": "numeric"}
+    electronics_kinds = {"title": "string", "category": "string",
+                         "brand": "string", "modelno": "string",
+                         "price": "numeric"}
+    product_kinds = {"name": "string", "description": "string",
+                     "price": "numeric"}
+
+    return {
+        "beeradvo_ratebeer": DatasetSpec(
+            name="BeerAdvo-RateBeer", factory=BeerFactory(),
+            attribute_kinds=beer_kinds, total_pairs=450, positive_pairs=68,
+            hard_negative_rate=0.60, profile_a=_MILD, profile_b=_BEER,
+            description="easy & small beer dataset"),
+        "fodors_zagats": DatasetSpec(
+            name="Fodors-Zagats", factory=RestaurantFactory(),
+            attribute_kinds=restaurant_kinds, total_pairs=946,
+            positive_pairs=110, hard_negative_rate=0.15, profile_a=_CLEAN,
+            profile_b=_with_synonyms(_MILD, _CUISINE_SYNONYMS),
+            description="easy & small restaurant dataset"),
+        "itunes_amazon": DatasetSpec(
+            name="iTunes-Amazon", factory=MusicFactory(),
+            attribute_kinds=music_kinds, total_pairs=539, positive_pairs=132,
+            hard_negative_rate=0.60, profile_a=_CLEAN,
+            profile_b=_MODERATE.scaled(1.8),
+            description="easy & small music dataset"),
+        "dblp_acm": DatasetSpec(
+            name="DBLP-ACM", factory=CitationFactory(),
+            attribute_kinds=citation_kinds, total_pairs=12363,
+            positive_pairs=2220, hard_negative_rate=0.25, profile_a=_CLEAN,
+            profile_b=_with_synonyms(_CLEAN.scaled(1.6), _VENUE_SYNONYMS),
+            description="easy & large publication dataset"),
+        "dblp_scholar": DatasetSpec(
+            name="DBLP-Scholar", factory=CitationFactory(),
+            attribute_kinds=citation_kinds, total_pairs=28707,
+            positive_pairs=5347, hard_negative_rate=0.40, profile_a=_MILD,
+            profile_b=_with_synonyms(_MODERATE.scaled(1.6), _VENUE_SYNONYMS),
+            description="easy & large publication dataset (dirtier source)"),
+        "amazon_google": DatasetSpec(
+            name="Amazon-Google", factory=SoftwareFactory(),
+            attribute_kinds=software_kinds, total_pairs=11460,
+            positive_pairs=1167, hard_negative_rate=0.55, profile_a=_MILD,
+            profile_b=_HEAVY.scaled(0.92),
+            description="hard & large software product dataset"),
+        "walmart_amazon": DatasetSpec(
+            name="Walmart-Amazon", factory=ElectronicsFactory(),
+            attribute_kinds=electronics_kinds, total_pairs=10242,
+            positive_pairs=962, hard_negative_rate=0.88, profile_a=_MILD,
+            profile_b=_HEAVY,
+            description="hard & large electronics dataset"),
+        "abt_buy": DatasetSpec(
+            name="Abt-Buy", factory=ProductFactory(),
+            attribute_kinds=product_kinds, total_pairs=9575,
+            positive_pairs=1028, hard_negative_rate=0.82,
+            profile_a=_MILD.scaled(1.2), profile_b=_HEAVY.scaled(1.1),
+            description="hard & large product dataset with long text"),
+    }
+
+
+DATASET_SPECS: dict[str, DatasetSpec] = _specs()
+
+#: Datasets grouped by the paper's difficulty tiers (Table III).
+EASY_SMALL = ("beeradvo_ratebeer", "fodors_zagats", "itunes_amazon")
+EASY_LARGE = ("dblp_acm", "dblp_scholar")
+HARD_LARGE = ("amazon_google", "walmart_amazon", "abt_buy")
+ALL_DATASETS = EASY_SMALL + EASY_LARGE + HARD_LARGE
+
+
+def load_benchmark(name: str, seed: int = 0, scale: float = 1.0) -> Benchmark:
+    """Generate the named benchmark analog.
+
+    ``name`` is a key of :data:`DATASET_SPECS` (e.g. ``"abt_buy"``);
+    ``scale`` shrinks the pair counts proportionally for fast experiments.
+
+    >>> bench = load_benchmark("fodors_zagats", seed=1)
+    >>> bench.pairs.num_positive
+    110
+    """
+    try:
+        spec = DATASET_SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(DATASET_SPECS))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+    return generate_benchmark(spec, seed=seed, scale=scale)

@@ -1,0 +1,177 @@
+"""Perturbation operators that turn a clean value into a "dirty" variant.
+
+The matching record in source B is a *corrupted rendering* of the entity
+behind the record in source A: typos, abbreviations ("arts delicatessen"
+→ "arts deli"), dropped or reordered tokens, injected noise words,
+synonym swaps, numeric jitter and missing values.  A
+:class:`CorruptionProfile` bundles per-operator probabilities so each
+benchmark spec can dial its own difficulty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def typo(text: str, rng: np.random.Generator) -> str:
+    """Apply one random character edit (swap/insert/delete/replace)."""
+    if len(text) < 2:
+        return text
+    op = rng.integers(4)
+    pos = int(rng.integers(len(text)))
+    chars = list(text)
+    if op == 0 and pos < len(text) - 1:  # transpose
+        chars[pos], chars[pos + 1] = chars[pos + 1], chars[pos]
+    elif op == 1:  # insert
+        chars.insert(pos, _ALPHABET[rng.integers(len(_ALPHABET))])
+    elif op == 2:  # delete
+        del chars[pos]
+    else:  # replace
+        chars[pos] = _ALPHABET[rng.integers(len(_ALPHABET))]
+    return "".join(chars)
+
+
+def abbreviate_token(token: str, rng: np.random.Generator) -> str:
+    """Shorten a token: 'delicatessen' → 'deli', 'hollywood' → 'h.'."""
+    if len(token) <= 3:
+        return token
+    if rng.random() < 0.5:
+        return token[0] + "."
+    cut = int(rng.integers(3, max(4, len(token) - 1)))
+    return token[:cut]
+
+
+def drop_token(tokens: list[str], rng: np.random.Generator) -> list[str]:
+    """Remove one random token (never emptying the list)."""
+    if len(tokens) <= 1:
+        return tokens
+    pos = int(rng.integers(len(tokens)))
+    return tokens[:pos] + tokens[pos + 1:]
+
+
+def swap_tokens(tokens: list[str], rng: np.random.Generator) -> list[str]:
+    """Swap two adjacent tokens."""
+    if len(tokens) < 2:
+        return tokens
+    pos = int(rng.integers(len(tokens) - 1))
+    out = list(tokens)
+    out[pos], out[pos + 1] = out[pos + 1], out[pos]
+    return out
+
+
+def inject_tokens(tokens: list[str], extras: list[str],
+                  rng: np.random.Generator, count: int = 1) -> list[str]:
+    """Insert ``count`` noise tokens at random positions."""
+    out = list(tokens)
+    for _ in range(count):
+        pos = int(rng.integers(len(out) + 1))
+        out.insert(pos, extras[rng.integers(len(extras))])
+    return out
+
+
+@dataclass
+class CorruptionProfile:
+    """Per-operator probabilities controlling how dirty a rendering is.
+
+    All probabilities are applied independently per value (and per token
+    where token-level).  ``synonyms`` maps a token to its allowed
+    replacements; ``noise_words`` feeds the injection operator.
+    """
+
+    typo_prob: float = 0.05
+    abbreviation_prob: float = 0.05
+    token_drop_prob: float = 0.05
+    token_swap_prob: float = 0.03
+    token_inject_prob: float = 0.0
+    synonym_prob: float = 0.0
+    missing_prob: float = 0.0
+    numeric_jitter: float = 0.0          # relative std-dev of numeric noise
+    numeric_missing_prob: float = 0.0
+    synonyms: dict[str, list[str]] = field(default_factory=dict)
+    noise_words: list[str] = field(default_factory=list)
+
+    def scaled(self, factor: float) -> "CorruptionProfile":
+        """A copy with every probability multiplied by ``factor`` (capped)."""
+        def cap(p: float) -> float:
+            return min(0.95, p * factor)
+        return CorruptionProfile(
+            typo_prob=cap(self.typo_prob),
+            abbreviation_prob=cap(self.abbreviation_prob),
+            token_drop_prob=cap(self.token_drop_prob),
+            token_swap_prob=cap(self.token_swap_prob),
+            token_inject_prob=cap(self.token_inject_prob),
+            synonym_prob=cap(self.synonym_prob),
+            missing_prob=cap(self.missing_prob),
+            numeric_jitter=self.numeric_jitter * factor,
+            numeric_missing_prob=cap(self.numeric_missing_prob),
+            synonyms=self.synonyms,
+            noise_words=self.noise_words,
+        )
+
+
+class Corruptor:
+    """Applies a :class:`CorruptionProfile` to string / numeric values."""
+
+    def __init__(self, profile: CorruptionProfile, rng: np.random.Generator):
+        self.profile = profile
+        self._rng = rng
+
+    def corrupt_string(self, text: str) -> str | None:
+        """Return a dirty rendering of ``text`` (or ``None`` for missing).
+
+        Token-level operators are applied once per ~6 tokens and typos
+        once per ~25 characters, so long text gets proportionally dirty
+        (a 20-word description suffers several drops/injections where a
+        2-word name suffers at most one).
+        """
+        p, rng = self.profile, self._rng
+        if rng.random() < p.missing_prob:
+            return None
+        tokens = text.split()
+        if not tokens:
+            return text
+        if p.synonym_prob and rng.random() < p.synonym_prob:
+            candidates = [i for i, t in enumerate(tokens) if t in p.synonyms]
+            if candidates:
+                i = candidates[int(rng.integers(len(candidates)))]
+                options = p.synonyms[tokens[i]]
+                tokens[i] = options[int(rng.integers(len(options)))]
+        token_rounds = max(1, len(tokens) // 6)
+        for _ in range(token_rounds):
+            if rng.random() < p.token_drop_prob:
+                tokens = drop_token(tokens, rng)
+            if rng.random() < p.token_swap_prob:
+                tokens = swap_tokens(tokens, rng)
+            if p.token_inject_prob and p.noise_words \
+                    and rng.random() < p.token_inject_prob:
+                tokens = inject_tokens(tokens, p.noise_words, rng)
+            if rng.random() < p.abbreviation_prob:
+                i = int(rng.integers(len(tokens)))
+                tokens[i] = abbreviate_token(tokens[i], rng)
+        out = " ".join(tokens)
+        typo_rounds = max(1, len(out) // 25)
+        for _ in range(typo_rounds):
+            if rng.random() < p.typo_prob:
+                out = typo(out, rng)
+        return out
+
+    def corrupt_numeric(self, value: float) -> float | None:
+        """Jitter a numeric value (or drop it to missing)."""
+        p, rng = self.profile, self._rng
+        if rng.random() < p.numeric_missing_prob:
+            return None
+        if p.numeric_jitter > 0 and rng.random() < 0.5:
+            value = value * (1.0 + rng.normal(0.0, p.numeric_jitter))
+        return round(float(value), 2)
+
+    def corrupt_boolean(self, value: bool, flip_prob: float = 0.02) -> bool | None:
+        p, rng = self.profile, self._rng
+        if rng.random() < p.missing_prob:
+            return None
+        if rng.random() < flip_prob:
+            return not value
+        return value

@@ -1,0 +1,222 @@
+"""Two-table benchmark generation with ground truth.
+
+The real EM benchmarks are pairs of tables from two sources plus a set of
+candidate pairs produced by blocking, labeled match / non-match.  The
+generator reproduces that shape:
+
+1. build a pool of *entities* (clean canonical attribute dicts), grouped
+   into *families* of near-duplicate siblings (same brand/series/venue)
+   that later become hard negatives;
+2. render each entity once per source, through source-specific
+   :class:`~repro.data.synthetic.corruption.CorruptionProfile` dials
+   (source B is conventionally the dirtier one);
+3. emit ``n_positive`` matched pairs (same entity, both renderings) and
+   ``total - n_positive`` negatives, a configurable share of which pair
+   siblings from the same family ("hard negatives").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from ..pairs import MATCH, NON_MATCH, PairSet, RecordPair
+from ..splits import train_valid_test_split
+from ..table import Table
+from .corruption import CorruptionProfile, Corruptor
+
+
+class EntityFactory(Protocol):
+    """Produces clean entities for one domain.
+
+    ``make_base`` draws a fresh canonical entity; ``make_sibling`` derives
+    a *different* entity that shares identifying tokens with ``base``
+    (e.g. same brand and series, different model number) so that the pair
+    (base, sibling) is a hard negative.
+    """
+
+    attributes: tuple[str, ...]
+
+    def make_base(self, rng: np.random.Generator) -> dict: ...
+
+    def make_sibling(self, rng: np.random.Generator, base: dict) -> dict: ...
+
+
+@dataclass
+class DatasetSpec:
+    """Everything needed to generate one benchmark analog.
+
+    ``attribute_kinds`` maps attribute name → "string" | "numeric" |
+    "boolean" and controls which corruption operator applies.
+    """
+
+    name: str
+    factory: EntityFactory
+    attribute_kinds: dict[str, str]
+    total_pairs: int
+    positive_pairs: int
+    hard_negative_rate: float
+    profile_a: CorruptionProfile
+    profile_b: CorruptionProfile
+    siblings_per_family: int = 2
+    description: str = ""
+
+    def scaled(self, scale: float) -> "DatasetSpec":
+        """A spec with pair counts multiplied by ``scale`` (min 40 pairs)."""
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        total = max(40, int(round(self.total_pairs * scale)))
+        positive = max(8, int(round(self.positive_pairs * scale)))
+        positive = min(positive, total - 8)
+        return DatasetSpec(
+            name=self.name, factory=self.factory,
+            attribute_kinds=self.attribute_kinds, total_pairs=total,
+            positive_pairs=positive,
+            hard_negative_rate=self.hard_negative_rate,
+            profile_a=self.profile_a, profile_b=self.profile_b,
+            siblings_per_family=self.siblings_per_family,
+            description=self.description)
+
+
+@dataclass
+class Benchmark:
+    """A generated benchmark: two tables plus labeled candidate pairs."""
+
+    name: str
+    table_a: Table
+    table_b: Table
+    pairs: PairSet
+    spec: DatasetSpec = field(repr=False, default=None)
+
+    def splits(self, seed: int = 0) -> tuple[PairSet, PairSet, PairSet]:
+        """The paper's 64/16/20 stratified train/valid/test split."""
+        return train_valid_test_split(self.pairs, seed=seed)
+
+    def summary(self) -> dict:
+        train, valid, test = self.splits()
+        return {
+            "dataset": self.name,
+            "total_pairs": len(self.pairs),
+            "positive_pairs": self.pairs.num_positive,
+            "train_size": len(train) + len(valid),
+            "test_size": len(test),
+            "num_attributes": len(self.table_a.columns),
+        }
+
+
+class BenchmarkGenerator:
+    """Generates a :class:`Benchmark` from a :class:`DatasetSpec`."""
+
+    def __init__(self, spec: DatasetSpec, seed: int = 0):
+        self.spec = spec
+        self._rng = np.random.default_rng(seed)
+        self._corruptor_a = Corruptor(spec.profile_a,
+                                      np.random.default_rng(seed + 1))
+        self._corruptor_b = Corruptor(spec.profile_b,
+                                      np.random.default_rng(seed + 2))
+
+    def generate(self) -> Benchmark:
+        spec = self.spec
+        n_pos = spec.positive_pairs
+        n_neg = spec.total_pairs - n_pos
+        if n_neg < 0:
+            raise ValueError(
+                f"{spec.name}: positive_pairs {n_pos} exceeds total "
+                f"{spec.total_pairs}")
+        entities, families = self._build_entity_pool(n_pos, n_neg)
+        rows_a = [self._render(e, self._corruptor_a) for e in entities]
+        # Source B may use different naming conventions entirely (factory
+        # "restyle" hook) on top of its corruption profile.
+        restyle = getattr(spec.factory, "restyle", None)
+        entities_b = ([restyle(self._rng, e) for e in entities]
+                      if restyle else entities)
+        rows_b = [self._render(e, self._corruptor_b) for e in entities_b]
+        columns = list(spec.factory.attributes)
+        table_a = Table(f"{spec.name}_A", columns, rows_a)
+        table_b = Table(f"{spec.name}_B", columns, rows_b)
+        pairs = self._build_pairs(table_a, table_b, families, n_pos, n_neg)
+        return Benchmark(spec.name, table_a, table_b, pairs, spec=spec)
+
+    def _build_entity_pool(self, n_pos: int, n_neg: int
+                           ) -> tuple[list[dict], list[list[int]]]:
+        """Create entities grouped into sibling families.
+
+        Pool size: enough distinct entities that negatives do not recycle
+        the same few records excessively.  Returns the entity list and the
+        family index lists.
+        """
+        spec = self.spec
+        pool_target = max(n_pos + 10, int(0.6 * (n_pos + n_neg)))
+        entities: list[dict] = []
+        families: list[list[int]] = []
+        while len(entities) < pool_target:
+            base = spec.factory.make_base(self._rng)
+            family = [len(entities)]
+            entities.append(base)
+            n_sib = int(self._rng.integers(1, spec.siblings_per_family + 1))
+            for _ in range(n_sib):
+                sibling = spec.factory.make_sibling(self._rng, base)
+                family.append(len(entities))
+                entities.append(sibling)
+            families.append(family)
+        return entities, families
+
+    def _render(self, entity: dict, corruptor: Corruptor) -> list:
+        row = []
+        for attr in self.spec.factory.attributes:
+            kind = self.spec.attribute_kinds[attr]
+            value = entity[attr]
+            if value is None:
+                row.append(None)
+            elif kind == "numeric":
+                row.append(corruptor.corrupt_numeric(float(value)))
+            elif kind == "boolean":
+                row.append(corruptor.corrupt_boolean(bool(value)))
+            else:
+                row.append(corruptor.corrupt_string(str(value)))
+        return row
+
+    def _build_pairs(self, table_a: Table, table_b: Table,
+                     families: list[list[int]], n_pos: int, n_neg: int
+                     ) -> PairSet:
+        rng = self._rng
+        n_entities = table_a.num_rows
+        matched = rng.choice(n_entities, size=n_pos, replace=False)
+        pairs = [RecordPair(table_a.by_id(int(e)), table_b.by_id(int(e)), MATCH)
+                 for e in matched]
+        seen = {(int(e), int(e)) for e in matched}
+        multi_families = [f for f in families if len(f) >= 2]
+        attempts = 0
+        while len(pairs) < n_pos + n_neg:
+            attempts += 1
+            if attempts > 50 * (n_pos + n_neg):
+                raise RuntimeError(
+                    f"{self.spec.name}: could not place {n_neg} distinct "
+                    "negatives; enlarge the entity pool")
+            if multi_families and rng.random() < self.spec.hard_negative_rate:
+                family = multi_families[int(rng.integers(len(multi_families)))]
+                i, j = rng.choice(len(family), size=2, replace=False)
+                left, right = family[int(i)], family[int(j)]
+            else:
+                left = int(rng.integers(n_entities))
+                right = int(rng.integers(n_entities))
+                if left == right:
+                    continue
+            if (left, right) in seen:
+                continue
+            seen.add((left, right))
+            pairs.append(RecordPair(table_a.by_id(left), table_b.by_id(right),
+                                    NON_MATCH))
+        order = rng.permutation(len(pairs))
+        pairs = [pairs[i] for i in order]
+        return PairSet(table_a, table_b, pairs)
+
+
+def generate_benchmark(spec: DatasetSpec, seed: int = 0,
+                       scale: float = 1.0) -> Benchmark:
+    """One-call convenience: (optionally scaled) spec → benchmark."""
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    return BenchmarkGenerator(spec, seed=seed).generate()

@@ -1,0 +1,144 @@
+"""Benchmark profiling: the statistics behind "easy" and "hard".
+
+Calibrating the synthetic analogs against the paper's difficulty tiers
+needs visibility into *why* a dataset is hard: how similar the matching
+pairs are, how close the hard negatives come, how much is missing.
+:func:`profile_benchmark` computes those statistics; the test suite uses
+them to pin the difficulty ordering of the generated datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...similarity import get_measure
+from ..pairs import MATCH, PairSet
+from ..table import Table
+from .generator import Benchmark
+
+
+@dataclass
+class AttributeProfile:
+    """Per-attribute statistics across both tables."""
+
+    name: str
+    missing_rate: float
+    mean_words: float
+    distinct_rate: float
+
+
+@dataclass
+class SeparabilityProfile:
+    """How far apart positives and negatives sit on one similarity axis."""
+
+    attribute: str
+    measure: str
+    positive_mean: float
+    negative_mean: float
+
+    @property
+    def gap(self) -> float:
+        return self.positive_mean - self.negative_mean
+
+
+@dataclass
+class BenchmarkProfile:
+    dataset: str
+    n_pairs: int
+    positive_rate: float
+    attributes: list[AttributeProfile] = field(default_factory=list)
+    separability: list[SeparabilityProfile] = field(default_factory=list)
+
+    @property
+    def best_gap(self) -> float:
+        """The most separating single similarity axis (difficulty proxy:
+        small best-gap = hard dataset)."""
+        if not self.separability:
+            return 0.0
+        return max(profile.gap for profile in self.separability)
+
+    def to_text(self) -> str:
+        lines = [f"{self.dataset}: {self.n_pairs} pairs, "
+                 f"{100 * self.positive_rate:.1f}% positive"]
+        lines.append("  attributes:")
+        for attr in self.attributes:
+            lines.append(
+                f"    {attr.name:18s} missing={attr.missing_rate:.2f} "
+                f"words={attr.mean_words:.1f} "
+                f"distinct={attr.distinct_rate:.2f}")
+        lines.append("  separability (positive mean - negative mean):")
+        for sep in sorted(self.separability, key=lambda s: -s.gap)[:5]:
+            lines.append(
+                f"    {sep.attribute}__{sep.measure}: "
+                f"{sep.positive_mean:.3f} - {sep.negative_mean:.3f} "
+                f"= {sep.gap:+.3f}")
+        return "\n".join(lines)
+
+
+def _attribute_profiles(table_a: Table, table_b: Table
+                        ) -> list[AttributeProfile]:
+    profiles = []
+    for column in table_a.columns:
+        values = table_a.column(column) + table_b.column(column)
+        present = [v for v in values if v is not None]
+        missing_rate = 1.0 - len(present) / max(1, len(values))
+        words = [len(str(v).split()) for v in present] or [0]
+        distinct = len(set(map(str, present))) / max(1, len(present))
+        profiles.append(AttributeProfile(
+            name=column, missing_rate=missing_rate,
+            mean_words=float(np.mean(words)), distinct_rate=distinct))
+    return profiles
+
+
+def _separability(pairs: PairSet, measures: tuple[str, ...],
+                  sample_size: int, seed: int) -> list[SeparabilityProfile]:
+    rng = np.random.default_rng(seed)
+    indices = np.arange(len(pairs))
+    if len(indices) > sample_size:
+        indices = rng.choice(indices, size=sample_size, replace=False)
+    sampled = [pairs[int(i)] for i in indices]
+    profiles = []
+    for column in pairs.table_a.columns:
+        for measure_name in measures:
+            measure = get_measure(measure_name)
+            positives, negatives = [], []
+            for pair in sampled:
+                value = measure(pair.left.get(column),
+                                pair.right.get(column))
+                if np.isnan(value):
+                    continue
+                (positives if pair.label == MATCH else negatives).append(
+                    value)
+            if not positives or not negatives:
+                continue
+            profiles.append(SeparabilityProfile(
+                attribute=column, measure=measure_name,
+                positive_mean=float(np.mean(positives)),
+                negative_mean=float(np.mean(negatives))))
+    return profiles
+
+
+def profile_benchmark(benchmark: Benchmark,
+                      measures: tuple[str, ...] = ("jaccard_3gram",
+                                                   "jaccard_space",
+                                                   "lev_sim"),
+                      sample_size: int = 500,
+                      seed: int = 0) -> BenchmarkProfile:
+    """Compute difficulty statistics for a generated benchmark.
+
+    ``measures`` are the similarity axes probed for positive/negative
+    separability (string attributes only contribute where the measure
+    applies; NaN values are skipped).
+    """
+    if sample_size < 1:
+        raise ValueError(f"sample_size must be >= 1, got {sample_size}")
+    return BenchmarkProfile(
+        dataset=benchmark.name,
+        n_pairs=len(benchmark.pairs),
+        positive_rate=benchmark.pairs.positive_rate,
+        attributes=_attribute_profiles(benchmark.table_a,
+                                       benchmark.table_b),
+        separability=_separability(benchmark.pairs, measures, sample_size,
+                                   seed))

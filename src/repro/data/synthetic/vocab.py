@@ -1,0 +1,209 @@
+"""Domain word banks for the synthetic benchmark generator.
+
+The real benchmarks are domain datasets (restaurants, beers, songs,
+papers, products).  The generator composes entity names and attribute
+values from these banks so that the synthetic analogs have realistic
+token statistics: short names for restaurants, 5-10 word paper titles,
+>10-word product descriptions, shared brand/series tokens that create
+hard near-duplicate negatives, and so on.
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES = [
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+    "linda", "william", "elizabeth", "david", "susan", "richard", "jessica",
+    "joseph", "sarah", "thomas", "karen", "charles", "nancy", "wei", "li",
+    "yuki", "haruto", "amit", "priya", "carlos", "sofia", "pierre", "marie",
+]
+
+LAST_NAMES = [
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "chen", "wang", "kumar", "tanaka", "mueller", "rossi", "kowalski",
+]
+
+CITIES = [
+    "los angeles", "new york", "chicago", "san francisco", "boston",
+    "seattle", "austin", "denver", "portland", "atlanta", "miami",
+    "philadelphia", "phoenix", "dallas", "houston", "san diego",
+    "west hollywood", "studio city", "pasadena", "santa monica",
+    "brooklyn", "oakland", "berkeley", "cambridge", "somerville",
+]
+
+STREET_NAMES = [
+    "sunset", "ventura", "hillhurst", "la cienega", "melrose", "wilshire",
+    "main", "oak", "maple", "broadway", "market", "mission", "valencia",
+    "lincoln", "washington", "jefferson", "franklin", "highland", "vine",
+    "olive", "cedar", "pine", "elm", "spring", "grand",
+]
+
+STREET_SUFFIXES = ["blvd", "ave", "st", "rd", "dr", "way", "pl", "ln"]
+
+RESTAURANT_WORDS = [
+    "arnie", "mortons", "fenix", "katsu", "delicatessen", "grill", "bistro",
+    "cafe", "kitchen", "house", "garden", "palace", "corner", "golden",
+    "dragon", "lotus", "trattoria", "cantina", "taverna", "brasserie",
+    "chophouse", "steakhouse", "oyster", "harbor", "vineyard", "olive",
+    "saffron", "basil", "rosemary", "juniper", "ember", "hearth", "copper",
+    "silver", "union", "station", "depot", "mill", "forge", "anchor",
+]
+
+CUISINES = [
+    "american", "italian", "french", "japanese", "chinese", "mexican",
+    "thai", "indian", "mediterranean", "greek", "korean", "vietnamese",
+    "spanish", "steakhouses", "delis", "seafood", "bbq", "vegan",
+    "fusion", "continental", "californian", "cajun", "asian",
+]
+
+BEER_ADJECTIVES = [
+    "old", "golden", "dark", "hoppy", "imperial", "double", "wild",
+    "smoked", "barrel", "aged", "sour", "hazy", "crisp", "amber",
+    "midnight", "winter", "summer", "harvest", "nitro", "bourbon",
+]
+
+BEER_NOUNS = [
+    "ale", "lager", "stout", "porter", "pilsner", "ipa", "saison",
+    "dunkel", "bock", "tripel", "dubbel", "witbier", "kolsch", "gose",
+    "lambic", "barleywine", "hefeweizen", "altbier", "rauchbier", "marzen",
+]
+
+BEER_STYLES = [
+    "american ipa", "imperial stout", "english porter", "belgian tripel",
+    "german pilsner", "american pale ale", "russian imperial stout",
+    "belgian witbier", "american amber ale", "czech pilsener",
+    "english barleywine", "bavarian hefeweizen", "berliner weisse",
+    "scotch ale", "vienna lager", "oatmeal stout", "rye ipa",
+    "session ipa", "fruit lambic", "baltic porter",
+]
+
+BREWERY_WORDS = [
+    "stone", "anchor", "sierra", "cascade", "summit", "granite", "copper",
+    "iron", "river", "valley", "mountain", "coastal", "harbor", "prairie",
+    "timber", "cedar", "raven", "fox", "bear", "eagle", "brewing",
+    "brewery", "brewhouse", "craftworks", "ales", "fermentations",
+]
+
+GENRES = [
+    "pop", "rock", "hip-hop", "rap", "country", "jazz", "blues",
+    "electronic", "dance", "r&b", "soul", "folk", "indie", "metal",
+    "classical", "reggae", "latin", "alternative", "punk", "ambient",
+]
+
+SONG_WORDS = [
+    "love", "night", "heart", "fire", "dream", "summer", "midnight",
+    "golden", "broken", "wild", "dancing", "shadow", "river", "electric",
+    "neon", "paradise", "gravity", "echo", "horizon", "thunder",
+    "velvet", "crystal", "stardust", "wonder", "forever", "yesterday",
+    "tomorrow", "runaway", "hurricane", "satellite",
+]
+
+LABELS = [
+    "universal", "sony", "warner", "atlantic", "columbia", "capitol",
+    "interscope", "def jam", "motown", "island", "rca", "epic",
+    "sub pop", "matador", "domino", "merge", "xl recordings", "4ad",
+]
+
+PAPER_TOPIC_WORDS = [
+    "query", "database", "index", "transaction", "distributed", "parallel",
+    "stream", "graph", "learning", "mining", "optimization", "storage",
+    "memory", "cache", "join", "aggregation", "sampling", "approximate",
+    "scalable", "adaptive", "incremental", "secure", "privacy", "cloud",
+    "spatial", "temporal", "semantic", "relational", "probabilistic",
+    "crowdsourced", "entity", "matching", "integration", "cleaning",
+    "schema", "provenance", "workflow", "benchmark", "visualization",
+]
+
+PAPER_PATTERNS = [
+    "efficient {a} {b} for {c} systems",
+    "{a} {b}: a {c} approach",
+    "towards {a} {b} in {c} databases",
+    "on the {a} of {b} {c} processing",
+    "scalable {a} {b} with {c} guarantees",
+    "{a}-aware {b} for {c} workloads",
+    "a survey of {a} {b} {c} techniques",
+    "optimizing {a} {b} over {c} data",
+    "fast {a} {b} using {c} structures",
+    "{a} {b} meets {c}: opportunities and challenges",
+]
+
+VENUES_FULL = [
+    "sigmod conference", "vldb", "icde", "kdd", "cikm", "edbt", "icdt",
+    "sigmod record", "vldb journal", "tods", "tkde", "pods",
+]
+
+VENUE_VARIANTS = {
+    "sigmod conference": ["sigmod", "acm sigmod", "proc. sigmod",
+                          "international conference on management of data"],
+    "vldb": ["pvldb", "very large data bases", "proc. vldb endow."],
+    "icde": ["ieee icde", "intl. conf. on data engineering"],
+    "kdd": ["acm sigkdd", "sigkdd", "knowledge discovery and data mining"],
+    "cikm": ["acm cikm", "conf. on information and knowledge management"],
+    "edbt": ["extending database technology"],
+    "icdt": ["intl. conf. on database theory"],
+    "sigmod record": ["acm sigmod record"],
+    "vldb journal": ["vldb j.", "the vldb journal"],
+    "tods": ["acm trans. database syst.", "acm tods"],
+    "tkde": ["ieee trans. knowl. data eng.", "ieee tkde"],
+    "pods": ["acm pods", "symposium on principles of database systems"],
+}
+
+BRANDS = [
+    "apex", "novatech", "lumina", "vertex", "solara", "quantum", "zenith",
+    "polaris", "helix", "orion", "nimbus", "aurora", "titan", "vortex",
+    "pinnacle", "stratus", "fusion", "matrix", "echo", "pulse",
+    "samsung", "sony", "panasonic", "toshiba", "philips", "sharp",
+    "logitech", "belkin", "netgear", "garmin",
+]
+
+PRODUCT_TYPES = [
+    "laptop", "monitor", "keyboard", "mouse", "printer", "router",
+    "speaker", "headphones", "camera", "projector", "scanner", "tablet",
+    "hard drive", "memory card", "docking station", "webcam", "microphone",
+    "charger", "adapter", "power supply", "graphics card", "motherboard",
+    "dvd player", "blu-ray player", "tv stand", "soundbar", "subwoofer",
+]
+
+PRODUCT_QUALIFIERS = [
+    "wireless", "bluetooth", "portable", "compact", "professional",
+    "gaming", "ergonomic", "ultra", "slim", "premium", "digital",
+    "hd", "4k", "dual-band", "rechargeable", "waterproof", "mini",
+    "high-speed", "noise-cancelling", "backlit",
+]
+
+SOFTWARE_TYPES = [
+    "antivirus", "office suite", "photo editor", "video editor",
+    "backup software", "tax software", "accounting software",
+    "language learning", "encyclopedia", "operating system",
+    "pdf converter", "firewall", "web design", "music production",
+    "cad software", "project management", "database software",
+]
+
+SOFTWARE_EDITIONS = [
+    "standard", "professional", "deluxe", "premium", "home", "ultimate",
+    "enterprise", "student", "academic", "small business", "platinum",
+]
+
+MARKETING_PHRASES = [
+    "brand new in retail box", "with full manufacturer warranty",
+    "featuring advanced technology for superior performance",
+    "ideal for home and office use", "easy setup and installation",
+    "includes all cables and accessories", "energy efficient design",
+    "award winning customer support", "compatible with all major systems",
+    "limited edition model", "best seller in its category",
+    "engineered for reliability and long life", "sleek modern design",
+    "perfect gift for any occasion", "trusted by professionals worldwide",
+]
+
+CATEGORIES = [
+    "electronics", "computers", "office products", "home audio",
+    "camera and photo", "accessories", "networking", "storage",
+    "software", "video games", "televisions", "printers and scanners",
+]
+
+COPYRIGHT_TEMPLATES = [
+    "(c) {year} {label}", "{year} {label} records",
+    "(p) {year} {label} entertainment", "copyright {year} {label} music",
+]

@@ -1,0 +1,77 @@
+"""Per-dataset experiment scales, budgets and paper-reported numbers.
+
+The paper's evaluation ran hour-long auto-sklearn searches on a Xeon
+server; the bench harness reproduces every table and figure at reduced
+scale (see DESIGN.md's substitution table): large datasets are generated
+at a fraction of their Table III size and search budgets are counted in
+pipeline evaluations.  ``FULL`` settings regenerate everything at paper
+scale for users with the patience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Paper-reported F1 (x100) per dataset: Table IV and Figure 8/9 columns.
+PAPER_NUMBERS: dict[str, dict[str, float]] = {
+    "beeradvo_ratebeer": {"magellan": 78.8, "automl_em": 82.3,
+                          "deepmatcher": 72.7, "fig9_magellan_feats": 81.3,
+                          "fig9_autoem_feats": 82.3},
+    "fodors_zagats": {"magellan": 100.0, "automl_em": 100.0,
+                      "deepmatcher": 100.0, "fig9_magellan_feats": 100.0,
+                      "fig9_autoem_feats": 100.0},
+    "itunes_amazon": {"magellan": 91.2, "automl_em": 96.3,
+                      "deepmatcher": 88.0, "fig9_magellan_feats": 88.1,
+                      "fig9_autoem_feats": 96.3},
+    "dblp_acm": {"magellan": 98.4, "automl_em": 98.4, "deepmatcher": 98.4,
+                 "fig9_magellan_feats": 98.3, "fig9_autoem_feats": 98.4},
+    "dblp_scholar": {"magellan": 92.3, "automl_em": 94.6,
+                     "deepmatcher": 94.7, "fig9_magellan_feats": 92.6,
+                     "fig9_autoem_feats": 94.6},
+    "amazon_google": {"magellan": 49.1, "automl_em": 66.4,
+                      "deepmatcher": 69.3, "fig9_magellan_feats": 62.9,
+                      "fig9_autoem_feats": 66.4},
+    "walmart_amazon": {"magellan": 71.9, "automl_em": 78.5,
+                       "deepmatcher": 66.9, "fig9_magellan_feats": 66.2,
+                       "fig9_autoem_feats": 78.5},
+    "abt_buy": {"magellan": 43.6, "automl_em": 59.2, "deepmatcher": 62.8,
+                "fig9_magellan_feats": 48.1, "fig9_autoem_feats": 59.2},
+}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scale and budget knobs shared by the bench harness."""
+
+    #: benchmark generation scale per dataset (1.0 = Table III size)
+    scales: dict
+    #: AutoML pipeline evaluations per search run
+    automl_iterations: int
+    #: trees per forest during search (auto-sklearn fixes 100)
+    forest_size: int
+    #: benchmark generator seeds averaged per result cell
+    generator_seeds: tuple
+    #: train/valid/test split seed
+    split_seed: int
+
+
+_FAST_SCALES = {
+    "beeradvo_ratebeer": 1.0, "fodors_zagats": 1.0, "itunes_amazon": 1.0,
+    "dblp_acm": 0.2, "dblp_scholar": 0.1, "amazon_google": 0.3,
+    "walmart_amazon": 0.25, "abt_buy": 0.3,
+}
+
+_FULL_SCALES = {name: 1.0 for name in _FAST_SCALES}
+
+#: CI-speed settings used by benchmarks/ — minutes, not hours.
+FAST = ExperimentConfig(scales=_FAST_SCALES, automl_iterations=15,
+                        forest_size=32, generator_seeds=(1,), split_seed=0)
+
+#: Closer to the paper's budgets (tens of minutes per dataset).
+FULL = ExperimentConfig(scales=_FULL_SCALES, automl_iterations=60,
+                        forest_size=100, generator_seeds=(1, 2, 3),
+                        split_seed=0)
+
+#: The two hardest datasets, used by the ablation and active-learning
+#: experiments (Sections V-C3 and V-D pick exactly these).
+HARD_DATASETS = ("amazon_google", "abt_buy")

@@ -1,0 +1,307 @@
+"""Ablation benches beyond the paper's figures (DESIGN.md section 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..blocking import AttributeEquivalenceBlocker, OverlapBlocker, \
+    blocking_recall
+from ..core import AutoMLEM
+from ..core.active import AutoMLEMActive
+from ..data.pairs import MATCH
+from .configs import FAST, ExperimentConfig
+from .results import ResultTable
+from .runners import load_bundle
+
+
+def run_search_comparison(config: ExperimentConfig = FAST,
+                          dataset: str = "abt_buy",
+                          searches: tuple[str, ...] = ("random", "smac",
+                                                       "tpe")) -> ResultTable:
+    """Extra ablation: SMAC vs random vs TPE search on the same budget."""
+    bundle = load_bundle(dataset, config)
+    X_tr, X_va, X_te, _ = bundle.features("autoem")
+    table = ResultTable(
+        f"Extra - search algorithms on {dataset} (F1 x100)",
+        ["search", "valid_f1", "test_f1"])
+    for search in searches:
+        matcher = AutoMLEM(search=search,
+                           n_iterations=config.automl_iterations,
+                           forest_size=config.forest_size, seed=0)
+        matcher.fit_matrices(X_tr, bundle.train.labels, X_va,
+                             bundle.valid.labels)
+        test = matcher.evaluate_matrix(X_te, bundle.test.labels)["f1"]
+        table.add_row(search=search, valid_f1=100 * matcher.best_score_,
+                      test_f1=100 * test)
+    return table
+
+
+def run_concept_drift(config: ExperimentConfig = FAST,
+                      dataset: str = "amazon_google",
+                      init_size: int = 300, ac_batch: int = 10,
+                      st_batch: int = 100, n_iterations: int = 8
+                      ) -> ResultTable:
+    """Extra ablation: self-training with vs without α-ratio preservation.
+
+    The paper's Remark 2 argues the adopted machine labels must keep the
+    initial positive ratio to avoid concept drift; this bench runs
+    Algorithm 1 with the ratio guard on and off.
+    """
+    bundle = load_bundle(dataset, config)
+    X_tr, X_va, X_te, generator = bundle.features("autoem")
+    X_pool = np.vstack([X_tr, X_va])
+    pool = bundle.pool
+    table = ResultTable(
+        f"Extra - concept-drift guard on {dataset} (test F1 x100)",
+        ["ratio_preserved", "test_f1", "machine_label_accuracy"])
+    for preserve in (True, False):
+        active = AutoMLEMActive(
+            init_size=init_size, ac_batch=ac_batch, st_batch=st_batch,
+            n_iterations=n_iterations, inner_forest_size=config.forest_size,
+            automl_kwargs=dict(n_iterations=config.automl_iterations,
+                               forest_size=config.forest_size, seed=0),
+            seed=0)
+        if not preserve:
+            # Disable the α guard: selection ignores the class mix.
+            _disable_ratio_guard(active)
+        active.fit(pool, X_pool=X_pool, feature_generator=generator)
+        accuracy = float(np.mean(
+            [it.machine_label_accuracy
+             for it in active.history_.iterations])) if \
+            active.history_.iterations else 1.0
+        test = active.evaluate_matrix(X_te, bundle.test.labels)["f1"]
+        table.add_row(ratio_preserved=preserve, test_f1=100 * test,
+                      machine_label_accuracy=100 * accuracy)
+    return table
+
+
+def _disable_ratio_guard(active: AutoMLEMActive) -> None:
+    """Monkey-patch selection to ignore the α class-ratio guard."""
+    from ..core import selftraining
+
+    original = selftraining.select_confident
+
+    def unguarded(confidences, predictions, batch_size, positive_ratio=None):
+        return original(confidences, predictions, batch_size,
+                        positive_ratio=None)
+
+    # The active loop calls the module function through its import inside
+    # repro.core.active; patch it there for this instance's fit only.
+    from ..core import active as active_module
+
+    class _Patch:
+        def __enter__(self):
+            self._saved = active_module.select_confident
+            active_module.select_confident = unguarded
+
+        def __exit__(self, *exc):
+            active_module.select_confident = self._saved
+
+    original_fit = active.fit
+
+    def patched_fit(*args, **kwargs):
+        with _Patch():
+            return original_fit(*args, **kwargs)
+
+    active.fit = patched_fit
+
+
+def run_blocking_study(dataset: str = "fodors_zagats", seed: int = 1
+                       ) -> ResultTable:
+    """Extra: blocking strategies' candidate counts and recall."""
+    from ..data.synthetic import load_benchmark
+
+    benchmark = load_benchmark(dataset, seed=seed)
+    gold = {pair.key for pair in benchmark.pairs if pair.label == MATCH}
+    table_a, table_b = benchmark.table_a, benchmark.table_b
+    cross_product = table_a.num_rows * table_b.num_rows
+    blockers = {
+        "attr_equivalence(city)": AttributeEquivalenceBlocker("city"),
+        "overlap(name,1)": OverlapBlocker("name", min_overlap=1),
+        "overlap(name,2)": OverlapBlocker("name", min_overlap=2),
+    }
+    table = ResultTable(
+        f"Extra - blocking on {dataset} "
+        f"(cross product = {cross_product} pairs)",
+        ["blocker", "candidates", "reduction_pct", "recall_pct"])
+    for name, blocker in blockers.items():
+        try:
+            candidates = blocker.block(table_a, table_b)
+        except KeyError:
+            continue
+        table.add_row(
+            blocker=name, candidates=len(candidates),
+            reduction_pct=100.0 * (1 - len(candidates) / cross_product),
+            recall_pct=100.0 * blocking_recall(candidates, gold))
+    return table
+
+
+def run_query_strategies(config: ExperimentConfig = FAST,
+                         dataset: str = "amazon_google",
+                         strategies: tuple[str, ...] = (
+                             "uncertainty", "margin", "entropy",
+                             "committee", "random"),
+                         init_size: int = 200, ac_batch: int = 20,
+                         n_iterations: int = 8, seeds: tuple[int, ...] = (0, 1)
+                         ) -> ResultTable:
+    """Future-work bench: alternative active-learning query strategies.
+
+    The paper's conclusion proposes extending Algorithm 1 to query by
+    committee and maximum margin; this bench runs every implemented
+    strategy (self-training off, so the query policy is the only
+    variable) under the same labeling budget.
+    """
+    bundle = load_bundle(dataset, config)
+    X_tr, X_va, X_te, generator = bundle.features("autoem")
+    X_pool = np.vstack([X_tr, X_va])
+    pool = bundle.pool
+    table = ResultTable(
+        f"Extra - query strategies on {dataset} "
+        f"(test F1 x100; st_batch=0, {n_iterations}x{ac_batch} labels)",
+        ["strategy", "test_f1"])
+    for strategy in strategies:
+        scores = []
+        for seed in seeds:
+            active = AutoMLEMActive(
+                init_size=init_size, ac_batch=ac_batch, st_batch=0,
+                n_iterations=n_iterations,
+                inner_forest_size=config.forest_size,
+                query_strategy=strategy,
+                automl_kwargs=dict(n_iterations=config.automl_iterations,
+                                   forest_size=config.forest_size,
+                                   seed=seed),
+                seed=seed)
+            active.fit(pool, X_pool=X_pool, feature_generator=generator)
+            scores.append(100 * active.evaluate_matrix(
+                X_te, bundle.test.labels)["f1"])
+        table.add_row(strategy=strategy, test_f1=float(np.mean(scores)))
+    return table
+
+
+def run_ensemble_ablation(config: ExperimentConfig = FAST,
+                          dataset: str = "abt_buy",
+                          ensemble_sizes: tuple[int, ...] = (1, 3, 8)
+                          ) -> ResultTable:
+    """Future-work bench: single-best vs greedy ensemble selection.
+
+    auto-sklearn (which the paper runs underneath) post-processes the
+    search with Caruana-style ensemble selection; this bench measures
+    what that machinery adds on the hardest dataset.
+    """
+    bundle = load_bundle(dataset, config)
+    X_tr, X_va, X_te, _ = bundle.features("autoem")
+    table = ResultTable(
+        f"Extra - ensemble selection on {dataset} (F1 x100)",
+        ["ensemble_size", "valid_f1", "test_f1"])
+    for size in ensemble_sizes:
+        matcher = AutoMLEM(n_iterations=config.automl_iterations,
+                           forest_size=config.forest_size,
+                           ensemble_size=size, seed=0)
+        matcher.fit_matrices(X_tr, bundle.train.labels, X_va,
+                             bundle.valid.labels)
+        result = matcher.evaluate_matrix(X_te, bundle.test.labels)
+        table.add_row(ensemble_size=size,
+                      valid_f1=100 * matcher.best_score_,
+                      test_f1=100 * result["f1"])
+    return table
+
+
+def run_metalearning_warmstart(config: ExperimentConfig = FAST,
+                               target: str = "abt_buy",
+                               sources: tuple[str, ...] = (
+                                   "amazon_google", "walmart_amazon"),
+                               budget: int = 8) -> ResultTable:
+    """Future-work bench: meta-learning warm start vs cold start.
+
+    Best configurations found on *other* product datasets seed the
+    search on the target dataset; at a short budget the warm start
+    should reach a good pipeline sooner (the paper's meta-learning
+    future-work hypothesis).
+    """
+    from ..automl.metalearning import ConfigPortfolio
+    from ..ml.preprocessing import SimpleImputer
+
+    portfolio = ConfigPortfolio()
+    for source in sources:
+        bundle = load_bundle(source, config)
+        X_tr, X_va, _, _ = bundle.features("autoem")
+        matcher = AutoMLEM(n_iterations=config.automl_iterations,
+                           forest_size=config.forest_size, seed=0)
+        matcher.fit_matrices(X_tr, bundle.train.labels, X_va,
+                             bundle.valid.labels)
+        dense = SimpleImputer().fit_transform(X_tr)
+        portfolio.record(source, dense, bundle.train.labels,
+                         matcher.best_config_, matcher.best_score_)
+
+    bundle = load_bundle(target, config)
+    X_tr, X_va, X_te, _ = bundle.features("autoem")
+    dense_target = SimpleImputer().fit_transform(X_tr)
+    suggestions = portfolio.suggest(dense_target, bundle.train.labels, k=3)
+
+    from ..automl.components import build_config_space
+    from ..automl.optimizer import AutoML
+
+    table = ResultTable(
+        f"Extra - meta-learning warm start on {target} "
+        f"(budget = {budget} evaluations)",
+        ["variant", "valid_f1", "test_f1"])
+    space = build_config_space(models=("random_forest",),
+                               forest_size=config.forest_size)
+    for variant, initial in (("cold", None), ("warm", suggestions)):
+        automl = AutoML(space, n_iterations=budget,
+                        initial_configs=initial, seed=0)
+        automl.fit(X_tr, bundle.train.labels, X_va, bundle.valid.labels)
+        from ..ml.metrics import f1_score as f1
+        test_f1 = 100 * f1(bundle.test.labels, automl.predict(X_te))
+        table.add_row(variant=variant, valid_f1=100 * automl.best_score_,
+                      test_f1=test_f1)
+    return table
+
+
+def run_labeler_study(config: ExperimentConfig = FAST,
+                      dataset: str = "dblp_acm",
+                      n_labeled: int = 400) -> ResultTable:
+    """Future-work bench: transitivity & label-propagation inference.
+
+    The paper's introduction names both as alternative automated
+    labeling approaches; this bench measures how many extra labels each
+    can infer from a seed of human labels and how accurate they are.
+    """
+    from ..core.labelers import LabelPropagationLabeler, TransitivityLabeler
+    from ..ml.preprocessing import SimpleImputer
+
+    bundle = load_bundle(dataset, config)
+    pool = bundle.pool
+    gold = pool.labels
+    labeled = [pool[i] for i in range(min(n_labeled, len(pool)))]
+    table = ResultTable(
+        f"Extra - label inference on {dataset} "
+        f"(seeded with {len(labeled)} human labels)",
+        ["labeler", "inferred", "accuracy_pct"])
+
+    transitivity = TransitivityLabeler(labeled)
+    inferred = transitivity.infer(pool.without_labels())
+    fresh = inferred.indices[inferred.indices >= len(labeled)]
+    if len(fresh):
+        labels = dict(zip(inferred.indices.tolist(),
+                          inferred.labels.tolist()))
+        accuracy = float(np.mean([labels[i] == gold[i] for i in fresh]))
+    else:
+        accuracy = 1.0
+    table.add_row(labeler="transitivity", inferred=int(len(fresh)),
+                  accuracy_pct=100 * accuracy)
+
+    X_tr, X_va, _, _ = bundle.features("autoem")
+    X_pool = SimpleImputer().fit_transform(np.vstack([X_tr, X_va]))
+    cap = min(len(pool), 800)  # label propagation is O(n^2)
+    seeds = np.full(cap, -1)
+    seeds[:min(n_labeled, cap // 2)] = gold[:min(n_labeled, cap // 2)]
+    propagation = LabelPropagationLabeler(confidence_threshold=0.9)
+    result = propagation.infer(X_pool[:cap], seeds)
+    if len(result):
+        accuracy = float(np.mean(result.labels == gold[:cap][result.indices]))
+    else:
+        accuracy = 1.0
+    table.add_row(labeler="label_propagation", inferred=int(len(result)),
+                  accuracy_pct=100 * accuracy)
+    return table

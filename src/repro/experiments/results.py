@@ -1,0 +1,72 @@
+"""Result-table plumbing: collect rows, render aligned text/markdown."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+class ResultTable:
+    """Ordered columns + appended rows, printable as text or markdown.
+
+    >>> table = ResultTable("Table IV", ["dataset", "magellan", "automl_em"])
+    >>> table.add_row(dataset="Abt-Buy", magellan=43.6, automl_em=59.2)
+    >>> print(table.to_text())
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        if not columns:
+            raise ValueError("a result table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[dict] = []
+
+    def add_row(self, **values) -> None:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise ValueError(f"unknown columns {sorted(unknown)}; "
+                             f"table has {self.columns}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> list:
+        if name not in self.columns:
+            raise KeyError(f"no column {name!r} in {self.columns}")
+        return [row.get(name) for row in self.rows]
+
+    def _render_cell(self, value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            rendered = f"{value:.2f}".rstrip("0").rstrip(".")
+            return rendered if rendered else "0"
+        return str(value)
+
+    def to_text(self) -> str:
+        header = [self.columns]
+        body = [[self._render_cell(row.get(c)) for c in self.columns]
+                for row in self.rows]
+        widths = [max(len(str(cell)) for cell in column)
+                  for column in zip(*(header + body))]
+        lines = [self.title,
+                 "  ".join(str(c).ljust(w)
+                           for c, w in zip(self.columns, widths)),
+                 "  ".join("-" * w for w in widths)]
+        for row in body:
+            lines.append("  ".join(cell.ljust(w)
+                                   for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        lines = [f"### {self.title}", "",
+                 "| " + " | ".join(self.columns) + " |",
+                 "|" + "|".join("---" for _ in self.columns) + "|"]
+        for row in self.rows:
+            cells = [self._render_cell(row.get(c)) for c in self.columns]
+            lines.append("| " + " | ".join(cells) + " |")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.to_text())
+
+    def __len__(self) -> int:
+        return len(self.rows)

@@ -1,0 +1,11 @@
+"""Model explanation for EM matchers (the paper's first future-work item)."""
+
+from .importance import FeatureImportanceReport, permutation_importance
+from .lime import LimeExplainer, LocalExplanation
+
+__all__ = [
+    "FeatureImportanceReport",
+    "LimeExplainer",
+    "LocalExplanation",
+    "permutation_importance",
+]

@@ -1,0 +1,77 @@
+"""Global explanations: permutation feature importance.
+
+The paper's conclusion: *"AutoML-EM may produce a model that is hard to
+explain.  We would like to explore how to leverage recent ML explanation
+tools (e.g., Shap and Lime)…"* — this module provides the standard
+model-agnostic global explanation (Breiman-style permutation importance)
+for any fitted matcher, keyed to the similarity-feature names so a data
+scientist can read *which attribute/measure pairs* drive the decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml.metrics import f1_score
+
+
+@dataclass
+class FeatureImportanceReport:
+    """Permutation importances with their feature names."""
+
+    feature_names: list[str]
+    importances_mean: np.ndarray
+    importances_std: np.ndarray
+    baseline_score: float
+
+    def top(self, k: int = 10) -> list[tuple[str, float]]:
+        """The ``k`` most important (name, mean-importance) pairs."""
+        order = np.argsort(-self.importances_mean)[:k]
+        return [(self.feature_names[i], float(self.importances_mean[i]))
+                for i in order]
+
+    def to_text(self, k: int = 10) -> str:
+        lines = [f"baseline score: {self.baseline_score:.4f}"]
+        width = max((len(name) for name, _ in self.top(k)), default=10)
+        for name, importance in self.top(k):
+            lines.append(f"  {name.ljust(width)}  {importance:+.4f}")
+        return "\n".join(lines)
+
+
+def permutation_importance(predict, X, y, feature_names=None,
+                           scorer=f1_score, n_repeats: int = 5,
+                           seed: int = 0) -> FeatureImportanceReport:
+    """Score drop when each feature column is shuffled.
+
+    ``predict`` is any ``X -> labels`` callable (e.g.
+    ``matcher.predict_matrix`` or a fitted pipeline's ``predict``).
+
+    >>> report = permutation_importance(matcher.predict_matrix, X, y,
+    ...                                 generator.feature_names)
+    >>> report.top(5)
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    if n_repeats < 1:
+        raise ValueError(f"n_repeats must be >= 1, got {n_repeats}")
+    if feature_names is None:
+        feature_names = [f"feature_{j}" for j in range(X.shape[1])]
+    if len(feature_names) != X.shape[1]:
+        raise ValueError(f"{len(feature_names)} names for "
+                         f"{X.shape[1]} features")
+    rng = np.random.default_rng(seed)
+    baseline = scorer(y, predict(X))
+    means = np.zeros(X.shape[1])
+    stds = np.zeros(X.shape[1])
+    for j in range(X.shape[1]):
+        drops = []
+        for _ in range(n_repeats):
+            shuffled = X.copy()
+            shuffled[:, j] = rng.permutation(shuffled[:, j])
+            drops.append(baseline - scorer(y, predict(shuffled)))
+        means[j] = np.mean(drops)
+        stds[j] = np.std(drops)
+    return FeatureImportanceReport(list(feature_names), means, stds,
+                                   float(baseline))

@@ -1,0 +1,129 @@
+"""Local explanations: a LIME-style linear surrogate per prediction.
+
+Why did the matcher call *this* pair a match?  The explainer perturbs
+the pair's feature vector by resampling coordinates from the training
+marginals, queries the black-box model for match probabilities, weights
+the perturbed samples by proximity, and fits a weighted ridge regression
+whose coefficients are the local feature attributions (Ribeiro et al.'s
+LIME, specialized to tabular similarity features).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class LocalExplanation:
+    """Per-feature attributions for one prediction."""
+
+    feature_names: list[str]
+    attributions: np.ndarray
+    intercept: float
+    predicted_probability: float
+    local_fit_r2: float
+
+    def top(self, k: int = 5) -> list[tuple[str, float]]:
+        """The ``k`` largest-magnitude (name, attribution) pairs."""
+        order = np.argsort(-np.abs(self.attributions))[:k]
+        return [(self.feature_names[i], float(self.attributions[i]))
+                for i in order]
+
+    def to_text(self, k: int = 5) -> str:
+        lines = [f"P(match) = {self.predicted_probability:.3f} "
+                 f"(local fit R² = {self.local_fit_r2:.2f})"]
+        width = max((len(name) for name, _ in self.top(k)), default=10)
+        for name, value in self.top(k):
+            direction = "→ match" if value > 0 else "→ non-match"
+            lines.append(f"  {name.ljust(width)}  {value:+.4f} {direction}")
+        return "\n".join(lines)
+
+
+class LimeExplainer:
+    """Fits local linear surrogates around individual predictions.
+
+    Parameters
+    ----------
+    predict_proba:
+        Black-box ``X -> (n, 2)`` probability function (e.g.
+        ``matcher.automl_.predict_proba`` or a pipeline's).
+    X_background:
+        Training feature matrix; perturbations resample each coordinate
+        from its empirical marginal here.
+    feature_names:
+        Names for reporting (defaults to ``feature_j``).
+    """
+
+    def __init__(self, predict_proba, X_background, feature_names=None,
+                 n_samples: int = 500, kernel_width: float = 0.75,
+                 ridge: float = 1.0, seed: int = 0):
+        self.predict_proba = predict_proba
+        self.X_background = np.asarray(X_background, dtype=np.float64)
+        if self.X_background.ndim != 2:
+            raise ValueError("X_background must be 2-dimensional")
+        if feature_names is None:
+            feature_names = [f"feature_{j}"
+                             for j in range(self.X_background.shape[1])]
+        if len(feature_names) != self.X_background.shape[1]:
+            raise ValueError(f"{len(feature_names)} names for "
+                             f"{self.X_background.shape[1]} features")
+        self.feature_names = list(feature_names)
+        self.n_samples = n_samples
+        self.kernel_width = kernel_width
+        self.ridge = ridge
+        self.seed = seed
+        scale = np.nanstd(self.X_background, axis=0)
+        scale[~np.isfinite(scale)] = 1.0
+        scale[scale == 0.0] = 1.0
+        self._scale = scale
+
+    def explain(self, x: np.ndarray, flip_probability: float = 0.4
+                ) -> LocalExplanation:
+        """Explain the prediction for one feature vector ``x``."""
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.shape[0] != self.X_background.shape[1]:
+            raise ValueError(
+                f"x has {x.shape[0]} features, background has "
+                f"{self.X_background.shape[1]}")
+        rng = np.random.default_rng(self.seed)
+        n, d = self.n_samples, len(x)
+        # Perturb: each coordinate independently swaps to a random
+        # background value with probability flip_probability.
+        rows = rng.integers(0, len(self.X_background), size=(n, d))
+        flips = rng.random((n, d)) < flip_probability
+        perturbed = np.where(
+            flips, self.X_background[rows, np.arange(d)[None, :]], x)
+        perturbed[0] = x  # include the instance itself
+        probabilities = np.asarray(self.predict_proba(perturbed))[:, 1]
+        # EM feature vectors legitimately contain NaN (missing values);
+        # the black-box handles them via its imputation step, but the
+        # linear surrogate needs dense inputs: treat a NaN-involving
+        # difference as "no local change" in that coordinate.
+        differences = np.nan_to_num(perturbed - x, nan=0.0)
+        # Proximity kernel on standardized distance.
+        distances = np.linalg.norm(differences / self._scale, axis=1) \
+            / np.sqrt(d)
+        weights = np.exp(-(distances ** 2) / (self.kernel_width ** 2))
+        # Weighted ridge regression on standardized features.
+        Z = differences / self._scale
+        sqrt_w = np.sqrt(weights)[:, None]
+        design = np.hstack([Z, np.ones((n, 1))]) * sqrt_w
+        target = probabilities * sqrt_w[:, 0]
+        penalty = self.ridge * np.eye(d + 1)
+        penalty[-1, -1] = 0.0  # intercept unpenalized
+        coef = np.linalg.solve(design.T @ design + penalty,
+                               design.T @ target)
+        attributions, intercept = coef[:-1], float(coef[-1])
+        fitted = (np.hstack([Z, np.ones((n, 1))]) @ coef)
+        residual = probabilities - fitted
+        total = probabilities - np.average(probabilities, weights=weights)
+        denominator = float((weights * total ** 2).sum())
+        r2 = 1.0 - float((weights * residual ** 2).sum()) \
+            / max(denominator, 1e-12)
+        return LocalExplanation(
+            feature_names=self.feature_names, attributions=attributions,
+            intercept=intercept,
+            predicted_probability=float(probabilities[0]),
+            local_fit_r2=max(0.0, min(1.0, r2)))

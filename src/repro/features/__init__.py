@@ -1,0 +1,25 @@
+"""Feature generation: Magellan's Table I rules vs AutoML-EM's Table II."""
+
+from .autoem import TABLE_II, autoem_feature_plan, autoem_measures_for
+from .magellan import TABLE_I, magellan_feature_plan, magellan_measures_for
+from .types import DataType, infer_column_type, infer_schema_types
+from .vectorize import (
+    FeatureGenerator,
+    make_autoem_features,
+    make_magellan_features,
+)
+
+__all__ = [
+    "DataType",
+    "FeatureGenerator",
+    "TABLE_I",
+    "TABLE_II",
+    "autoem_feature_plan",
+    "autoem_measures_for",
+    "infer_column_type",
+    "infer_schema_types",
+    "magellan_feature_plan",
+    "magellan_measures_for",
+    "make_autoem_features",
+    "make_magellan_features",
+]

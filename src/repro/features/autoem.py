@@ -1,0 +1,41 @@
+"""AutoML-EM's generate-everything feature plan (Table II).
+
+The paper's philosophy: *"generate as many features as possible and then
+delegate the feature processing part to AutoML."*  Every string
+attribute gets all 16 string measures regardless of length; numeric and
+boolean attributes get the same measures as Magellan.
+"""
+
+from __future__ import annotations
+
+from ..similarity import (
+    ALL_BOOLEAN_MEASURES,
+    ALL_NUMERIC_MEASURES,
+    ALL_STRING_MEASURES,
+)
+from .types import DataType
+
+#: Table II verbatim: collapsed type → similarity measure names.
+TABLE_II: dict[str, tuple[str, ...]] = {
+    "string": tuple(ALL_STRING_MEASURES),
+    "numeric": tuple(ALL_NUMERIC_MEASURES),
+    "boolean": tuple(ALL_BOOLEAN_MEASURES),
+}
+
+
+def autoem_measures_for(dtype: DataType) -> tuple[str, ...]:
+    """The Table II measures: string sub-types all map to all 16."""
+    if dtype.is_string:
+        return TABLE_II["string"]
+    if dtype is DataType.NUMERIC:
+        return TABLE_II["numeric"]
+    return TABLE_II["boolean"]
+
+
+def autoem_feature_plan(types: dict[str, DataType]) -> list[tuple[str, str]]:
+    """Expand a typed schema into ``(attribute, measure)`` feature slots."""
+    plan = []
+    for attribute, dtype in types.items():
+        for measure in autoem_measures_for(dtype):
+            plan.append((attribute, measure))
+    return plan

@@ -1,0 +1,87 @@
+"""The six Magellan data types and their inference from table data.
+
+Magellan types every attribute before choosing similarity functions:
+``SINGLE_WORD``, ``WORDS_1_5``, ``WORDS_5_10``, ``LONG_TEXT`` (> 10
+words), ``NUMERIC`` and ``BOOLEAN``.  String sub-types are decided by the
+*average* word count across both tables — exactly the heuristic the
+paper criticizes (Section III-B) and AutoML-EM discards.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+from ..data.table import Table
+
+
+class DataType(enum.Enum):
+    """Attribute data types from Table I."""
+
+    SINGLE_WORD = "single-word string"
+    WORDS_1_5 = "1-to-5-word string"
+    WORDS_5_10 = "5-to-10-word string"
+    LONG_TEXT = "long string (>10 words)"
+    NUMERIC = "numeric"
+    BOOLEAN = "boolean"
+
+    @property
+    def is_string(self) -> bool:
+        return self in (DataType.SINGLE_WORD, DataType.WORDS_1_5,
+                        DataType.WORDS_5_10, DataType.LONG_TEXT)
+
+
+def _non_missing(values) -> list:
+    return [v for v in values if v is not None]
+
+
+def infer_column_type(values_a: list, values_b: list) -> DataType:
+    """Infer one attribute's :class:`DataType` from both tables' values.
+
+    Numeric wins if every non-missing value is a number (or numeric
+    string); boolean if every value is a bool; otherwise the string
+    sub-type is chosen from the average word count, with Magellan's
+    cut-offs at 1, 5 and 10 words.
+    """
+    values = _non_missing(values_a) + _non_missing(values_b)
+    if not values:
+        return DataType.WORDS_1_5
+    if all(isinstance(v, bool) for v in values):
+        return DataType.BOOLEAN
+    if all(_is_numeric(v) for v in values):
+        return DataType.NUMERIC
+    avg_words = sum(len(str(v).split()) for v in values) / len(values)
+    if avg_words <= 1.0:
+        return DataType.SINGLE_WORD
+    if avg_words <= 5.0:
+        return DataType.WORDS_1_5
+    if avg_words <= 10.0:
+        return DataType.WORDS_5_10
+    return DataType.LONG_TEXT
+
+
+def _is_numeric(value) -> bool:
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, (int, float)):
+        return not (isinstance(value, float) and math.isnan(value))
+    try:
+        float(str(value))
+    except ValueError:
+        return False
+    return True
+
+
+def infer_schema_types(table_a: Table, table_b: Table) -> dict[str, DataType]:
+    """Type every shared attribute of the two tables.
+
+    Both tables must have the same columns (the matching-phase contract).
+    """
+    if table_a.columns != table_b.columns:
+        raise ValueError(
+            f"schema mismatch: {table_a.columns} vs {table_b.columns}")
+    return {
+        column: infer_column_type(table_a.column(column),
+                                  table_b.column(column))
+        for column in table_a.columns
+    }

@@ -1,0 +1,88 @@
+"""Probability calibration for matcher confidence scores.
+
+Self-training trusts high-confidence machine labels, so the confidence
+scale matters.  :class:`PlattCalibrator` fits the classic sigmoid map
+from raw scores to probabilities on held-out data (Platt 1999), and
+:func:`expected_calibration_error` quantifies how trustworthy a model's
+probabilities are before and after.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from .base import BaseEstimator
+
+
+class PlattCalibrator(BaseEstimator):
+    """Sigmoid calibration: ``P(y=1|s) = 1 / (1 + exp(a*s + b))``.
+
+    Fit on held-out ``(scores, labels)``; ``scores`` can be raw margins
+    or uncalibrated probabilities.  Uses Platt's label smoothing to
+    avoid saturated targets.
+    """
+
+    def __init__(self, max_iter: int = 100):
+        self.max_iter = max_iter
+
+    def fit(self, scores, y) -> "PlattCalibrator":
+        scores = np.asarray(scores, dtype=np.float64).ravel()
+        y = np.asarray(y)
+        if scores.shape != y.shape:
+            raise ValueError(
+                f"shape mismatch: scores {scores.shape} vs y {y.shape}")
+        positives = float((y == 1).sum())
+        negatives = float(len(y) - positives)
+        if positives == 0 or negatives == 0:
+            raise ValueError("calibration needs both classes")
+        # Platt's smoothed targets.
+        target_pos = (positives + 1.0) / (positives + 2.0)
+        target_neg = 1.0 / (negatives + 2.0)
+        targets = np.where(y == 1, target_pos, target_neg)
+
+        def loss(params):
+            a, b = params
+            logits = a * scores + b
+            # cross-entropy of sigmoid(-logits) against targets
+            log_p = -np.logaddexp(0.0, logits)
+            log_1p = -np.logaddexp(0.0, -logits)
+            return -(targets * log_p + (1.0 - targets) * log_1p).sum()
+
+        result = optimize.minimize(loss, x0=np.asarray([-1.0, 0.0]),
+                                   method="Nelder-Mead",
+                                   options={"maxiter": self.max_iter * 10})
+        self.a_, self.b_ = float(result.x[0]), float(result.x[1])
+        return self
+
+    def predict_proba(self, scores) -> np.ndarray:
+        self._check_fitted("a_")
+        scores = np.asarray(scores, dtype=np.float64).ravel()
+        prob1 = 1.0 / (1.0 + np.exp(self.a_ * scores + self.b_))
+        return np.column_stack([1.0 - prob1, prob1])
+
+
+def expected_calibration_error(y_true, probabilities,
+                               n_bins: int = 10) -> float:
+    """ECE: mean |accuracy - confidence| over equal-width probability bins.
+
+    ``probabilities`` are P(y=1) estimates; lower ECE = better calibrated.
+    """
+    y_true = np.asarray(y_true)
+    probabilities = np.asarray(probabilities, dtype=np.float64).ravel()
+    if y_true.shape != probabilities.shape:
+        raise ValueError(
+            f"shape mismatch: y {y_true.shape} vs p {probabilities.shape}")
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    total = 0.0
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        members = (probabilities >= lo) & (probabilities < hi) \
+            if hi < 1.0 else (probabilities >= lo) & (probabilities <= hi)
+        if not members.any():
+            continue
+        confidence = probabilities[members].mean()
+        accuracy = float((y_true[members] == 1).mean())
+        total += members.mean() * abs(accuracy - confidence)
+    return float(total)

@@ -1,0 +1,124 @@
+"""Feature transforms: PCA and feature agglomeration.
+
+Two more feature-preprocessing components of the AutoML space
+(Figure 4): SVD-based PCA and bottom-up agglomerative clustering of
+*features* (columns merged by correlation, pooled by mean).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, check_X
+
+
+class PCA(BaseEstimator):
+    """Principal component analysis via SVD of the centered data.
+
+    ``n_components``: int (count), float in (0, 1) (explained-variance
+    target) or None (keep all).
+    """
+
+    def __init__(self, n_components=None, whiten: bool = False):
+        self.n_components = n_components
+        self.whiten = whiten
+
+    def fit(self, X, y=None) -> "PCA":
+        X = check_X(X)
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        explained = singular_values ** 2 / max(1, X.shape[0] - 1)
+        total = explained.sum()
+        ratios = explained / total if total > 0 else explained
+        if self.n_components is None:
+            keep = len(singular_values)
+        elif isinstance(self.n_components, float):
+            if not 0.0 < self.n_components < 1.0:
+                raise ValueError(
+                    "float n_components must be in (0, 1), got "
+                    f"{self.n_components}")
+            keep = int(np.searchsorted(np.cumsum(ratios),
+                                       self.n_components) + 1)
+        else:
+            keep = min(int(self.n_components), len(singular_values))
+            if keep < 1:
+                raise ValueError(
+                    f"n_components must be >= 1, got {self.n_components}")
+        self.components_ = vt[:keep]
+        self.explained_variance_ = explained[:keep]
+        self.explained_variance_ratio_ = ratios[:keep]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("components_")
+        projected = (check_X(X) - self.mean_) @ self.components_.T
+        if self.whiten:
+            projected /= np.sqrt(np.maximum(self.explained_variance_, 1e-12))
+        return projected
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        return self.fit(X, y).transform(X)
+
+
+class FeatureAgglomeration(BaseEstimator):
+    """Merge correlated feature columns into ``n_clusters`` mean-pooled groups.
+
+    Average-linkage agglomerative clustering on the correlation-distance
+    matrix between features; each output feature is the mean of its
+    cluster's inputs.
+    """
+
+    def __init__(self, n_clusters: int = 10):
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        self.n_clusters = n_clusters
+
+    def fit(self, X, y=None) -> "FeatureAgglomeration":
+        X = check_X(X)
+        n_features = X.shape[1]
+        target = min(self.n_clusters, n_features)
+        centered = X - X.mean(axis=0)
+        norms = np.linalg.norm(centered, axis=0)
+        norms[norms == 0.0] = 1.0
+        normalized = centered / norms
+        correlation = normalized.T @ normalized
+        distance = 1.0 - np.abs(correlation)
+        np.fill_diagonal(distance, np.inf)
+        # Average-linkage agglomeration on the explicit distance matrix.
+        clusters: list[list[int]] = [[j] for j in range(n_features)]
+        active = list(range(n_features))
+        dist = distance.copy()
+        while len(active) > target:
+            sub = dist[np.ix_(active, active)]
+            flat = int(np.argmin(sub))
+            i_pos, j_pos = np.unravel_index(flat, sub.shape)
+            if i_pos > j_pos:
+                i_pos, j_pos = j_pos, i_pos
+            keep, merge = active[i_pos], active[j_pos]
+            size_keep, size_merge = len(clusters[keep]), len(clusters[merge])
+            # Lance-Williams update for average linkage.
+            for other in active:
+                if other in (keep, merge):
+                    continue
+                new = (size_keep * dist[keep, other]
+                       + size_merge * dist[merge, other]) \
+                    / (size_keep + size_merge)
+                dist[keep, other] = dist[other, keep] = new
+            clusters[keep] = clusters[keep] + clusters[merge]
+            active.remove(merge)
+        self.labels_ = np.zeros(n_features, dtype=np.int64)
+        self.clusters_ = [clusters[i] for i in active]
+        for label, members in enumerate(self.clusters_):
+            for j in members:
+                self.labels_[j] = label
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("clusters_")
+        X = check_X(X)
+        return np.column_stack([X[:, members].mean(axis=1)
+                                for members in self.clusters_])
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        return self.fit(X, y).transform(X)

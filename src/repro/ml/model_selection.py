@@ -1,0 +1,139 @@
+"""Classic hyperparameter tuning: grid search and randomized search.
+
+The paper's Figure 2 lists "Random search, Grid search, Bayesian
+optimization" as the parameter-tuning toolbox a data scientist reaches
+for; the Bayesian option lives in :mod:`repro.automl`, these two
+single-model tuners complete the inventory (and serve as the manual
+baseline the AutoML comparisons implicitly argue against).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from .base import BaseEstimator, clone
+from .metrics import f1_score
+from .validation import StratifiedKFold
+
+
+class ParameterGrid:
+    """Iterate the cross product of ``{param: [values...]}``.
+
+    >>> list(ParameterGrid({"a": [1, 2], "b": ["x"]}))
+    [{'a': 1, 'b': 'x'}, {'a': 2, 'b': 'x'}]
+    """
+
+    def __init__(self, grid: dict):
+        if not grid:
+            raise ValueError("parameter grid must not be empty")
+        for name, values in grid.items():
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ValueError(
+                    f"grid entry {name!r} must be a non-empty list/tuple")
+        self.grid = {name: list(values) for name, values in grid.items()}
+
+    def __iter__(self):
+        names = list(self.grid)
+        for combo in itertools.product(*(self.grid[n] for n in names)):
+            yield dict(zip(names, combo))
+
+    def __len__(self) -> int:
+        length = 1
+        for values in self.grid.values():
+            length *= len(values)
+        return length
+
+
+class _BaseParamSearch(BaseEstimator):
+    """Shared CV-evaluate-select machinery."""
+
+    def __init__(self, estimator, scorer=f1_score, n_splits: int = 3,
+                 seed: int = 0):
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.estimator = estimator
+        self.scorer = scorer
+        self.n_splits = n_splits
+        self.seed = seed
+
+    def _candidates(self):
+        raise NotImplementedError
+
+    def fit(self, X, y) -> "_BaseParamSearch":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        folds = list(StratifiedKFold(self.n_splits, seed=self.seed).split(y))
+        self.results_: list[dict] = []
+        best_score, best_params = -np.inf, None
+        for params in self._candidates():
+            scores = []
+            for train_idx, test_idx in folds:
+                model = clone(self.estimator).set_params(**params)
+                model.fit(X[train_idx], y[train_idx])
+                scores.append(self.scorer(y[test_idx],
+                                          model.predict(X[test_idx])))
+            mean = float(np.mean(scores))
+            self.results_.append({"params": params, "mean_score": mean,
+                                  "std_score": float(np.std(scores))})
+            if mean > best_score:
+                best_score, best_params = mean, params
+        self.best_params_ = best_params
+        self.best_score_ = best_score
+        self.best_estimator_ = clone(self.estimator).set_params(
+            **best_params)
+        self.best_estimator_.fit(X, y)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted("best_estimator_")
+        return self.best_estimator_.predict(X)
+
+
+class GridSearchCV(_BaseParamSearch):
+    """Exhaustive grid search with stratified cross-validation.
+
+    >>> search = GridSearchCV(DecisionTreeClassifier(),
+    ...                       {"max_depth": [2, 4, 8]})
+    >>> search.fit(X, y).best_params_
+    {'max_depth': 4}
+    """
+
+    def __init__(self, estimator, param_grid: dict, scorer=f1_score,
+                 n_splits: int = 3, seed: int = 0):
+        super().__init__(estimator, scorer, n_splits, seed)
+        self.param_grid = param_grid
+
+    def _candidates(self):
+        return iter(ParameterGrid(self.param_grid))
+
+
+class RandomizedSearchCV(_BaseParamSearch):
+    """Random search: sample ``n_iter`` points from value lists/samplers.
+
+    Each grid entry is either a list (uniform choice) or a callable
+    ``rng -> value`` (continuous sampler).
+    """
+
+    def __init__(self, estimator, param_distributions: dict,
+                 n_iter: int = 10, scorer=f1_score, n_splits: int = 3,
+                 seed: int = 0):
+        super().__init__(estimator, scorer, n_splits, seed)
+        if n_iter < 1:
+            raise ValueError(f"n_iter must be >= 1, got {n_iter}")
+        if not param_distributions:
+            raise ValueError("param_distributions must not be empty")
+        self.param_distributions = param_distributions
+        self.n_iter = n_iter
+
+    def _candidates(self):
+        rng = np.random.default_rng(self.seed)
+        for _ in range(self.n_iter):
+            params = {}
+            for name, spec in self.param_distributions.items():
+                if callable(spec):
+                    params[name] = spec(rng)
+                else:
+                    params[name] = spec[int(rng.integers(len(spec)))]
+            yield params

@@ -1,0 +1,98 @@
+"""Naive Bayes classifiers (Gaussian and Bernoulli)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, check_X, check_X_y, encode_labels
+
+
+class GaussianNB(BaseEstimator):
+    """Gaussian naive Bayes with variance smoothing."""
+
+    def __init__(self, var_smoothing: float = 1e-9):
+        if var_smoothing < 0:
+            raise ValueError(
+                f"var_smoothing must be >= 0, got {var_smoothing}")
+        self.var_smoothing = var_smoothing
+
+    def fit(self, X, y) -> "GaussianNB":
+        X, y = check_X_y(X, y)
+        self.classes_, encoded = encode_labels(y)
+        n_classes = len(self.classes_)
+        self.theta_ = np.zeros((n_classes, X.shape[1]))
+        self.var_ = np.zeros((n_classes, X.shape[1]))
+        self.class_prior_ = np.zeros(n_classes)
+        for k in range(n_classes):
+            members = X[encoded == k]
+            self.theta_[k] = members.mean(axis=0)
+            self.var_[k] = members.var(axis=0)
+            self.class_prior_[k] = len(members) / len(y)
+        self.var_ += self.var_smoothing * X.var(axis=0).max() + 1e-12
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def _joint_log_likelihood(self, X) -> np.ndarray:
+        self._check_fitted("theta_")
+        X = check_X(X)
+        scores = np.empty((X.shape[0], len(self.classes_)))
+        for k in range(len(self.classes_)):
+            log_det = np.log(2.0 * np.pi * self.var_[k]).sum()
+            maha = ((X - self.theta_[k]) ** 2 / self.var_[k]).sum(axis=1)
+            scores[:, k] = (np.log(self.class_prior_[k])
+                            - 0.5 * (log_det + maha))
+        return scores
+
+    def predict_proba(self, X) -> np.ndarray:
+        scores = self._joint_log_likelihood(X)
+        scores -= scores.max(axis=1, keepdims=True)
+        exp = np.exp(scores)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict(self, X) -> np.ndarray:
+        scores = self._joint_log_likelihood(X)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+
+class BernoulliNB(BaseEstimator):
+    """Bernoulli naive Bayes; features are binarized at ``binarize``."""
+
+    def __init__(self, alpha: float = 1.0, binarize: float = 0.0):
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.alpha = alpha
+        self.binarize = binarize
+
+    def fit(self, X, y) -> "BernoulliNB":
+        X, y = check_X_y(X, y)
+        X = (X > self.binarize).astype(np.float64)
+        self.classes_, encoded = encode_labels(y)
+        n_classes = len(self.classes_)
+        self.feature_log_prob_ = np.zeros((n_classes, X.shape[1]))
+        self.class_log_prior_ = np.zeros(n_classes)
+        for k in range(n_classes):
+            members = X[encoded == k]
+            prob = (members.sum(axis=0) + self.alpha) \
+                / (len(members) + 2.0 * self.alpha)
+            self.feature_log_prob_[k] = np.log(prob)
+            self.class_log_prior_[k] = np.log(len(members) / len(y))
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def _joint_log_likelihood(self, X) -> np.ndarray:
+        self._check_fitted("feature_log_prob_")
+        X = (check_X(X) > self.binarize).astype(np.float64)
+        log_prob = self.feature_log_prob_
+        log_neg = np.log1p(-np.exp(log_prob))
+        return (X @ log_prob.T + (1.0 - X) @ log_neg.T
+                + self.class_log_prior_)
+
+    def predict_proba(self, X) -> np.ndarray:
+        scores = self._joint_log_likelihood(X)
+        scores -= scores.max(axis=1, keepdims=True)
+        exp = np.exp(scores)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict(self, X) -> np.ndarray:
+        scores = self._joint_log_likelihood(X)
+        return self.classes_[np.argmax(scores, axis=1)]

@@ -1,0 +1,68 @@
+"""k-nearest-neighbors classification (brute-force, chunked)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, check_X, check_X_y, encode_labels
+
+
+class KNeighborsClassifier(BaseEstimator):
+    """Brute-force k-NN with uniform or distance weighting."""
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform",
+                 p: int = 2):
+        if n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        if weights not in ("uniform", "distance"):
+            raise ValueError(
+                f"weights must be uniform/distance, got {weights!r}")
+        if p not in (1, 2):
+            raise ValueError(f"p must be 1 or 2, got {p}")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self.p = p
+
+    def fit(self, X, y) -> "KNeighborsClassifier":
+        X, y = check_X_y(X, y)
+        self.classes_, self._encoded = encode_labels(y)
+        self._X = X
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def _distances(self, X_query: np.ndarray) -> np.ndarray:
+        if self.p == 2:
+            # Squared euclidean via the expansion trick (monotone in L2).
+            sq_train = (self._X ** 2).sum(axis=1)
+            sq_query = (X_query ** 2).sum(axis=1)[:, None]
+            distances = sq_query - 2.0 * X_query @ self._X.T + sq_train
+            return np.maximum(distances, 0.0)
+        return np.abs(X_query[:, None, :] - self._X[None, :, :]).sum(axis=2)
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted("_X")
+        X = check_X(X)
+        k = min(self.n_neighbors, len(self._X))
+        probs = np.zeros((X.shape[0], len(self.classes_)))
+        chunk = max(1, 2_000_000 // max(1, len(self._X)))
+        for start in range(0, X.shape[0], chunk):
+            block = X[start:start + chunk]
+            distances = self._distances(block)
+            neighbor_idx = np.argpartition(distances, k - 1, axis=1)[:, :k]
+            neighbor_labels = self._encoded[neighbor_idx]
+            if self.weights == "distance":
+                row_idx = np.arange(block.shape[0])[:, None]
+                d = np.sqrt(distances[row_idx, neighbor_idx]) \
+                    if self.p == 2 else distances[row_idx, neighbor_idx]
+                w = 1.0 / np.maximum(d, 1e-12)
+            else:
+                w = np.ones_like(neighbor_labels, dtype=np.float64)
+            for j in range(len(self.classes_)):
+                probs[start:start + chunk, j] = \
+                    (w * (neighbor_labels == j)).sum(axis=1)
+        probs /= np.maximum(probs.sum(axis=1, keepdims=True), 1e-12)
+        return probs
+
+    def predict(self, X) -> np.ndarray:
+        scores = self.predict_proba(X)
+        return self.classes_[np.argmax(scores, axis=1)]

@@ -1,0 +1,144 @@
+"""A feed-forward neural network trained with Adam (numpy backprop).
+
+This is the substrate for :class:`repro.baselines.DeepMatcherLite`, the
+deep-learning baseline substitute (see DESIGN.md), and also appears as a
+classifier in the all-model AutoML space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, check_X, check_X_y, encode_labels
+
+
+def _relu(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0)
+
+
+class MLPClassifier(BaseEstimator):
+    """Binary/multiclass MLP: ReLU hidden layers, softmax output, Adam.
+
+    ``hidden_layer_sizes`` is a tuple of hidden widths; ``alpha`` is the
+    L2 penalty; mini-batch training for ``max_iter`` epochs with optional
+    early stopping on a 10% validation split.
+    """
+
+    def __init__(self, hidden_layer_sizes: tuple[int, ...] = (64,),
+                 alpha: float = 1e-4, learning_rate: float = 1e-3,
+                 batch_size: int = 32, max_iter: int = 100,
+                 early_stopping: bool = True, patience: int = 10,
+                 random_state: int = 0):
+        self.hidden_layer_sizes = tuple(hidden_layer_sizes)
+        self.alpha = alpha
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.max_iter = max_iter
+        self.early_stopping = early_stopping
+        self.patience = patience
+        self.random_state = random_state
+
+    def fit(self, X, y) -> "MLPClassifier":
+        X, y = check_X_y(X, y)
+        self.classes_, encoded = encode_labels(y)
+        n_classes = len(self.classes_)
+        rng = np.random.default_rng(self.random_state)
+        layer_sizes = [X.shape[1], *self.hidden_layer_sizes, n_classes]
+        self._weights = [
+            rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(fan_in, fan_out))
+            for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:])]
+        self._biases = [np.zeros(size) for size in layer_sizes[1:]]
+
+        if self.early_stopping and len(y) >= 20:
+            n_valid = max(2, len(y) // 10)
+            order = rng.permutation(len(y))
+            valid_idx, train_idx = order[:n_valid], order[n_valid:]
+        else:
+            train_idx = np.arange(len(y))
+            valid_idx = np.empty(0, dtype=np.int64)
+        X_train, y_train = X[train_idx], encoded[train_idx]
+        X_valid, y_valid = X[valid_idx], encoded[valid_idx]
+
+        adam_m = [np.zeros_like(w) for w in self._weights + self._biases]
+        adam_v = [np.zeros_like(w) for w in self._weights + self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        best_loss = np.inf
+        best_params = None
+        stale = 0
+        for _ in range(self.max_iter):
+            order = rng.permutation(len(y_train))
+            for start in range(0, len(order), self.batch_size):
+                batch = order[start:start + self.batch_size]
+                grads = self._backprop(X_train[batch], y_train[batch])
+                step += 1
+                params = self._weights + self._biases
+                for i, (param, grad) in enumerate(zip(params, grads)):
+                    adam_m[i] = beta1 * adam_m[i] + (1 - beta1) * grad
+                    adam_v[i] = beta2 * adam_v[i] + (1 - beta2) * grad ** 2
+                    m_hat = adam_m[i] / (1 - beta1 ** step)
+                    v_hat = adam_v[i] / (1 - beta2 ** step)
+                    param -= self.learning_rate * m_hat \
+                        / (np.sqrt(v_hat) + eps)
+            if len(valid_idx):
+                loss = self._log_loss(X_valid, y_valid)
+                if loss < best_loss - 1e-5:
+                    best_loss = loss
+                    best_params = ([w.copy() for w in self._weights],
+                                   [b.copy() for b in self._biases])
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= self.patience:
+                        break
+        if best_params is not None:
+            self._weights, self._biases = best_params
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def _forward(self, X: np.ndarray) -> list[np.ndarray]:
+        activations = [X]
+        for i, (w, b) in enumerate(zip(self._weights, self._biases)):
+            z = activations[-1] @ w + b
+            if i < len(self._weights) - 1:
+                z = _relu(z)
+            activations.append(z)
+        return activations
+
+    def _softmax(self, logits: np.ndarray) -> np.ndarray:
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def _log_loss(self, X: np.ndarray, y: np.ndarray) -> float:
+        probs = self._softmax(self._forward(X)[-1])
+        return float(-np.log(np.maximum(
+            probs[np.arange(len(y)), y], 1e-12)).mean())
+
+    def _backprop(self, X: np.ndarray, y: np.ndarray) -> list[np.ndarray]:
+        activations = self._forward(X)
+        probs = self._softmax(activations[-1])
+        n = X.shape[0]
+        delta = probs
+        delta[np.arange(n), y] -= 1.0
+        delta /= n
+        weight_grads: list[np.ndarray] = []
+        bias_grads: list[np.ndarray] = []
+        for i in range(len(self._weights) - 1, -1, -1):
+            weight_grads.append(activations[i].T @ delta
+                                + self.alpha * self._weights[i])
+            bias_grads.append(delta.sum(axis=0))
+            if i > 0:
+                delta = (delta @ self._weights[i].T) * (activations[i] > 0)
+        weight_grads.reverse()
+        bias_grads.reverse()
+        return weight_grads + bias_grads
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted("_weights")
+        X = check_X(X)
+        return self._softmax(self._forward(X)[-1])
+
+    def predict(self, X) -> np.ndarray:
+        scores = self.predict_proba(X)
+        return self.classes_[np.argmax(scores, axis=1)]

@@ -1,0 +1,57 @@
+"""A transformer chain ending in a classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, clone
+
+
+class Pipeline(BaseEstimator):
+    """Named (transformer..., classifier) steps, scikit-learn style.
+
+    >>> model = Pipeline([("impute", SimpleImputer()),
+    ...                   ("clf", RandomForestClassifier())])
+    >>> model.fit(X, y).predict(X_test)
+    """
+
+    def __init__(self, steps: list[tuple[str, object]]):
+        if not steps:
+            raise ValueError("Pipeline needs at least one step")
+        names = [name for name, _ in steps]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate step names: {names}")
+        self.steps = steps
+
+    def _final(self):
+        return self.steps[-1][1]
+
+    def fit(self, X, y, **fit_params) -> "Pipeline":
+        data = np.asarray(X)
+        for _, step in self.steps[:-1]:
+            data = step.fit_transform(data, y)
+        self._final().fit(data, y, **fit_params)
+        self.fitted_ = True
+        return self
+
+    def _transform_through(self, X) -> np.ndarray:
+        self._check_fitted("fitted_")
+        data = np.asarray(X)
+        for _, step in self.steps[:-1]:
+            data = step.transform(data)
+        return data
+
+    def predict(self, X) -> np.ndarray:
+        return self._final().predict(self._transform_through(X))
+
+    def predict_proba(self, X) -> np.ndarray:
+        return self._final().predict_proba(self._transform_through(X))
+
+    def get_params(self) -> dict:
+        return {"steps": [(name, clone(step) if hasattr(step, "get_params")
+                           else step) for name, step in self.steps]}
+
+    def __repr__(self) -> str:
+        inner = " -> ".join(f"{name}:{type(step).__name__}"
+                            for name, step in self.steps)
+        return f"Pipeline({inner})"

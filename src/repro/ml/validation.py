@@ -1,0 +1,73 @@
+"""Model-validation utilities: splits, k-fold, cross-validated scoring."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import clone
+from .metrics import f1_score
+
+
+def train_test_split(X, y, test_size: float = 0.2, seed: int = 0,
+                     stratify: bool = True):
+    """Split arrays into train/test, stratified on ``y`` by default.
+
+    Returns ``(X_train, X_test, y_train, y_test)``.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if not 0.0 < test_size < 1.0:
+        raise ValueError(f"test_size must be in (0, 1), got {test_size}")
+    rng = np.random.default_rng(seed)
+    n = len(y)
+    if stratify:
+        test_idx: list[int] = []
+        for cls in np.unique(y):
+            idx = rng.permutation(np.flatnonzero(y == cls))
+            take = int(round(test_size * len(idx)))
+            test_idx.extend(idx[:take].tolist())
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[test_idx] = True
+    else:
+        order = rng.permutation(n)
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[order[:int(round(test_size * n))]] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+class StratifiedKFold:
+    """K folds preserving class proportions; yields (train_idx, test_idx)."""
+
+    def __init__(self, n_splits: int = 5, seed: int = 0):
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.seed = seed
+
+    def split(self, y):
+        y = np.asarray(y)
+        rng = np.random.default_rng(self.seed)
+        folds: list[list[int]] = [[] for _ in range(self.n_splits)]
+        for cls in np.unique(y):
+            idx = rng.permutation(np.flatnonzero(y == cls))
+            for k, chunk in enumerate(np.array_split(idx, self.n_splits)):
+                folds[k].extend(chunk.tolist())
+        all_idx = np.arange(len(y))
+        for fold in folds:
+            test_idx = np.asarray(sorted(fold), dtype=np.int64)
+            train_mask = np.ones(len(y), dtype=bool)
+            train_mask[test_idx] = False
+            yield all_idx[train_mask], test_idx
+
+
+def cross_val_score(estimator, X, y, n_splits: int = 5, seed: int = 0,
+                    scorer=f1_score) -> np.ndarray:
+    """Fit a clone per fold and score on the held-out part."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scores = []
+    for train_idx, test_idx in StratifiedKFold(n_splits, seed).split(y):
+        model = clone(estimator)
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(scorer(y[test_idx], model.predict(X[test_idx])))
+    return np.asarray(scores)

@@ -1,0 +1,85 @@
+"""String, numeric and boolean similarity measures (built from scratch).
+
+This subpackage implements every similarity function referenced by the
+paper's feature-generation tables (Tables I and II), exposed both as plain
+functions and through a named :data:`MEASURES` registry used by the
+feature generators.
+"""
+
+from .numeric import (
+    absolute_norm,
+    boolean_exact_match,
+    numeric_exact_match,
+    numeric_levenshtein_distance,
+    numeric_levenshtein_similarity,
+)
+from .registry import (
+    ALL_BOOLEAN_MEASURES,
+    ALL_NUMERIC_MEASURES,
+    ALL_STRING_MEASURES,
+    DISTANCE_MEASURES,
+    MEASURES,
+    SimilarityMeasure,
+    get_measure,
+    score,
+)
+from .sequence import (
+    exact_match,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    needleman_wunsch,
+    smith_waterman,
+)
+from .sets import (
+    cosine_similarity,
+    dice_similarity,
+    jaccard_similarity,
+    monge_elkan,
+    overlap_coefficient,
+)
+from .tokenizers import (
+    ALNUM,
+    QGRAM3,
+    SPACE,
+    Tokenizer,
+    alphanumeric_tokenize,
+    qgram_tokenize,
+    whitespace_tokenize,
+)
+
+__all__ = [
+    "ALL_BOOLEAN_MEASURES",
+    "ALL_NUMERIC_MEASURES",
+    "ALL_STRING_MEASURES",
+    "ALNUM",
+    "DISTANCE_MEASURES",
+    "MEASURES",
+    "QGRAM3",
+    "SPACE",
+    "SimilarityMeasure",
+    "Tokenizer",
+    "absolute_norm",
+    "alphanumeric_tokenize",
+    "boolean_exact_match",
+    "cosine_similarity",
+    "dice_similarity",
+    "exact_match",
+    "get_measure",
+    "jaccard_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "monge_elkan",
+    "needleman_wunsch",
+    "numeric_exact_match",
+    "numeric_levenshtein_distance",
+    "numeric_levenshtein_similarity",
+    "overlap_coefficient",
+    "qgram_tokenize",
+    "score",
+    "smith_waterman",
+    "whitespace_tokenize",
+]

@@ -1,0 +1,61 @@
+"""Numeric and boolean similarity functions from Tables I/II.
+
+The paper treats numbers both as strings (Levenshtein on their decimal
+rendering) and as magnitudes (absolute norm); booleans only support exact
+match.  Missing values propagate as ``nan`` so downstream imputation (a
+data-preprocessing component in the AutoML space) can handle them.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .sequence import levenshtein_distance, levenshtein_similarity
+
+
+def _render(value: float) -> str:
+    """Render a number the way Magellan feeds it to string measures."""
+    if float(value).is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def numeric_exact_match(v1: float, v2: float) -> float:
+    """1.0 when the two numbers are equal, 0.0 otherwise (nan-propagating)."""
+    if math.isnan(v1) or math.isnan(v2):
+        return float("nan")
+    return 1.0 if v1 == v2 else 0.0
+
+
+def absolute_norm(v1: float, v2: float) -> float:
+    """``1 - |v1 - v2| / max(|v1|, |v2|)``, the Magellan Abs-Norm measure.
+
+    Both zero scores 1.0; a negative result is clipped to 0.0.
+    """
+    if math.isnan(v1) or math.isnan(v2):
+        return float("nan")
+    denom = max(abs(v1), abs(v2))
+    if denom == 0.0:
+        return 1.0
+    return max(0.0, 1.0 - abs(v1 - v2) / denom)
+
+
+def numeric_levenshtein_distance(v1: float, v2: float) -> float:
+    """Levenshtein distance between the decimal renderings of two numbers."""
+    if math.isnan(v1) or math.isnan(v2):
+        return float("nan")
+    return levenshtein_distance(_render(v1), _render(v2))
+
+
+def numeric_levenshtein_similarity(v1: float, v2: float) -> float:
+    """Normalized Levenshtein similarity between decimal renderings."""
+    if math.isnan(v1) or math.isnan(v2):
+        return float("nan")
+    return levenshtein_similarity(_render(v1), _render(v2))
+
+
+def boolean_exact_match(v1: object, v2: object) -> float:
+    """1.0 when the two booleans agree; nan when either side is missing."""
+    if v1 is None or v2 is None:
+        return float("nan")
+    return 1.0 if bool(v1) == bool(v2) else 0.0

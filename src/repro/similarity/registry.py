@@ -1,0 +1,149 @@
+"""Named registry of the (simfunc, tokenizer) measures from Tables I/II.
+
+A :class:`SimilarityMeasure` wraps one row of the paper's feature tables:
+a similarity function optionally paired with a tokenizer.  The feature
+generators (``repro.features``) look measures up here by name so that both
+Magellan-style (Table I) and AutoML-EM-style (Table II) generation draw
+from the same implementations.
+
+Missing values (``None`` on either side) yield ``nan``, which the AutoML
+imputation component later fills.
+"""
+
+from __future__ import annotations
+
+import math
+
+from . import numeric as num
+from . import sequence as seq
+from . import sets
+from .tokenizers import QGRAM3, SPACE, Tokenizer
+
+
+#: Character-level DP measures are O(n*m); on long-text attributes they
+#: are evaluated on this prefix.  Table II applies every measure to every
+#: string attribute, and beyond ~a dozen words the alignment of the head
+#: tokens carries the identifying signal — the token-set measures cover
+#: the tail.
+SEQUENCE_MAX_CHARS = 64
+
+#: Measures that get the prefix cap (pairwise character DP / matching).
+_CAPPED_SEQUENCE_MEASURES = frozenset({
+    "lev_dist", "lev_sim", "jaro", "jaro_winkler", "needleman_wunsch",
+    "smith_waterman",
+})
+
+
+class SimilarityMeasure:
+    """One named similarity measure, e.g. ``(Jaccard Similarity, Space)``.
+
+    Call it with two raw attribute values; it handles missing values and
+    tokenization, returning a float (possibly ``nan``).
+    """
+
+    def __init__(self, name: str, func, tokenizer: Tokenizer | None = None,
+                 kind: str = "string"):
+        self.name = name
+        self.kind = kind  # "string" | "numeric" | "boolean"
+        self._func = func
+        self.tokenizer = tokenizer
+        self._capped = name in _CAPPED_SEQUENCE_MEASURES
+
+    def __call__(self, v1, v2) -> float:
+        if v1 is None or v2 is None:
+            return float("nan")
+        if self.kind == "numeric":
+            try:
+                f1, f2 = float(v1), float(v2)
+            except (TypeError, ValueError):
+                return float("nan")
+            return self._func(f1, f2)
+        if self.kind == "boolean":
+            return self._func(v1, v2)
+        s1, s2 = str(v1), str(v2)
+        if self.tokenizer is not None:
+            return self._func(self.tokenizer(s1), self.tokenizer(s2))
+        if self._capped:
+            s1 = s1[:SEQUENCE_MAX_CHARS]
+            s2 = s2[:SEQUENCE_MAX_CHARS]
+        return self._func(s1, s2)
+
+    def __repr__(self) -> str:
+        tok = self.tokenizer.name if self.tokenizer else "N/A"
+        return f"SimilarityMeasure({self.name!r}, tokenizer={tok})"
+
+
+def _measures() -> dict[str, SimilarityMeasure]:
+    string = [
+        SimilarityMeasure("lev_dist", seq.levenshtein_distance),
+        SimilarityMeasure("lev_sim", seq.levenshtein_similarity),
+        SimilarityMeasure("jaro", seq.jaro_similarity),
+        SimilarityMeasure("exact_match", seq.exact_match),
+        SimilarityMeasure("jaro_winkler", seq.jaro_winkler_similarity),
+        SimilarityMeasure("needleman_wunsch", seq.needleman_wunsch),
+        SimilarityMeasure("smith_waterman", seq.smith_waterman),
+        SimilarityMeasure("monge_elkan", _monge_elkan_on_words),
+        SimilarityMeasure("overlap_space", sets.overlap_coefficient, SPACE),
+        SimilarityMeasure("dice_space", sets.dice_similarity, SPACE),
+        SimilarityMeasure("cosine_space", sets.cosine_similarity, SPACE),
+        SimilarityMeasure("jaccard_space", sets.jaccard_similarity, SPACE),
+        SimilarityMeasure("overlap_3gram", sets.overlap_coefficient, QGRAM3),
+        SimilarityMeasure("dice_3gram", sets.dice_similarity, QGRAM3),
+        SimilarityMeasure("cosine_3gram", sets.cosine_similarity, QGRAM3),
+        SimilarityMeasure("jaccard_3gram", sets.jaccard_similarity, QGRAM3),
+    ]
+    numeric = [
+        SimilarityMeasure("num_lev_dist", num.numeric_levenshtein_distance,
+                          kind="numeric"),
+        SimilarityMeasure("num_lev_sim", num.numeric_levenshtein_similarity,
+                          kind="numeric"),
+        SimilarityMeasure("num_exact_match", num.numeric_exact_match,
+                          kind="numeric"),
+        SimilarityMeasure("abs_norm", num.absolute_norm, kind="numeric"),
+    ]
+    boolean = [
+        SimilarityMeasure("bool_exact_match", num.boolean_exact_match,
+                          kind="boolean"),
+    ]
+    return {m.name: m for m in string + numeric + boolean}
+
+
+def _monge_elkan_on_words(s1: str, s2: str) -> float:
+    # Monge-Elkan is a hybrid: whitespace tokens scored by Jaro-Winkler.
+    return sets.monge_elkan(s1.split(), s2.split())
+
+
+MEASURES: dict[str, SimilarityMeasure] = _measures()
+
+#: The 16 string measures of Table II, in table order.
+ALL_STRING_MEASURES: tuple[str, ...] = tuple(
+    name for name, m in MEASURES.items() if m.kind == "string")
+
+#: The 4 numeric measures shared by Tables I and II.
+ALL_NUMERIC_MEASURES: tuple[str, ...] = tuple(
+    name for name, m in MEASURES.items() if m.kind == "numeric")
+
+#: The single boolean measure.
+ALL_BOOLEAN_MEASURES: tuple[str, ...] = ("bool_exact_match",)
+
+#: Measures whose raw output is a distance (unbounded above), not a [0,1]
+#: similarity.  Feature consumers may want to know which is which.
+DISTANCE_MEASURES: frozenset[str] = frozenset({"lev_dist", "num_lev_dist"})
+
+
+def get_measure(name: str) -> SimilarityMeasure:
+    """Look a measure up by name, raising ``KeyError`` with suggestions."""
+    try:
+        return MEASURES[name]
+    except KeyError:
+        known = ", ".join(sorted(MEASURES))
+        raise KeyError(f"unknown similarity measure {name!r}; known: {known}") \
+            from None
+
+
+def score(name: str, v1, v2) -> float:
+    """Convenience: apply measure ``name`` to a value pair."""
+    result = get_measure(name)(v1, v2)
+    if isinstance(result, float) and math.isinf(result):
+        return float("nan")
+    return result

@@ -1,0 +1,213 @@
+"""Character-sequence similarity functions (the "non-token-based" family).
+
+Implements every sequence measure the paper's feature tables reference:
+Levenshtein distance/similarity, Jaro, Jaro-Winkler, exact match,
+Needleman-Wunsch and Smith-Waterman alignment scores.
+
+The O(n·m) dynamic programs are evaluated one numpy row at a time using
+the prefix-scan trick (``c[i] = min(t[i], c[i-1]+1)`` becomes
+``i + minimum.accumulate(t - i)``), which makes them fast enough for the
+long-text product attributes.  Results are memoized because feature
+generation applies several measures to the same value pair and record
+values repeat across candidate pairs.
+
+All ``*_similarity`` functions return values in ``[0, 1]`` where 1 means
+identical; distances return non-negative raw scores.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+
+def exact_match(s1: str, s2: str) -> float:
+    """1.0 if the two strings are identical, else 0.0."""
+    return 1.0 if s1 == s2 else 0.0
+
+
+@lru_cache(maxsize=65536)
+def _char_codes(text: str) -> np.ndarray:
+    return np.fromiter((ord(c) for c in text), dtype=np.int64,
+                       count=len(text))
+
+
+@lru_cache(maxsize=65536)
+def levenshtein_distance(s1: str, s2: str) -> float:
+    """Minimum number of single-character edits turning ``s1`` into ``s2``.
+
+    >>> levenshtein_distance("new yrk", "new york")
+    1.0
+    """
+    if s1 == s2:
+        return 0.0
+    if not s1:
+        return float(len(s2))
+    if not s2:
+        return float(len(s1))
+    # Keep the shorter string in the inner (vectorized) dimension.
+    if len(s2) < len(s1):
+        s1, s2 = s2, s1
+    codes1 = _char_codes(s1)
+    m = len(s1)
+    index = np.arange(m + 1)
+    prev = index.astype(np.float64)
+    for j, c2 in enumerate(s2, start=1):
+        substitution = prev[:-1] + (codes1 != ord(c2))
+        deletion = prev[1:] + 1.0
+        partial = np.minimum(substitution, deletion)
+        # Fold in insertions via the scan trick:
+        # row[i] = min_{k<=i} (u[k] + (i - k)).
+        u = np.concatenate(([float(j)], partial))
+        prev = index + np.minimum.accumulate(u - index)
+    return float(prev[-1])
+
+
+def levenshtein_similarity(s1: str, s2: str) -> float:
+    """Levenshtein distance normalized into a ``[0, 1]`` similarity.
+
+    ``1 - dist / max(len(s1), len(s2))``; two empty strings score 1.0.
+    """
+    longest = max(len(s1), len(s2))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein_distance(s1, s2) / longest
+
+
+@lru_cache(maxsize=65536)
+def jaro_similarity(s1: str, s2: str) -> float:
+    """Jaro similarity: transposition-aware common-character matching.
+
+    Returns 1.0 for identical strings, 0.0 when nothing matches.
+    """
+    if s1 == s2:
+        return 1.0
+    len1, len2 = len(s1), len(s2)
+    if len1 == 0 or len2 == 0:
+        return 0.0
+    window = max(len1, len2) // 2 - 1
+    window = max(window, 0)
+    matched1 = [False] * len1
+    matched2 = [False] * len2
+    matches = 0
+    for i, c1 in enumerate(s1):
+        lo = max(0, i - window)
+        hi = min(len2, i + window + 1)
+        for j in range(lo, hi):
+            if not matched2[j] and s2[j] == c1:
+                matched1[i] = True
+                matched2[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    # Count transpositions between the matched subsequences.
+    transpositions = 0
+    j = 0
+    for i in range(len1):
+        if matched1[i]:
+            while not matched2[j]:
+                j += 1
+            if s1[i] != s2[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+    m = float(matches)
+    return (m / len1 + m / len2 + (m - transpositions) / m) / 3.0
+
+
+def jaro_winkler_similarity(s1: str, s2: str, prefix_weight: float = 0.1) -> float:
+    """Jaro-Winkler: Jaro boosted by up to a 4-char common prefix.
+
+    ``prefix_weight`` must be in ``[0, 0.25]`` to keep the result <= 1.
+    """
+    if not 0.0 <= prefix_weight <= 0.25:
+        raise ValueError(f"prefix_weight must be in [0, 0.25], got {prefix_weight}")
+    jaro = jaro_similarity(s1, s2)
+    prefix = 0
+    for c1, c2 in zip(s1, s2):
+        if c1 != c2 or prefix == 4:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_weight * (1.0 - jaro)
+
+
+@lru_cache(maxsize=65536)
+def _needleman_wunsch_raw(s1: str, s2: str, gap_cost: float,
+                          match_score: float, mismatch_score: float) -> float:
+    codes1 = _char_codes(s1)
+    m = len(s1)
+    index = np.arange(m + 1)
+    prev = -gap_cost * index.astype(np.float64)
+    for j, c2 in enumerate(s2, start=1):
+        substitution = prev[:-1] + np.where(codes1 == ord(c2), match_score,
+                                            mismatch_score)
+        deletion = prev[1:] - gap_cost
+        partial = np.maximum(substitution, deletion)
+        u = np.concatenate(([-gap_cost * j], partial))
+        # row[i] = max_{k<=i} (u[k] - gap * (i - k)).
+        prev = -gap_cost * index + np.maximum.accumulate(
+            u + gap_cost * index)
+    return float(prev[-1])
+
+
+def needleman_wunsch(s1: str, s2: str, gap_cost: float = 1.0,
+                     match_score: float = 1.0, mismatch_score: float = 0.0) -> float:
+    """Global alignment score (Needleman-Wunsch), normalized to ``[0, 1]``.
+
+    The raw score aligns the full strings with linear gap penalties; it is
+    normalized by the longer string length so it composes with the other
+    similarities.  Two empty strings score 1.0.
+    """
+    len1, len2 = len(s1), len(s2)
+    longest = max(len1, len2)
+    if longest == 0:
+        return 1.0
+    if len1 == 0 or len2 == 0:
+        return 0.0
+    score = _needleman_wunsch_raw(s1, s2, gap_cost, match_score,
+                                  mismatch_score)
+    return max(0.0, min(1.0, score / (match_score * longest)))
+
+
+@lru_cache(maxsize=65536)
+def _smith_waterman_raw(s1: str, s2: str, gap_cost: float,
+                        match_score: float, mismatch_score: float) -> float:
+    codes1 = _char_codes(s1)
+    m = len(s1)
+    index = np.arange(m + 1)
+    prev = np.zeros(m + 1)
+    best = 0.0
+    for c2 in s2:
+        substitution = prev[:-1] + np.where(codes1 == ord(c2), match_score,
+                                            mismatch_score)
+        deletion = prev[1:] - gap_cost
+        partial = np.maximum(substitution, deletion)
+        u = np.concatenate(([0.0], partial))
+        row = -gap_cost * index + np.maximum.accumulate(u + gap_cost * index)
+        # Local alignment: negative prefixes restart at zero.  Folding the
+        # floor in after the scan is equivalent because any chain through
+        # a negative cell is dominated by restarting at the current cell.
+        prev = np.maximum(row, 0.0)
+        row_best = float(prev.max())
+        if row_best > best:
+            best = row_best
+    return best
+
+
+def smith_waterman(s1: str, s2: str, gap_cost: float = 1.0,
+                   match_score: float = 1.0, mismatch_score: float = 0.0) -> float:
+    """Local alignment score (Smith-Waterman), normalized to ``[0, 1]``.
+
+    Finds the best-scoring local alignment; normalized by the shorter
+    string length (the maximum achievable local score).  Two empty
+    strings score 1.0; one empty string scores 0.0.
+    """
+    len1, len2 = len(s1), len(s2)
+    if len1 == 0 and len2 == 0:
+        return 1.0
+    if len1 == 0 or len2 == 0:
+        return 0.0
+    best = _smith_waterman_raw(s1, s2, gap_cost, match_score, mismatch_score)
+    return best / (match_score * min(len1, len2))

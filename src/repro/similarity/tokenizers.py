@@ -1,0 +1,81 @@
+"""Tokenizers used by the token-based similarity functions.
+
+The paper's feature tables (Table I and Table II) pair each token-based
+similarity function with a tokenizer: ``Space`` (whitespace words) or
+``3-gram`` (character trigrams).  Both are implemented here, plus an
+alphanumeric tokenizer used by the blocking substrate.
+"""
+
+from __future__ import annotations
+
+import re
+
+_ALNUM_RE = re.compile(r"[a-z0-9]+")
+
+
+def whitespace_tokenize(text: str) -> list[str]:
+    """Split ``text`` on runs of whitespace.
+
+    >>> whitespace_tokenize("new  york city")
+    ['new', 'york', 'city']
+    """
+    return text.split()
+
+
+def alphanumeric_tokenize(text: str) -> list[str]:
+    """Lowercase and split on every non-alphanumeric character.
+
+    >>> alphanumeric_tokenize("Arnie Morton's, Chicago!")
+    ['arnie', 'morton', 's', 'chicago']
+    """
+    return _ALNUM_RE.findall(text.lower())
+
+
+def qgram_tokenize(text: str, q: int = 3, pad: bool = True) -> list[str]:
+    """Return the character ``q``-grams of ``text``.
+
+    With ``pad`` (the default, matching py_stringmatching's behaviour) the
+    string is padded with ``q - 1`` boundary markers on each side so that
+    every character participates in ``q`` grams and short strings still
+    produce tokens.
+
+    >>> qgram_tokenize("ab", q=3)
+    ['##a', '#ab', 'ab$', 'b$$']
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    if pad:
+        text = "#" * (q - 1) + text + "$" * (q - 1)
+    if len(text) < q:
+        return []
+    return [text[i:i + q] for i in range(len(text) - q + 1)]
+
+
+class Tokenizer:
+    """A named, picklable tokenizer wrapper.
+
+    The registry keys similarity functions by ``(simfunc, tokenizer)``
+    pairs, so tokenizers need stable names and equality.
+    """
+
+    def __init__(self, name: str, func, **kwargs):
+        self.name = name
+        self._func = func
+        self._kwargs = kwargs
+
+    def __call__(self, text: str) -> list[str]:
+        return self._func(text, **self._kwargs)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Tokenizer) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __repr__(self) -> str:
+        return f"Tokenizer({self.name!r})"
+
+
+SPACE = Tokenizer("space", whitespace_tokenize)
+QGRAM3 = Tokenizer("3gram", qgram_tokenize, q=3)
+ALNUM = Tokenizer("alnum", alphanumeric_tokenize)

@@ -1,0 +1,52 @@
+"""Shared fixtures: small synthetic datasets and classification blobs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import load_benchmark
+
+
+@pytest.fixture(scope="session")
+def small_benchmark():
+    """A small Fodors-Zagats analog (fast to generate and featurize)."""
+    return load_benchmark("fodors_zagats", seed=7, scale=0.5)
+
+
+@pytest.fixture(scope="session")
+def hard_benchmark():
+    """A small Abt-Buy analog with hard negatives and missing values."""
+    return load_benchmark("abt_buy", seed=7, scale=0.05)
+
+
+@pytest.fixture(scope="session")
+def blob_data():
+    """Linearly separable 2-class blobs: (X_train, y_train, X_test, y_test)."""
+    rng = np.random.default_rng(42)
+    n = 300
+    X0 = rng.normal(loc=-1.5, scale=0.7, size=(n // 2, 6))
+    X1 = rng.normal(loc=+1.5, scale=0.7, size=(n // 2, 6))
+    X = np.vstack([X0, X1])
+    y = np.concatenate([np.zeros(n // 2, dtype=int),
+                        np.ones(n // 2, dtype=int)])
+    order = rng.permutation(n)
+    X, y = X[order], y[order]
+    return X[:240], y[:240], X[240:], y[240:]
+
+
+@pytest.fixture(scope="session")
+def noisy_data():
+    """Nonlinear, overlapping 2-class data (XOR-ish with noise)."""
+    rng = np.random.default_rng(13)
+    n = 400
+    X = rng.normal(size=(n, 8))
+    signal = (X[:, 0] * X[:, 1] > 0).astype(int)
+    flip = rng.random(n) < 0.1
+    y = np.where(flip, 1 - signal, signal)
+    return X[:320], y[:320], X[320:], y[320:]
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,175 @@
+"""Tests for the EM pipeline search space and pipeline construction."""
+
+import numpy as np
+import pytest
+
+from repro.automl import (
+    ALL_MODELS,
+    ALL_PREPROCESSORS,
+    build_config_space,
+    build_pipeline,
+)
+
+
+@pytest.fixture()
+def em_data(rng):
+    """EM-shaped data: skewed classes, NaN, similarity-like features."""
+    n = 250
+    y = (rng.random(n) < 0.15).astype(int)
+    X = np.column_stack([
+        np.clip(y * 0.7 + rng.normal(0.2, 0.2, n), 0, 1),
+        np.clip(y * 0.5 + rng.normal(0.3, 0.25, n), 0, 1),
+        rng.random(n),
+        rng.integers(0, 12, n).astype(float),
+    ])
+    X[rng.random(X.shape) < 0.08] = np.nan
+    return X[:200], y[:200], X[200:], y[200:]
+
+
+class TestSpaceConstruction:
+    def test_rf_only_space_has_one_classifier_choice(self):
+        space = build_config_space(models=("random_forest",))
+        choices = space.hyperparameters["classifier:__choice__"].choices
+        assert choices == ["random_forest"]
+
+    def test_all_space_has_eleven_models(self):
+        space = build_config_space(models="all")
+        choices = space.hyperparameters["classifier:__choice__"].choices
+        assert set(choices) == set(ALL_MODELS)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown models"):
+            build_config_space(models=("xgboost",))
+
+    def test_ablation_removes_dp_dimensions(self):
+        space = build_config_space(include_data_preprocessing=False)
+        assert "balancing:strategy" not in space.hyperparameters
+        assert "rescaling:__choice__" not in space.hyperparameters
+        # imputation must stay: NaN features are a given for EM
+        assert "imputation:strategy" in space.hyperparameters
+
+    def test_ablation_removes_fp_dimensions(self):
+        space = build_config_space(include_feature_preprocessing=False)
+        assert "preprocessor:__choice__" not in space.hyperparameters
+
+    def test_preprocessor_choices(self):
+        space = build_config_space()
+        assert set(space.hyperparameters["preprocessor:__choice__"].choices) \
+            == set(ALL_PREPROCESSORS)
+
+    def test_forest_size_constant(self):
+        space = build_config_space(forest_size=17)
+        assert space.hyperparameters[
+            "classifier:forest:n_estimators"].value == 17
+
+
+class TestPipelineConstruction:
+    def _fit_and_score(self, config, em_data):
+        X_train, y_train, X_test, y_test = em_data
+        pipeline = build_pipeline(config, random_state=0)
+        pipeline.fit(X_train, y_train)
+        predictions = pipeline.predict(X_test)
+        assert predictions.shape == y_test.shape
+        probs = pipeline.predict_proba(X_test)
+        assert probs.shape == (len(y_test), 2)
+        return predictions
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_every_classifier_choice_runs(self, model, em_data, rng):
+        space = build_config_space(models=(model,), forest_size=8)
+        config = space.sample(rng)
+        self._fit_and_score(config, em_data)
+
+    @pytest.mark.parametrize("preprocessor", ALL_PREPROCESSORS)
+    def test_every_preprocessor_choice_runs(self, preprocessor, em_data,
+                                            rng):
+        space = build_config_space(models=("random_forest",), forest_size=8)
+        for _ in range(200):
+            config = space.sample(rng)
+            if config["preprocessor:__choice__"] == preprocessor:
+                break
+        else:
+            pytest.fail(f"never sampled {preprocessor}")
+        self._fit_and_score(config, em_data)
+
+    def test_chi2_preprocessing_handles_negative_features(self, em_data):
+        # standardize makes features negative; the chi2 shift must cope.
+        config = {
+            "imputation:strategy": "mean",
+            "balancing:strategy": "none",
+            "rescaling:__choice__": "standardize",
+            "preprocessor:__choice__": "select_percentile_classification",
+            "preprocessor:select_percentile:percentile": 50.0,
+            "preprocessor:select_percentile:score_func": "chi2",
+            "classifier:__choice__": "random_forest",
+            "classifier:forest:n_estimators": 8,
+            "classifier:forest:criterion": "gini",
+            "classifier:forest:max_features": 0.5,
+            "classifier:forest:min_samples_split": 2,
+            "classifier:forest:min_samples_leaf": 1,
+            "classifier:forest:bootstrap": True,
+        }
+        self._fit_and_score(config, em_data)
+
+    def test_robust_scaler_quantiles_converted(self, em_data):
+        config = {
+            "imputation:strategy": "median",
+            "balancing:strategy": "none",
+            "rescaling:__choice__": "robust_scaler",
+            "rescaling:robust_scaler:q_min": 0.19,
+            "rescaling:robust_scaler:q_max": 0.92,
+            "preprocessor:__choice__": "no_preprocessing",
+            "classifier:__choice__": "decision_tree",
+            "classifier:decision_tree:criterion": "gini",
+            "classifier:decision_tree:max_depth": 5,
+            "classifier:decision_tree:min_samples_leaf": 1,
+        }
+        pipeline = build_pipeline(config)
+        scaler = dict(pipeline.pipeline.steps)["rescaling"]
+        assert scaler.q_min == pytest.approx(19.0)
+        assert scaler.q_max == pytest.approx(92.0)
+        self._fit_and_score(config, em_data)
+
+    def test_balancing_weighting_oversamples_for_nonweight_models(self,
+                                                                  em_data):
+        config = {
+            "imputation:strategy": "mean",
+            "balancing:strategy": "weighting",
+            "rescaling:__choice__": "none",
+            "preprocessor:__choice__": "no_preprocessing",
+            "classifier:__choice__": "gaussian_nb",
+        }
+        pipeline = build_pipeline(config)
+        assert pipeline._needs_oversampling
+        self._fit_and_score(config, em_data)
+
+    def test_balancing_weighting_uses_class_weight_for_forests(self):
+        config = {
+            "imputation:strategy": "mean",
+            "balancing:strategy": "weighting",
+            "rescaling:__choice__": "none",
+            "preprocessor:__choice__": "no_preprocessing",
+            "classifier:__choice__": "random_forest",
+            "classifier:forest:n_estimators": 8,
+            "classifier:forest:criterion": "gini",
+            "classifier:forest:max_features": 0.5,
+            "classifier:forest:min_samples_split": 2,
+            "classifier:forest:min_samples_leaf": 1,
+            "classifier:forest:bootstrap": True,
+        }
+        pipeline = build_pipeline(config)
+        assert not pipeline._needs_oversampling
+        classifier = dict(pipeline.pipeline.steps)["classifier"]
+        assert classifier.class_weight == "balanced"
+
+    def test_describe_prints_figure11_style(self, em_data, rng):
+        space = build_config_space(forest_size=8)
+        pipeline = build_pipeline(space.sample(rng))
+        text = pipeline.describe()
+        assert "'classifier:__choice__'" in text
+        assert text.startswith("{") and text.endswith("}")
+
+    def test_unknown_choices_raise(self):
+        with pytest.raises(ValueError, match="unknown classifier"):
+            build_pipeline({"imputation:strategy": "mean",
+                            "classifier:__choice__": "svm_rbf"})

@@ -1,0 +1,181 @@
+"""Tests for ensemble selection and meta-learning warm starts."""
+
+import numpy as np
+import pytest
+
+from repro.automl import (
+    AutoML,
+    ConfigPortfolio,
+    PipelineEnsemble,
+    build_config_space,
+    build_ensemble,
+    dataset_meta_features,
+)
+from repro.automl.metalearning import META_FEATURE_NAMES
+
+
+@pytest.fixture(scope="module")
+def em_data():
+    rng = np.random.default_rng(8)
+    n = 260
+    y = (rng.random(n) < 0.25).astype(int)
+    X = np.column_stack([
+        np.clip(y * 0.7 + rng.normal(0.2, 0.2, n), 0, 1),
+        rng.random(n),
+        rng.random(n),
+    ])
+    return X[:180], y[:180], X[180:], y[180:]
+
+
+@pytest.fixture(scope="module")
+def fitted_automl(em_data):
+    X_tr, y_tr, X_va, y_va = em_data
+    space = build_config_space(forest_size=8)
+    automl = AutoML(space, n_iterations=6, seed=0)
+    automl.fit(X_tr, y_tr, X_va, y_va)
+    return automl
+
+
+class TestEnsembleSelection:
+    def test_build_from_history(self, fitted_automl, em_data):
+        X_tr, y_tr, X_va, y_va = em_data
+        ensemble = build_ensemble(fitted_automl.history_, X_tr, y_tr,
+                                  X_va, y_va, ensemble_size=4,
+                                  candidate_pool=4)
+        assert 1 <= len(ensemble) <= 4
+        predictions = ensemble.predict(X_va)
+        assert set(predictions.tolist()) <= {0, 1}
+
+    def test_weights_normalized(self, fitted_automl, em_data):
+        X_tr, y_tr, X_va, y_va = em_data
+        ensemble = build_ensemble(fitted_automl.history_, X_tr, y_tr,
+                                  X_va, y_va, ensemble_size=3)
+        assert ensemble.weights.sum() == pytest.approx(1.0)
+
+    def test_ensemble_not_worse_than_best_single_on_valid(self,
+                                                          fitted_automl,
+                                                          em_data):
+        from repro.ml import f1_score
+        X_tr, y_tr, X_va, y_va = em_data
+        ensemble = build_ensemble(fitted_automl.history_, X_tr, y_tr,
+                                  X_va, y_va, ensemble_size=5)
+        single = f1_score(y_va, fitted_automl.best_pipeline_.predict(X_va))
+        combined = f1_score(y_va, ensemble.predict(X_va))
+        # greedy selection optimizes exactly this score
+        assert combined >= single - 1e-9
+
+    def test_automl_ensemble_mode(self, em_data):
+        X_tr, y_tr, X_va, y_va = em_data
+        space = build_config_space(forest_size=8)
+        automl = AutoML(space, n_iterations=5, ensemble_size=3, seed=0)
+        automl.fit(X_tr, y_tr, X_va, y_va)
+        assert automl.ensemble_ is not None
+        assert automl.predict(X_va).shape == y_va.shape
+
+    def test_refit_drops_ensemble(self, em_data):
+        X_tr, y_tr, X_va, y_va = em_data
+        space = build_config_space(forest_size=8)
+        automl = AutoML(space, n_iterations=4, ensemble_size=2, seed=0)
+        automl.fit(X_tr, y_tr, X_va, y_va)
+        automl.refit(np.vstack([X_tr, X_va]), np.concatenate([y_tr, y_va]))
+        assert automl.ensemble_ is None
+
+    def test_invalid_sizes(self, fitted_automl, em_data):
+        X_tr, y_tr, X_va, y_va = em_data
+        with pytest.raises(ValueError, match="ensemble_size"):
+            build_ensemble(fitted_automl.history_, X_tr, y_tr, X_va, y_va,
+                           ensemble_size=0)
+        with pytest.raises(ValueError, match="ensemble_size"):
+            AutoML(build_config_space(), ensemble_size=0)
+
+    def test_pipeline_ensemble_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PipelineEnsemble([], np.asarray([]))
+
+
+class TestMetaFeatures:
+    def test_vector_shape_and_names(self, em_data):
+        X_tr, y_tr, _, _ = em_data
+        vector = dataset_meta_features(X_tr, y_tr)
+        assert vector.shape == (len(META_FEATURE_NAMES),)
+        assert np.isfinite(vector).all()
+
+    def test_positive_rate_encoded(self, em_data):
+        X_tr, y_tr, _, _ = em_data
+        vector = dataset_meta_features(X_tr, y_tr)
+        assert vector[2] == pytest.approx(y_tr.mean())
+
+    def test_missing_fraction(self):
+        X = np.asarray([[1.0, np.nan], [2.0, 3.0]])
+        vector = dataset_meta_features(X, np.asarray([0, 1]))
+        assert vector[3] == pytest.approx(0.25)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            dataset_meta_features(np.zeros(3), np.zeros(3))
+
+
+class TestPortfolio:
+    def test_record_and_suggest(self, em_data, fitted_automl):
+        X_tr, y_tr, _, _ = em_data
+        portfolio = ConfigPortfolio()
+        portfolio.record("d1", X_tr, y_tr, fitted_automl.best_config_, 0.9)
+        suggestions = portfolio.suggest(X_tr, y_tr, k=2)
+        assert suggestions == [fitted_automl.best_config_]
+
+    def test_nearest_dataset_wins(self, rng):
+        portfolio = ConfigPortfolio()
+        X_small = rng.random((50, 3))
+        y_small = np.asarray([0] * 40 + [1] * 10)   # 20% positive
+        X_large = rng.random((5000, 40))
+        y_large = np.asarray([0, 1] * 2500)         # 50% positive
+        portfolio.record("small", X_small, y_small, {"which": "small"}, 0.8)
+        portfolio.record("large", X_large, y_large, {"which": "large"}, 0.8)
+        query_X = rng.random((60, 3))
+        query_y = np.asarray([0] * 48 + [1] * 12)   # 20% positive, small-n
+        assert portfolio.suggest(query_X, query_y, k=1) == \
+            [{"which": "small"}]
+
+    def test_empty_portfolio_suggests_nothing(self, em_data):
+        X_tr, y_tr, _, _ = em_data
+        assert ConfigPortfolio().suggest(X_tr, y_tr) == []
+
+    def test_deduplication(self, em_data):
+        X_tr, y_tr, _, _ = em_data
+        portfolio = ConfigPortfolio()
+        portfolio.record("d1", X_tr, y_tr, {"a": 1}, 0.8)
+        portfolio.record("d2", X_tr, y_tr, {"a": 1}, 0.9)
+        assert portfolio.suggest(X_tr, y_tr, k=5) == [{"a": 1}]
+
+    def test_save_load_round_trip(self, em_data, tmp_path):
+        X_tr, y_tr, _, _ = em_data
+        portfolio = ConfigPortfolio()
+        portfolio.record("d1", X_tr, y_tr, {"a": 1, "b": "x"}, 0.7)
+        portfolio.save(tmp_path / "portfolio.json")
+        loaded = ConfigPortfolio.load(tmp_path / "portfolio.json")
+        assert len(loaded) == 1
+        assert loaded.entries[0].config == {"a": 1, "b": "x"}
+        np.testing.assert_allclose(loaded.entries[0].meta_features,
+                                   portfolio.entries[0].meta_features)
+
+
+class TestWarmStart:
+    def test_initial_configs_evaluated_first(self, em_data):
+        X_tr, y_tr, X_va, y_va = em_data
+        space = build_config_space(forest_size=8)
+        rng = np.random.default_rng(1)
+        seed_config = space.sample(rng)
+        automl = AutoML(space, n_iterations=3,
+                        initial_configs=[seed_config], seed=0)
+        automl.fit(X_tr, y_tr, X_va, y_va)
+        assert automl.history_.trials[0].config == seed_config
+
+    def test_warm_start_score_at_least_seeded_config(self, em_data):
+        X_tr, y_tr, X_va, y_va = em_data
+        space = build_config_space(forest_size=8)
+        seed_config = space.sample(np.random.default_rng(2))
+        automl = AutoML(space, n_iterations=4,
+                        initial_configs=[seed_config], seed=0)
+        automl.fit(X_tr, y_tr, X_va, y_va)
+        first_score = automl.history_.trials[0].score
+        assert automl.best_score_ >= first_score

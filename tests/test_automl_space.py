@@ -1,0 +1,146 @@
+"""Tests for hyperparameter types and configuration spaces."""
+
+import numpy as np
+import pytest
+
+from repro.automl import (
+    Categorical,
+    ConfigurationSpace,
+    Constant,
+    UniformFloat,
+    UniformInt,
+)
+
+
+@pytest.fixture()
+def space():
+    s = ConfigurationSpace()
+    s.add(Categorical("model", ["tree", "forest"]))
+    s.add(UniformFloat("lr", 0.01, 1.0, log=True))
+    s.add(UniformInt("n_trees", 10, 100), parent="model",
+          parent_values=("forest",))
+    s.add(Categorical("criterion", ["gini", "entropy"]), parent="model",
+          parent_values=("forest", "tree"))
+    return s
+
+
+class TestHyperparameters:
+    def test_categorical_sample_in_choices(self, rng):
+        hp = Categorical("c", ["a", "b", "c"])
+        assert all(hp.sample(rng) in ("a", "b", "c") for _ in range(20))
+
+    def test_categorical_neighbor_differs(self, rng):
+        hp = Categorical("c", ["a", "b"])
+        assert hp.neighbor("a", rng) == "b"
+
+    def test_categorical_single_choice_neighbor(self, rng):
+        hp = Categorical("c", ["only"])
+        assert hp.neighbor("only", rng) == "only"
+
+    def test_categorical_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            Categorical("c", [])
+
+    def test_uniform_float_bounds(self, rng):
+        hp = UniformFloat("f", 2.0, 5.0)
+        samples = [hp.sample(rng) for _ in range(100)]
+        assert all(2.0 <= s <= 5.0 for s in samples)
+
+    def test_log_float_covers_decades(self, rng):
+        hp = UniformFloat("f", 1e-4, 1.0, log=True)
+        samples = [hp.sample(rng) for _ in range(200)]
+        assert min(samples) < 1e-3
+        assert max(samples) > 0.1
+
+    def test_log_requires_positive_low(self):
+        with pytest.raises(ValueError, match="log scale"):
+            UniformFloat("f", 0.0, 1.0, log=True)
+
+    def test_float_invalid_range(self):
+        with pytest.raises(ValueError, match="low < high"):
+            UniformFloat("f", 2.0, 1.0)
+
+    def test_uniform_int_integral(self, rng):
+        hp = UniformInt("i", 1, 9)
+        samples = [hp.sample(rng) for _ in range(50)]
+        assert all(isinstance(s, int) and 1 <= s <= 9 for s in samples)
+
+    def test_int_neighbor_moves(self, rng):
+        hp = UniformInt("i", 1, 100)
+        assert hp.neighbor(50, rng) != 50
+
+    def test_int_neighbor_stays_in_bounds(self, rng):
+        hp = UniformInt("i", 1, 3)
+        for _ in range(30):
+            assert 1 <= hp.neighbor(1, rng) <= 3
+
+    def test_encode_in_unit_interval(self, rng):
+        for hp in (UniformFloat("f", 1.0, 9.0),
+                   UniformFloat("g", 0.01, 10.0, log=True),
+                   UniformInt("i", 0, 7),
+                   Categorical("c", ["x", "y", "z"])):
+            value = hp.sample(rng)
+            assert 0.0 <= hp.encode(value) <= 1.0
+
+    def test_constant(self, rng):
+        hp = Constant("k", 42)
+        assert hp.sample(rng) == 42
+        assert hp.neighbor(42, rng) == 42
+        assert hp.encode(42) == 0.0
+
+
+class TestConfigurationSpace:
+    def test_sample_respects_conditionals(self, space, rng):
+        for _ in range(50):
+            config = space.sample(rng)
+            if config["model"] == "tree":
+                assert "n_trees" not in config
+            else:
+                assert "n_trees" in config
+            assert "criterion" in config  # active for both parents
+
+    def test_duplicate_name_rejected(self, space):
+        with pytest.raises(ValueError, match="duplicate"):
+            space.add(Categorical("model", ["x"]))
+
+    def test_unknown_parent_rejected(self):
+        s = ConfigurationSpace()
+        with pytest.raises(ValueError, match="unknown parent"):
+            s.add(UniformInt("child", 0, 1), parent="ghost",
+                  parent_values=("x",))
+
+    def test_neighbor_is_valid_config(self, space, rng):
+        for _ in range(50):
+            config = space.sample(rng)
+            moved = space.neighbor(config, rng)
+            # re-validate conditionals
+            for name in moved:
+                assert space.is_active(name, moved)
+            if moved["model"] == "forest":
+                assert "n_trees" in moved
+
+    def test_neighbor_repairs_activation(self, rng):
+        s = ConfigurationSpace()
+        s.add(Categorical("a", ["on", "off"]))
+        s.add(UniformInt("b", 0, 9), parent="a", parent_values=("on",))
+        config = {"a": "on", "b": 5}
+        # Force many moves; whenever a flips to off, b must vanish.
+        for _ in range(30):
+            moved = s.neighbor(config, rng)
+            if moved["a"] == "off":
+                assert "b" not in moved
+            else:
+                assert "b" in moved
+
+    def test_encode_fixed_width(self, space, rng):
+        widths = {space.encode(space.sample(rng)).shape for _ in range(20)}
+        assert widths == {(4,)}
+
+    def test_encode_inactive_is_minus_one(self, space, rng):
+        config = {"model": "tree", "lr": 0.1, "criterion": "gini"}
+        vector = space.encode(config)
+        names = list(space.hyperparameters)
+        assert vector[names.index("n_trees")] == -1.0
+
+    def test_len(self, space):
+        assert len(space) == 4

@@ -1,0 +1,121 @@
+"""Tests for the Magellan and DeepMatcherLite baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DEFAULT_MODEL_ZOO, DeepMatcherLite, \
+    MagellanMatcher
+
+
+@pytest.fixture(scope="module")
+def splits():
+    from repro.data.synthetic import load_benchmark
+    benchmark = load_benchmark("fodors_zagats", seed=11, scale=0.4)
+    return benchmark.splits(seed=0)
+
+
+class TestMagellan:
+    def test_zoo_contents(self):
+        assert set(DEFAULT_MODEL_ZOO) == {
+            "decision_tree", "random_forest", "svm",
+            "logistic_regression", "naive_bayes"}
+
+    def test_fits_and_scores(self, splits):
+        train, valid, test = splits
+        matcher = MagellanMatcher(forest_size=8, seed=0).fit(train, valid)
+        assert matcher.evaluate(test)["f1"] > 0.8
+
+    def test_all_models_scored(self, splits):
+        train, valid, _ = splits
+        matcher = MagellanMatcher(forest_size=8, seed=0).fit(train, valid)
+        assert set(matcher.validation_scores_) == set(DEFAULT_MODEL_ZOO)
+        assert all(0.0 <= s <= 1.0
+                   for s in matcher.validation_scores_.values())
+
+    def test_best_is_argmax_of_validation(self, splits):
+        train, valid, _ = splits
+        matcher = MagellanMatcher(forest_size=8, seed=0).fit(train, valid)
+        best = max(matcher.validation_scores_,
+                   key=matcher.validation_scores_.get)
+        assert matcher.best_model_name_ == best
+        assert matcher.best_score_ == matcher.validation_scores_[best]
+
+    def test_subset_of_models(self, splits):
+        train, valid, _ = splits
+        matcher = MagellanMatcher(models=("decision_tree",), seed=0)
+        matcher.fit(train, valid)
+        assert matcher.best_model_name_ == "decision_tree"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown models"):
+            MagellanMatcher(models=("xgboost",))
+
+    def test_uses_magellan_features(self, splits):
+        train, valid, _ = splits
+        matcher = MagellanMatcher(forest_size=8, seed=0).fit(train, valid)
+        from repro.features import make_autoem_features
+        autoem_width = make_autoem_features(train.table_a,
+                                            train.table_b).num_features
+        assert matcher.feature_generator_.num_features < autoem_width
+
+    def test_unfitted_raises(self, splits):
+        _, _, test = splits
+        with pytest.raises(RuntimeError, match="not fitted"):
+            MagellanMatcher().predict(test)
+
+
+class TestDeepMatcherLite:
+    def test_fits_and_scores(self, splits):
+        train, valid, test = splits
+        matcher = DeepMatcherLite(seed=0, epochs=20).fit(train, valid)
+        assert matcher.evaluate(test)["f1"] > 0.6
+
+    def test_comparison_vector_width(self, splits):
+        train, valid, _ = splits
+        matcher = DeepMatcherLite(embedding_dim=16, epochs=1, seed=0)
+        matcher.fit(train, valid)
+        X = matcher.transform(train)
+        # per string attribute: |u-v| + u*v (2 * 2*dim) + 2 cosines +
+        # 2 soft-alignment scores; per numeric: 2 * 3 scalars.
+        from repro.features import infer_schema_types
+        types = infer_schema_types(train.table_a, train.table_b)
+        expected = sum(2 * (2 * 16) + 4 if t.is_string else 2 * 3
+                       for t in types.values())
+        assert X.shape == (len(train), expected)
+
+    def test_transform_before_fit_raises(self, splits):
+        train, _, _ = splits
+        with pytest.raises(RuntimeError, match="call fit first"):
+            DeepMatcherLite().transform(train)
+
+    def test_identical_records_compare_to_zero_difference(self, splits):
+        train, valid, _ = splits
+        matcher = DeepMatcherLite(embedding_dim=8, epochs=1, seed=0)
+        matcher.fit(train, valid)
+        vector = matcher._attribute_vector("same text value", True)
+        assert np.allclose(np.abs(vector - vector), 0.0)
+
+    def test_hash_embedding_deterministic_across_instances(self):
+        from repro.baselines.deepmatcher import _hash_embed
+        v1 = _hash_embed(["alpha", "beta"], 16, salt=1)
+        v2 = _hash_embed(["alpha", "beta"], 16, salt=1)
+        np.testing.assert_array_equal(v1, v2)
+
+    def test_hash_embedding_salt_differs(self):
+        from repro.baselines.deepmatcher import _hash_embed
+        v1 = _hash_embed(["alpha"], 16, salt=1)
+        v2 = _hash_embed(["alpha"], 16, salt=2)
+        assert not np.array_equal(v1, v2)
+
+    def test_empty_tokens_zero_vector(self):
+        from repro.baselines.deepmatcher import _hash_embed
+        assert np.allclose(_hash_embed([], 8, salt=0), 0.0)
+
+    def test_invalid_embedding_dim(self):
+        with pytest.raises(ValueError, match="embedding_dim"):
+            DeepMatcherLite(embedding_dim=2)
+
+    def test_unfitted_predict_raises(self, splits):
+        _, _, test = splits
+        with pytest.raises(RuntimeError):
+            DeepMatcherLite().predict(test)

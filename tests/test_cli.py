@@ -1,0 +1,57 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "abt_buy", "/tmp/x", "--scale", "0.2"])
+        assert args.dataset == "abt_buy"
+        assert args.scale == 0.2
+
+    def test_match_defaults(self):
+        args = build_parser().parse_args(["match"])
+        assert args.system == "automl-em"
+        assert args.budget == 20
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_list_datasets(self, capsys):
+        assert main(["list-datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "fodors_zagats" in out
+        assert "Abt-Buy" in out
+
+    def test_generate_round_trip(self, tmp_path, capsys):
+        assert main(["generate", "fodors_zagats", str(tmp_path / "out"),
+                     "--scale", "0.2", "--seed", "3"]) == 0
+        for name in ("tableA.csv", "tableB.csv", "train.csv", "valid.csv",
+                     "test.csv"):
+            assert (tmp_path / "out" / name).exists()
+
+    def test_match_on_generated_csvs(self, tmp_path, capsys):
+        main(["generate", "fodors_zagats", str(tmp_path / "d"),
+              "--scale", "0.3", "--seed", "1"])
+        code = main(["match", "--data-dir", str(tmp_path / "d"),
+                     "--budget", "3", "--forest-size", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "f1=" in out
+
+    def test_match_magellan_system(self, capsys):
+        code = main(["match", "--dataset", "fodors_zagats",
+                     "--system", "magellan", "--scale", "0.25",
+                     "--forest-size", "8"])
+        assert code == 0
+        assert "f1=" in capsys.readouterr().out

@@ -1,0 +1,39 @@
+"""Unit tests for AutoML-EM-Active's internal helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.active import _stratified_holdout
+
+
+class TestStratifiedHoldout:
+    def test_partition(self, rng):
+        y = rng.integers(0, 2, 50)
+        keep, hold = _stratified_holdout(y, 0.2, rng)
+        combined = sorted(np.concatenate([keep, hold]).tolist())
+        assert combined == list(range(50))
+
+    def test_each_class_on_both_sides(self, rng):
+        y = np.asarray([0] * 45 + [1] * 5)
+        keep, hold = _stratified_holdout(y, 0.2, rng)
+        assert set(y[keep]) == {0, 1}
+        assert set(y[hold]) == {0, 1}
+
+    def test_single_member_class_goes_to_holdout(self, rng):
+        # A class with exactly one member cannot be on both sides; the
+        # helper puts it in the holdout so validation sees it.
+        y = np.asarray([0] * 10 + [1])
+        keep, hold = _stratified_holdout(y, 0.2, rng)
+        assert 10 in hold.tolist()
+
+    def test_fraction_respected_approximately(self, rng):
+        y = rng.integers(0, 2, 200)
+        _, hold = _stratified_holdout(y, 0.25, rng)
+        assert len(hold) == pytest.approx(50, abs=3)
+
+    def test_deterministic_given_rng_state(self):
+        y = np.arange(30) % 2
+        k1, h1 = _stratified_holdout(y, 0.2, np.random.default_rng(4))
+        k2, h2 = _stratified_holdout(y, 0.2, np.random.default_rng(4))
+        np.testing.assert_array_equal(k1, k2)
+        np.testing.assert_array_equal(h1, h2)

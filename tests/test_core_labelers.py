@@ -1,0 +1,126 @@
+"""Tests for transitivity and label-propagation label inference."""
+
+import numpy as np
+import pytest
+
+from repro.core import LabelPropagationLabeler, TransitivityLabeler
+from repro.data import MATCH, NON_MATCH, PairSet, RecordPair, Table
+
+
+@pytest.fixture()
+def tables():
+    a = Table("A", ["v"], [[f"a{i}"] for i in range(5)])
+    b = Table("B", ["v"], [[f"b{i}"] for i in range(5)])
+    return a, b
+
+
+class TestTransitivity:
+    def test_match_closure(self, tables):
+        a, b = tables
+        # a0=b0 and (via b0's entity) a0=b1  =>  cluster {a0, b0, b1}
+        labeled = [RecordPair(a[0], b[0], MATCH),
+                   RecordPair(a[0], b[1], MATCH),
+                   RecordPair(a[1], b[1], MATCH)]
+        labeler = TransitivityLabeler(labeled)
+        # a1 joined the same cluster through b1 -> a1 = b0 implied.
+        assert labeler.infer_pair(RecordPair(a[1], b[0])) == MATCH
+
+    def test_negative_between_clusters(self, tables):
+        a, b = tables
+        labeled = [RecordPair(a[0], b[0], MATCH),
+                   RecordPair(a[1], b[1], MATCH),
+                   RecordPair(a[0], b[1], NON_MATCH)]
+        labeler = TransitivityLabeler(labeled)
+        # clusters {a0,b0} and {a1,b1} are known non-matching.
+        assert labeler.infer_pair(RecordPair(a[1], b[0])) == NON_MATCH
+
+    def test_unknown_records_give_none(self, tables):
+        a, b = tables
+        labeler = TransitivityLabeler([RecordPair(a[0], b[0], MATCH)])
+        assert labeler.infer_pair(RecordPair(a[4], b[4])) is None
+
+    def test_unrelated_clusters_give_none(self, tables):
+        a, b = tables
+        labeled = [RecordPair(a[0], b[0], MATCH),
+                   RecordPair(a[1], b[1], MATCH)]
+        labeler = TransitivityLabeler(labeled)
+        # No non-match edge between the clusters: nothing can be implied.
+        assert labeler.infer_pair(RecordPair(a[0], b[1])) is None
+
+    def test_infer_over_pool(self, tables):
+        a, b = tables
+        labeled = [RecordPair(a[0], b[0], MATCH),
+                   RecordPair(a[0], b[1], MATCH)]
+        labeler = TransitivityLabeler(labeled)
+        pool = PairSet(a, b, [RecordPair(a[0], b[1]),  # implied match
+                              RecordPair(a[3], b[3])])  # unknown
+        inferred = labeler.infer(pool)
+        assert inferred.indices.tolist() == [0]
+        assert inferred.labels.tolist() == [MATCH]
+        assert inferred.confidences.tolist() == [1.0]
+
+    def test_unlabeled_input_rejected(self, tables):
+        a, b = tables
+        with pytest.raises(ValueError, match="unlabeled"):
+            TransitivityLabeler([RecordPair(a[0], b[0])])
+
+    def test_consistency_with_gold_on_benchmark(self, small_benchmark):
+        pairs = list(small_benchmark.pairs)
+        labeler = TransitivityLabeler(pairs[:400])
+        inferred = labeler.infer(small_benchmark.pairs)
+        gold = small_benchmark.pairs.labels
+        if len(inferred):
+            agreement = (inferred.labels == gold[inferred.indices]).mean()
+            assert agreement > 0.95
+
+
+class TestLabelPropagation:
+    @pytest.fixture()
+    def clustered_data(self, rng):
+        X0 = rng.normal(loc=-2.0, scale=0.4, size=(60, 3))
+        X1 = rng.normal(loc=+2.0, scale=0.4, size=(60, 3))
+        X = np.vstack([X0, X1])
+        y_true = np.concatenate([np.zeros(60, dtype=int),
+                                 np.ones(60, dtype=int)])
+        labels = np.full(120, -1)
+        labels[:5] = 0
+        labels[60:65] = 1
+        return X, labels, y_true
+
+    def test_propagates_to_clusters(self, clustered_data):
+        X, labels, y_true = clustered_data
+        labeler = LabelPropagationLabeler(confidence_threshold=0.6)
+        inferred = labeler.infer(X, labels)
+        assert len(inferred) > 50
+        accuracy = (inferred.labels == y_true[inferred.indices]).mean()
+        assert accuracy > 0.95
+
+    def test_only_unlabeled_returned(self, clustered_data):
+        X, labels, _ = clustered_data
+        inferred = LabelPropagationLabeler().infer(X, labels)
+        labeled_idx = set(np.flatnonzero(labels != -1).tolist())
+        assert set(inferred.indices.tolist()) & labeled_idx == set()
+
+    def test_confidence_threshold_filters(self, clustered_data):
+        X, labels, _ = clustered_data
+        loose = LabelPropagationLabeler(confidence_threshold=0.5)
+        strict = LabelPropagationLabeler(confidence_threshold=0.999)
+        assert len(strict.infer(X, labels)) <= len(loose.infer(X, labels))
+
+    def test_confidences_in_range(self, clustered_data):
+        X, labels, _ = clustered_data
+        inferred = LabelPropagationLabeler(
+            confidence_threshold=0.5).infer(X, labels)
+        assert np.all(inferred.confidences >= 0.5)
+        assert np.all(inferred.confidences <= 1.0 + 1e-9)
+
+    def test_no_labels_rejected(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError, match="at least one label"):
+            LabelPropagationLabeler().infer(X, np.full(10, -1))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="n_neighbors"):
+            LabelPropagationLabeler(n_neighbors=0)
+        with pytest.raises(ValueError, match="alpha"):
+            LabelPropagationLabeler(alpha=1.0)

@@ -1,0 +1,75 @@
+"""Tests for decision-threshold tuning."""
+
+import numpy as np
+import pytest
+
+from repro.core import apply_threshold, tune_threshold
+from repro.ml import f1_score
+
+
+class TestTuneThreshold:
+    def test_finds_better_than_default_on_skewed_scores(self):
+        # Model is under-confident about positives: optimum below 0.5.
+        y = np.asarray([1] * 20 + [0] * 80)
+        probabilities = np.concatenate([
+            np.linspace(0.30, 0.45, 20),   # positives, all below 0.5
+            np.linspace(0.00, 0.25, 80),   # negatives
+        ])
+        result = tune_threshold(probabilities, y)
+        assert result.default_score == 0.0  # nothing predicted at 0.5
+        assert result.score == 1.0          # perfectly separable below it
+        assert 0.25 < result.threshold < 0.30
+        assert result.improvement == pytest.approx(1.0)
+
+    def test_default_kept_when_already_optimal(self):
+        y = np.asarray([0, 0, 1, 1])
+        probabilities = np.asarray([0.1, 0.2, 0.8, 0.9])
+        result = tune_threshold(probabilities, y)
+        assert result.score == 1.0
+        predictions = apply_threshold(probabilities, result.threshold)
+        assert f1_score(y, predictions) == 1.0
+
+    def test_tuned_score_is_achievable(self, rng):
+        y = rng.integers(0, 2, 200)
+        probabilities = np.clip(y * 0.4 + rng.random(200) * 0.6, 0, 1)
+        result = tune_threshold(probabilities, y)
+        achieved = f1_score(y, apply_threshold(probabilities,
+                                               result.threshold))
+        assert achieved == pytest.approx(result.score)
+        assert result.score >= result.default_score
+
+    def test_constant_probabilities(self):
+        y = np.asarray([0, 1, 1])
+        result = tune_threshold(np.full(3, 0.7), y)
+        assert result.threshold == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            tune_threshold([0.5], [1, 0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            tune_threshold([], [])
+
+    def test_apply_threshold_binary(self):
+        out = apply_threshold([0.2, 0.6, 0.8], 0.5)
+        assert out.tolist() == [0, 1, 1]
+
+
+class TestOnRealMatcher:
+    def test_threshold_tuning_on_matcher_probabilities(self,
+                                                       small_benchmark):
+        from repro.core import AutoMLEM
+
+        train, valid, test = small_benchmark.splits(seed=0)
+        matcher = AutoMLEM(n_iterations=3, forest_size=8, seed=0)
+        matcher.fit(train, valid)
+        valid_probs = matcher.predict_proba(valid)[:, 1]
+        result = tune_threshold(valid_probs, valid.labels)
+        # Applying the tuned threshold on test must be a valid operating
+        # point (never wildly worse than the default).
+        test_probs = matcher.predict_proba(test)[:, 1]
+        tuned = f1_score(test.labels,
+                         apply_threshold(test_probs, result.threshold))
+        default = f1_score(test.labels, apply_threshold(test_probs, 0.5))
+        assert tuned >= default - 0.15

@@ -1,0 +1,104 @@
+"""Tests for RecordPair / PairSet."""
+
+import numpy as np
+import pytest
+
+from repro.data import MATCH, NON_MATCH, PairSet, RecordPair, Table
+
+
+@pytest.fixture()
+def tables():
+    a = Table("A", ["name"], [["x"], ["y"], ["z"]])
+    b = Table("B", ["name"], [["x2"], ["y2"], ["z2"]])
+    return a, b
+
+
+@pytest.fixture()
+def pairs(tables):
+    a, b = tables
+    return PairSet(a, b, [
+        RecordPair(a[0], b[0], MATCH),
+        RecordPair(a[1], b[1], NON_MATCH),
+        RecordPair(a[2], b[2], MATCH),
+        RecordPair(a[0], b[1], NON_MATCH),
+    ])
+
+
+class TestRecordPair:
+    def test_key(self, tables):
+        a, b = tables
+        assert RecordPair(a[1], b[2]).key == (1, 2)
+
+    def test_invalid_label(self, tables):
+        a, b = tables
+        with pytest.raises(ValueError, match="label must be"):
+            RecordPair(a[0], b[0], label=2)
+
+    def test_with_label(self, tables):
+        a, b = tables
+        labeled = RecordPair(a[0], b[0]).with_label(MATCH)
+        assert labeled.label == MATCH
+
+
+class TestPairSet:
+    def test_len(self, pairs):
+        assert len(pairs) == 4
+
+    def test_labels_array(self, pairs):
+        assert pairs.labels.tolist() == [1, 0, 1, 0]
+
+    def test_labels_raise_when_unlabeled(self, tables):
+        a, b = tables
+        ps = PairSet(a, b, [RecordPair(a[0], b[0])])
+        with pytest.raises(ValueError, match="has no label"):
+            ps.labels
+
+    def test_positive_stats(self, pairs):
+        assert pairs.num_positive == 2
+        assert pairs.positive_rate == 0.5
+
+    def test_is_labeled(self, pairs, tables):
+        assert pairs.is_labeled
+        a, b = tables
+        assert not PairSet(a, b, [RecordPair(a[0], b[0])]).is_labeled
+
+    def test_indexing_int(self, pairs):
+        assert pairs[1].key == (1, 1)
+
+    def test_indexing_slice(self, pairs):
+        subset = pairs[1:3]
+        assert isinstance(subset, PairSet)
+        assert len(subset) == 2
+
+    def test_indexing_array(self, pairs):
+        subset = pairs[np.asarray([0, 3])]
+        assert [p.key for p in subset] == [(0, 0), (0, 1)]
+
+    def test_without_labels(self, pairs):
+        stripped = pairs.without_labels()
+        assert all(p.label is None for p in stripped)
+        assert len(stripped) == len(pairs)
+        # original untouched
+        assert pairs.is_labeled
+
+    def test_concat(self, pairs):
+        combined = pairs.concat(pairs[0:1])
+        assert len(combined) == 5
+
+    def test_concat_schema_mismatch(self, pairs):
+        other_a = Table("A2", ["different"], [["v"]])
+        other_b = Table("B2", ["different"], [["v"]])
+        other = PairSet(other_a, other_b,
+                        [RecordPair(other_a[0], other_b[0], MATCH)])
+        with pytest.raises(ValueError, match="different schemas"):
+            pairs.concat(other)
+
+    def test_shuffled_preserves_contents(self, pairs):
+        rng = np.random.default_rng(3)
+        shuffled = pairs.shuffled(rng)
+        assert sorted(p.key for p in shuffled) == \
+            sorted(p.key for p in pairs)
+
+    def test_empty_positive_rate(self, tables):
+        a, b = tables
+        assert PairSet(a, b, []).positive_rate == 0.0

@@ -1,0 +1,76 @@
+"""Tests for stratified pair-set splitting."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    MATCH,
+    NON_MATCH,
+    PairSet,
+    RecordPair,
+    Table,
+    stratified_split,
+    train_valid_test_split,
+)
+
+
+def make_pairs(n_pos: int, n_neg: int) -> PairSet:
+    n = n_pos + n_neg
+    a = Table("A", ["v"], [[f"a{i}"] for i in range(n)])
+    b = Table("B", ["v"], [[f"b{i}"] for i in range(n)])
+    pairs = [RecordPair(a[i], b[i], MATCH if i < n_pos else NON_MATCH)
+             for i in range(n)]
+    return PairSet(a, b, pairs)
+
+
+class TestStratifiedSplit:
+    def test_partition_is_complete_and_disjoint(self):
+        ps = make_pairs(30, 70)
+        folds = stratified_split(ps, (0.6, 0.2, 0.2), seed=0)
+        keys = [p.key for fold in folds for p in fold]
+        assert sorted(keys) == sorted(p.key for p in ps)
+        assert len(keys) == len(set(keys))
+
+    def test_class_proportions_preserved(self):
+        ps = make_pairs(20, 80)
+        train, test = stratified_split(ps, (0.75, 0.25), seed=1)
+        assert train.num_positive == 15
+        assert test.num_positive == 5
+
+    def test_seed_determinism(self):
+        ps = make_pairs(10, 40)
+        f1 = stratified_split(ps, (0.5, 0.5), seed=9)
+        f2 = stratified_split(ps, (0.5, 0.5), seed=9)
+        assert [p.key for p in f1[0]] == [p.key for p in f2[0]]
+
+    def test_different_seed_differs(self):
+        ps = make_pairs(10, 40)
+        f1 = stratified_split(ps, (0.5, 0.5), seed=1)
+        f2 = stratified_split(ps, (0.5, 0.5), seed=2)
+        assert [p.key for p in f1[0]] != [p.key for p in f2[0]]
+
+    def test_invalid_fractions(self):
+        ps = make_pairs(5, 5)
+        with pytest.raises(ValueError, match="must sum to 1"):
+            stratified_split(ps, (0.5, 0.6))
+
+    def test_unlabeled_raises(self):
+        ps = make_pairs(5, 5).without_labels()
+        with pytest.raises(ValueError, match="labeled"):
+            stratified_split(ps, (0.5, 0.5))
+
+
+class TestTrainValidTest:
+    def test_paper_proportions(self):
+        # 80/20 then 4:1 -> 64/16/20.
+        ps = make_pairs(100, 400)
+        train, valid, test = train_valid_test_split(ps, seed=0)
+        total = len(ps)
+        assert len(train) == pytest.approx(0.64 * total, abs=3)
+        assert len(valid) == pytest.approx(0.16 * total, abs=3)
+        assert len(test) == pytest.approx(0.20 * total, abs=3)
+
+    def test_all_folds_have_positives(self):
+        ps = make_pairs(50, 200)
+        for fold in train_valid_test_split(ps, seed=0):
+            assert fold.num_positive > 0

@@ -1,0 +1,136 @@
+"""Tests for permutation importance and the LIME-style explainer."""
+
+import numpy as np
+import pytest
+
+from repro.explain import LimeExplainer, permutation_importance
+from repro.ml import LogisticRegression, RandomForestClassifier
+
+
+@pytest.fixture(scope="module")
+def model_and_data():
+    rng = np.random.default_rng(3)
+    n = 400
+    X = rng.normal(size=(n, 4))
+    # Only feature 1 matters.
+    y = (X[:, 1] > 0).astype(int)
+    model = RandomForestClassifier(n_estimators=16,
+                                   random_state=0).fit(X, y)
+    return model, X, y
+
+
+class TestPermutationImportance:
+    def test_informative_feature_ranks_first(self, model_and_data):
+        model, X, y = model_and_data
+        report = permutation_importance(model.predict, X, y,
+                                        ["a", "b", "c", "d"], n_repeats=3)
+        assert report.top(1)[0][0] == "b"
+        assert report.top(1)[0][1] > 0.1
+
+    def test_noise_features_near_zero(self, model_and_data):
+        model, X, y = model_and_data
+        report = permutation_importance(model.predict, X, y, n_repeats=3)
+        noise = [report.importances_mean[j] for j in (0, 2, 3)]
+        assert max(abs(v) for v in noise) < 0.1
+
+    def test_baseline_recorded(self, model_and_data):
+        model, X, y = model_and_data
+        report = permutation_importance(model.predict, X, y, n_repeats=2)
+        assert report.baseline_score > 0.9
+
+    def test_report_text(self, model_and_data):
+        model, X, y = model_and_data
+        report = permutation_importance(model.predict, X, y,
+                                        ["a", "b", "c", "d"], n_repeats=2)
+        text = report.to_text(2)
+        assert "baseline score" in text
+        assert "b" in text
+
+    def test_name_count_validated(self, model_and_data):
+        model, X, y = model_and_data
+        with pytest.raises(ValueError, match="names for"):
+            permutation_importance(model.predict, X, y, ["only-one"])
+
+    def test_invalid_repeats(self, model_and_data):
+        model, X, y = model_and_data
+        with pytest.raises(ValueError, match="n_repeats"):
+            permutation_importance(model.predict, X, y, n_repeats=0)
+
+
+class TestLime:
+    @pytest.fixture(scope="class")
+    def linear_setup(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(500, 3))
+        # Known linear ground truth: strong +feature0, weak -feature2.
+        logits = 3.0 * X[:, 0] - 0.5 * X[:, 2]
+        y = (logits + 0.1 * rng.normal(size=500) > 0).astype(int)
+        model = LogisticRegression().fit(X, y)
+        explainer = LimeExplainer(model.predict_proba, X,
+                                  ["f0", "f1", "f2"], n_samples=400,
+                                  seed=0)
+        return model, X, explainer
+
+    def test_recovers_dominant_feature(self, linear_setup):
+        _, X, explainer = linear_setup
+        explanation = explainer.explain(X[0])
+        assert explanation.top(1)[0][0] == "f0"
+
+    def test_attribution_signs(self, linear_setup):
+        _, X, explainer = linear_setup
+        explanation = explainer.explain(X[0])
+        by_name = dict(zip(explanation.feature_names,
+                           explanation.attributions))
+        assert by_name["f0"] > 0
+        assert abs(by_name["f1"]) < abs(by_name["f0"])
+
+    def test_local_fit_quality_near_boundary(self, linear_setup):
+        # The linear surrogate explains most local variance where the
+        # model is not saturated (saturated points are locally flat, so
+        # low R² there is expected behaviour, not a defect).
+        model, X, explainer = linear_setup
+        probs = model.predict_proba(X)[:, 1]
+        boundary = int(np.argmin(np.abs(probs - 0.5)))
+        explanation = explainer.explain(X[boundary])
+        assert explanation.local_fit_r2 > 0.5
+
+    def test_predicted_probability_matches_model(self, linear_setup):
+        model, X, explainer = linear_setup
+        explanation = explainer.explain(X[7])
+        assert explanation.predicted_probability == pytest.approx(
+            model.predict_proba(X[7:8])[0, 1], abs=1e-9)
+
+    def test_to_text(self, linear_setup):
+        _, X, explainer = linear_setup
+        text = explainer.explain(X[0]).to_text(2)
+        assert "P(match)" in text
+
+    def test_dimension_mismatch(self, linear_setup):
+        _, _, explainer = linear_setup
+        with pytest.raises(ValueError, match="features"):
+            explainer.explain(np.zeros(7))
+
+    def test_background_validation(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            LimeExplainer(lambda X: X, np.zeros(5))
+
+    def test_nan_features_yield_finite_attributions(self):
+        # EM feature vectors contain NaN for missing values; the
+        # surrogate must stay finite (regression test).
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 4))
+        X[rng.random(X.shape) < 0.2] = np.nan
+
+        def proba(Z):
+            score = np.nan_to_num(Z[:, 0])
+            p1 = 1 / (1 + np.exp(-score))
+            return np.column_stack([1 - p1, p1])
+
+        explainer = LimeExplainer(proba, X, n_samples=200, seed=0)
+        explanation = explainer.explain(X[0])
+        assert np.isfinite(explanation.attributions).all()
+        assert np.isfinite(explanation.local_fit_r2)
+
+    def test_name_count_validated(self):
+        with pytest.raises(ValueError, match="names for"):
+            LimeExplainer(lambda X: X, np.zeros((5, 3)), ["a"])

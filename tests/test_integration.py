@@ -1,0 +1,103 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DeepMatcherLite, MagellanMatcher
+from repro.core import AutoMLEM, AutoMLEMActive
+from repro.data.synthetic import load_benchmark
+
+
+@pytest.fixture(scope="module")
+def easy():
+    benchmark = load_benchmark("fodors_zagats", seed=21, scale=0.5)
+    return benchmark.splits(seed=0)
+
+
+@pytest.fixture(scope="module")
+def hard():
+    benchmark = load_benchmark("abt_buy", seed=21, scale=0.12)
+    return benchmark.splits(seed=0)
+
+
+class TestEndToEnd:
+    def test_all_matchers_beat_trivial_baseline_on_easy_data(self, easy):
+        train, valid, test = easy
+        trivial_f1 = 2 * test.positive_rate / (1 + test.positive_rate)
+        matchers = {
+            "magellan": MagellanMatcher(forest_size=8, seed=0),
+            "automl_em": AutoMLEM(n_iterations=4, forest_size=8, seed=0),
+            "deepmatcher": DeepMatcherLite(seed=0, epochs=25),
+        }
+        for name, matcher in matchers.items():
+            matcher.fit(train, valid)
+            f1 = matcher.evaluate(test)["f1"]
+            assert f1 > trivial_f1 + 0.2, name
+
+    def test_automl_em_competitive_with_magellan_on_hard_data(self, hard):
+        train, valid, test = hard
+        magellan = MagellanMatcher(forest_size=16, seed=0).fit(train, valid)
+        autoem = AutoMLEM(n_iterations=10, forest_size=16, seed=0)
+        autoem.fit(train, valid)
+        # On the hard product data, AutoML-EM should at least be in the
+        # same league (paper finding: usually clearly better).
+        assert autoem.evaluate(test)["f1"] >= \
+            magellan.evaluate(test)["f1"] - 0.1
+
+    def test_active_learning_full_loop(self, easy):
+        train, valid, test = easy
+        pool = train.concat(valid)
+        active = AutoMLEMActive(
+            init_size=80, ac_batch=5, st_batch=30, n_iterations=3,
+            inner_forest_size=8,
+            automl_kwargs=dict(n_iterations=3, forest_size=8, seed=0),
+            seed=0)
+        active.fit(pool)
+        result = active.evaluate(test)
+        assert result["f1"] > 0.7
+        # hybrid labeling really mixed both sources
+        assert active.human_label_count_ > 0
+        assert active.machine_label_count_ > 0
+
+    def test_feature_reuse_between_matchers(self, easy):
+        """Precomputed features shared across matchers stay consistent."""
+        train, valid, test = easy
+        autoem = AutoMLEM(n_iterations=3, forest_size=8, seed=0)
+        generator = autoem.make_feature_generator(train)
+        X_tr = generator.transform(train)
+        X_va = generator.transform(valid)
+        X_te = generator.transform(test)
+        autoem.fit_matrices(X_tr, train.labels, X_va, valid.labels)
+        via_matrix = autoem.evaluate_matrix(X_te, test.labels)["f1"]
+        autoem2 = AutoMLEM(n_iterations=3, forest_size=8, seed=0)
+        autoem2.fit(train, valid, feature_generator=generator)
+        via_pairs = autoem2.evaluate(test)["f1"]
+        assert via_matrix == pytest.approx(via_pairs)
+
+    def test_blocking_feeds_matching(self, easy):
+        """Blocking output is a valid matcher input (pipeline contract)."""
+        from repro.blocking import OverlapBlocker
+        train, valid, _ = easy
+        matcher = AutoMLEM(n_iterations=2, forest_size=8, seed=0)
+        matcher.fit(train, valid)
+        candidates = OverlapBlocker("name").block(train.table_a,
+                                                  train.table_b)
+        predictions = matcher.predict(candidates)
+        assert predictions.shape == (len(candidates),)
+        assert set(predictions.tolist()) <= {0, 1}
+
+    def test_csv_round_trip_preserves_learning(self, easy, tmp_path):
+        from repro.data import read_pairs, read_table, write_pairs, \
+            write_table
+        train, valid, test = easy
+        write_table(train.table_a, tmp_path / "a.csv")
+        write_table(train.table_b, tmp_path / "b.csv")
+        write_pairs(test, tmp_path / "test.csv")
+        table_a = read_table(tmp_path / "a.csv")
+        table_b = read_table(tmp_path / "b.csv")
+        test_loaded = read_pairs(tmp_path / "test.csv", table_a, table_b)
+        matcher = AutoMLEM(n_iterations=2, forest_size=8, seed=0)
+        matcher.fit(train, valid)
+        f1_original = matcher.evaluate(test)["f1"]
+        f1_loaded = matcher.evaluate(test_loaded)["f1"]
+        assert f1_loaded == pytest.approx(f1_original, abs=0.02)

@@ -1,0 +1,146 @@
+"""Tests for estimator plumbing, Pipeline and validation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    NotFittedError,
+    Pipeline,
+    RandomForestClassifier,
+    SelectPercentile,
+    SimpleImputer,
+    StandardScaler,
+    StratifiedKFold,
+    clone,
+    cross_val_score,
+    f1_score,
+    train_test_split,
+)
+from repro.ml.base import check_X_y, encode_labels
+
+
+class TestBaseEstimator:
+    def test_get_params_round_trip(self):
+        tree = DecisionTreeClassifier(max_depth=7, criterion="entropy")
+        params = tree.get_params()
+        assert params["max_depth"] == 7
+        assert params["criterion"] == "entropy"
+
+    def test_set_params(self):
+        tree = DecisionTreeClassifier()
+        tree.set_params(max_depth=3)
+        assert tree.max_depth == 3
+
+    def test_set_unknown_param_raises(self):
+        with pytest.raises(ValueError, match="no parameter"):
+            DecisionTreeClassifier().set_params(depth=3)
+
+    def test_clone_is_unfitted_copy(self, blob_data):
+        X_train, y_train, _, _ = blob_data
+        tree = DecisionTreeClassifier(max_depth=4).fit(X_train, y_train)
+        copy = clone(tree)
+        assert copy.max_depth == 4
+        with pytest.raises(NotFittedError):
+            copy.predict(X_train)
+
+    def test_repr_contains_params(self):
+        assert "max_depth=5" in repr(DecisionTreeClassifier(max_depth=5))
+
+
+class TestValidationHelpers:
+    def test_check_X_y_shapes(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_X_y(np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError, match="rows but"):
+            check_X_y(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError, match="empty"):
+            check_X_y(np.zeros((0, 2)), np.zeros(0))
+
+    def test_encode_labels(self):
+        classes, encoded = encode_labels(["b", "a", "b"])
+        assert classes.tolist() == ["a", "b"]
+        assert encoded.tolist() == [1, 0, 1]
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, blob_data):
+        X_train, y_train, _, _ = blob_data
+        X_tr, X_te, y_tr, y_te = train_test_split(X_train, y_train,
+                                                  test_size=0.25, seed=0)
+        assert len(X_te) == pytest.approx(0.25 * len(X_train), abs=2)
+        assert len(X_tr) + len(X_te) == len(X_train)
+
+    def test_stratification(self):
+        y = np.asarray([0] * 80 + [1] * 20)
+        X = np.arange(100, dtype=float).reshape(-1, 1)
+        _, _, _, y_te = train_test_split(X, y, test_size=0.2, seed=0)
+        assert y_te.sum() == 4
+
+    def test_invalid_test_size(self, blob_data):
+        X_train, y_train, _, _ = blob_data
+        with pytest.raises(ValueError, match="test_size"):
+            train_test_split(X_train, y_train, test_size=1.5)
+
+
+class TestStratifiedKFold:
+    def test_folds_partition(self):
+        y = np.asarray([0] * 30 + [1] * 10)
+        seen = []
+        for train_idx, test_idx in StratifiedKFold(4, seed=0).split(y):
+            assert set(train_idx) & set(test_idx) == set()
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(40))
+
+    def test_each_fold_has_minority(self):
+        y = np.asarray([0] * 36 + [1] * 4)
+        for _, test_idx in StratifiedKFold(4, seed=0).split(y):
+            assert y[test_idx].sum() == 1
+
+    def test_invalid_splits(self):
+        with pytest.raises(ValueError, match="n_splits"):
+            StratifiedKFold(1)
+
+    def test_cross_val_score(self, blob_data):
+        X_train, y_train, _, _ = blob_data
+        scores = cross_val_score(DecisionTreeClassifier(max_depth=4),
+                                 X_train, y_train, n_splits=3)
+        assert scores.shape == (3,)
+        assert scores.min() > 0.8
+
+
+class TestPipeline:
+    def test_full_chain(self, rng):
+        X = rng.normal(size=(120, 10))
+        X[rng.random(X.shape) < 0.1] = np.nan
+        y = (np.nan_to_num(X[:, 0]) > 0).astype(int)
+        pipe = Pipeline([
+            ("impute", SimpleImputer()),
+            ("scale", StandardScaler()),
+            ("select", SelectPercentile(50)),
+            ("clf", RandomForestClassifier(n_estimators=10,
+                                           random_state=0)),
+        ])
+        pipe.fit(X[:100], y[:100])
+        assert f1_score(y[100:], pipe.predict(X[100:])) > 0.5
+
+    def test_predict_proba_passthrough(self, blob_data):
+        X_train, y_train, X_test, _ = blob_data
+        pipe = Pipeline([("scale", StandardScaler()),
+                         ("clf", DecisionTreeClassifier())])
+        pipe.fit(X_train, y_train)
+        assert pipe.predict_proba(X_test).shape == (len(X_test), 2)
+
+    def test_unfitted_raises(self, blob_data):
+        _, _, X_test, _ = blob_data
+        pipe = Pipeline([("clf", DecisionTreeClassifier())])
+        with pytest.raises(NotFittedError):
+            pipe.predict(X_test)
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError, match="at least one step"):
+            Pipeline([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate step names"):
+            Pipeline([("a", SimpleImputer()), ("a", StandardScaler())])

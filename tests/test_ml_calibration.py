@@ -1,0 +1,71 @@
+"""Tests for Platt calibration and the expected calibration error."""
+
+import numpy as np
+import pytest
+
+from repro.ml import PlattCalibrator, expected_calibration_error
+
+
+@pytest.fixture()
+def miscalibrated(rng):
+    """Scores correlate with the label but on a stretched scale."""
+    n = 600
+    latent = rng.normal(size=n)
+    y = (latent + 0.3 * rng.normal(size=n) > 0).astype(int)
+    scores = 5.0 * latent  # overconfident raw margins
+    return scores, y
+
+
+class TestPlatt:
+    def test_probabilities_ordered_with_scores(self, miscalibrated):
+        scores, y = miscalibrated
+        calibrator = PlattCalibrator().fit(scores, y)
+        probs = calibrator.predict_proba(scores)[:, 1]
+        order_scores = np.argsort(scores)
+        ordered = probs[order_scores]
+        assert all(b >= a - 1e-12 for a, b in zip(ordered, ordered[1:]))
+
+    def test_reduces_ece_of_squashed_margins(self, miscalibrated):
+        scores, y = miscalibrated
+        naive = 1.0 / (1.0 + np.exp(-scores))
+        calibrator = PlattCalibrator().fit(scores, y)
+        calibrated = calibrator.predict_proba(scores)[:, 1]
+        assert expected_calibration_error(y, calibrated) <= \
+            expected_calibration_error(y, naive) + 1e-6
+
+    def test_proba_rows_sum_to_one(self, miscalibrated):
+        scores, y = miscalibrated
+        probs = PlattCalibrator().fit(scores, y).predict_proba(scores)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="both classes"):
+            PlattCalibrator().fit([0.1, 0.9], [1, 1])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            PlattCalibrator().fit([0.1], [1, 0])
+
+
+class TestECE:
+    def test_perfectly_calibrated_low_ece(self, rng):
+        n = 5000
+        probs = rng.random(n)
+        y = (rng.random(n) < probs).astype(int)
+        assert expected_calibration_error(y, probs, n_bins=10) < 0.05
+
+    def test_anticalibrated_high_ece(self):
+        y = np.asarray([0] * 50 + [1] * 50)
+        probs = np.concatenate([np.full(50, 0.95), np.full(50, 0.05)])
+        assert expected_calibration_error(y, probs) > 0.5
+
+    def test_constant_probability(self):
+        y = np.asarray([0, 1, 0, 1])
+        assert expected_calibration_error(y, np.full(4, 0.5)) == \
+            pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_bins"):
+            expected_calibration_error([1], [0.5], n_bins=0)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            expected_calibration_error([1, 0], [0.5])

@@ -1,0 +1,92 @@
+"""Tests for PCA and feature agglomeration."""
+
+import numpy as np
+import pytest
+
+from repro.ml import PCA, FeatureAgglomeration
+
+
+class TestPCA:
+    def test_reconstructs_low_rank(self, rng):
+        basis = rng.normal(size=(2, 6))
+        weights = rng.normal(size=(100, 2))
+        X = weights @ basis
+        pca = PCA(n_components=2).fit(X)
+        assert pca.explained_variance_ratio_.sum() == pytest.approx(1.0)
+
+    def test_component_count(self, rng):
+        X = rng.normal(size=(50, 8))
+        assert PCA(n_components=3).fit_transform(X).shape == (50, 3)
+
+    def test_variance_target(self, rng):
+        basis = rng.normal(size=(3, 10))
+        X = rng.normal(size=(200, 3)) @ basis \
+            + 0.01 * rng.normal(size=(200, 10))
+        pca = PCA(n_components=0.95).fit(X)
+        assert pca.components_.shape[0] <= 4
+
+    def test_whiten_unit_variance(self, rng):
+        X = rng.normal(size=(300, 5)) * np.asarray([10, 5, 2, 1, 0.5])
+        out = PCA(n_components=3, whiten=True).fit_transform(X)
+        assert np.allclose(out.std(axis=0), 1.0, atol=0.1)
+
+    def test_components_orthonormal(self, rng):
+        X = rng.normal(size=(100, 6))
+        pca = PCA(n_components=4).fit(X)
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(4), atol=1e-10)
+
+    def test_transform_centers_with_train_mean(self, rng):
+        X = rng.normal(loc=100.0, size=(50, 3))
+        pca = PCA(n_components=2).fit(X)
+        out = pca.transform(X)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_invalid_float_components(self, rng):
+        X = rng.normal(size=(20, 3))
+        with pytest.raises(ValueError, match="float n_components"):
+            PCA(n_components=1.5).fit(X)
+
+    def test_invalid_int_components(self, rng):
+        X = rng.normal(size=(20, 3))
+        with pytest.raises(ValueError, match="n_components must be"):
+            PCA(n_components=0).fit(X)
+
+
+class TestFeatureAgglomeration:
+    def test_output_width(self, rng):
+        X = rng.normal(size=(80, 12))
+        out = FeatureAgglomeration(n_clusters=4).fit_transform(X)
+        assert out.shape == (80, 4)
+
+    def test_correlated_features_cluster_together(self, rng):
+        base = rng.normal(size=100)
+        X = np.column_stack([
+            base + 0.01 * rng.normal(size=100),
+            base + 0.01 * rng.normal(size=100),
+            rng.normal(size=100),
+            rng.normal(size=100),
+        ])
+        agg = FeatureAgglomeration(n_clusters=3).fit(X)
+        assert agg.labels_[0] == agg.labels_[1]
+
+    def test_anticorrelated_also_cluster(self, rng):
+        # distance uses |corr|, so mirrored features merge too
+        base = rng.normal(size=200)
+        X = np.column_stack([base, -base, rng.normal(size=200)])
+        agg = FeatureAgglomeration(n_clusters=2).fit(X)
+        assert agg.labels_[0] == agg.labels_[1]
+
+    def test_n_clusters_geq_features_identity_width(self, rng):
+        X = rng.normal(size=(20, 3))
+        out = FeatureAgglomeration(n_clusters=10).fit_transform(X)
+        assert out.shape[1] == 3
+
+    def test_pooling_is_mean(self, rng):
+        X = rng.normal(size=(30, 2))
+        agg = FeatureAgglomeration(n_clusters=1).fit(X)
+        np.testing.assert_allclose(agg.transform(X)[:, 0], X.mean(axis=1))
+
+    def test_invalid_clusters(self):
+        with pytest.raises(ValueError, match="n_clusters"):
+            FeatureAgglomeration(n_clusters=0)

@@ -1,0 +1,131 @@
+"""Tests for random forest / extra trees / the regression forest."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    ExtraTreesClassifier,
+    RandomForestClassifier,
+    f1_score,
+)
+from repro.ml.forest import RandomForestRegressor
+
+
+class TestRandomForest:
+    def test_beats_chance_on_noisy_data(self, noisy_data):
+        X_train, y_train, X_test, y_test = noisy_data
+        forest = RandomForestClassifier(n_estimators=20, random_state=0)
+        forest.fit(X_train, y_train)
+        assert f1_score(y_test, forest.predict(X_test)) > 0.6
+
+    def test_proba_shape_and_range(self, blob_data):
+        X_train, y_train, X_test, _ = blob_data
+        forest = RandomForestClassifier(n_estimators=10).fit(X_train,
+                                                             y_train)
+        probs = forest.predict_proba(X_test)
+        assert probs.shape == (len(X_test), 2)
+        assert np.all(probs >= 0) and np.all(probs <= 1)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_vote_fraction_range(self, noisy_data):
+        X_train, y_train, X_test, _ = noisy_data
+        forest = RandomForestClassifier(n_estimators=10).fit(X_train,
+                                                             y_train)
+        votes = forest.vote_fraction(X_test)
+        assert np.all(votes >= 0.5 - 1e-9)
+        assert np.all(votes <= 1.0 + 1e-9)
+
+    def test_vote_fraction_confident_on_separable(self, blob_data):
+        X_train, y_train, X_test, _ = blob_data
+        forest = RandomForestClassifier(n_estimators=20).fit(X_train,
+                                                             y_train)
+        assert forest.vote_fraction(X_test).mean() > 0.9
+
+    def test_determinism_with_seed(self, noisy_data):
+        X_train, y_train, X_test, _ = noisy_data
+        f1 = RandomForestClassifier(n_estimators=5, random_state=7)
+        f2 = RandomForestClassifier(n_estimators=5, random_state=7)
+        np.testing.assert_array_equal(
+            f1.fit(X_train, y_train).predict(X_test),
+            f2.fit(X_train, y_train).predict(X_test))
+
+    def test_feature_importances_sum_to_one(self, noisy_data):
+        X_train, y_train, _, _ = noisy_data
+        forest = RandomForestClassifier(n_estimators=10).fit(X_train,
+                                                             y_train)
+        importances = forest.feature_importances()
+        assert importances.shape == (X_train.shape[1],)
+        assert importances.sum() == pytest.approx(1.0)
+
+    def test_informative_features_rank_higher(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(300, 6))
+        y = (X[:, 2] > 0).astype(int)  # only feature 2 matters
+        forest = RandomForestClassifier(n_estimators=20,
+                                        random_state=0).fit(X, y)
+        importances = forest.feature_importances()
+        assert np.argmax(importances) == 2
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ValueError, match="n_estimators"):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_more_trees_not_worse(self, noisy_data):
+        X_train, y_train, X_test, y_test = noisy_data
+        small = RandomForestClassifier(n_estimators=3, random_state=0)
+        large = RandomForestClassifier(n_estimators=40, random_state=0)
+        f1_small = f1_score(y_test,
+                            small.fit(X_train, y_train).predict(X_test))
+        f1_large = f1_score(y_test,
+                            large.fit(X_train, y_train).predict(X_test))
+        assert f1_large >= f1_small - 0.05
+
+
+class TestExtraTrees:
+    def test_learns_blobs(self, blob_data):
+        X_train, y_train, X_test, y_test = blob_data
+        model = ExtraTreesClassifier(n_estimators=15, random_state=0)
+        model.fit(X_train, y_train)
+        assert f1_score(y_test, model.predict(X_test)) > 0.9
+
+    def test_no_bootstrap_by_default(self):
+        assert ExtraTreesClassifier().bootstrap is False
+        assert RandomForestClassifier().bootstrap is True
+
+
+class TestRegressorForest:
+    def test_mean_prediction(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, size=(200, 3))
+        y = 2.0 * X[:, 0] + rng.normal(0, 0.1, 200)
+        forest = RandomForestRegressor(n_estimators=10, random_state=0)
+        forest.fit(X, y)
+        predictions = forest.predict(X)
+        assert np.corrcoef(predictions, y)[0, 1] > 0.9
+
+    def test_predict_with_std_shapes(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 2))
+        y = X[:, 0]
+        forest = RandomForestRegressor(n_estimators=5).fit(X, y)
+        mean, std = forest.predict_with_std(X)
+        assert mean.shape == std.shape == (50,)
+        assert np.all(std >= 0)
+
+    def test_single_tree_has_zero_std(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1, size=(100, 1))
+        y = np.sin(6 * X[:, 0])
+        forest = RandomForestRegressor(n_estimators=1,
+                                       random_state=0).fit(X, y)
+        _, std = forest.predict_with_std(X)
+        assert np.allclose(std, 0.0)
+
+    def test_ensemble_disagrees_somewhere(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1, size=(200, 1))
+        y = np.sin(6 * X[:, 0]) + rng.normal(0, 0.2, 200)
+        forest = RandomForestRegressor(n_estimators=20,
+                                       random_state=0).fit(X, y)
+        _, std = forest.predict_with_std(X)
+        assert std.max() > 0.0

@@ -1,0 +1,102 @@
+"""Tests for grid search and randomized search."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    GridSearchCV,
+    ParameterGrid,
+    RandomizedSearchCV,
+)
+
+
+class TestParameterGrid:
+    def test_cross_product(self):
+        grid = ParameterGrid({"a": [1, 2], "b": ["x", "y"]})
+        combos = list(grid)
+        assert len(combos) == len(grid) == 4
+        assert {"a": 2, "b": "y"} in combos
+
+    def test_single_entry(self):
+        assert list(ParameterGrid({"a": [7]})) == [{"a": 7}]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="must not be empty"):
+            ParameterGrid({})
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ParameterGrid({"a": []})
+
+
+class TestGridSearch:
+    def test_finds_reasonable_depth(self, noisy_data):
+        X_train, y_train, X_test, y_test = noisy_data
+        search = GridSearchCV(DecisionTreeClassifier(random_state=0),
+                              {"max_depth": [1, 6, 12]}, n_splits=3)
+        search.fit(X_train, y_train)
+        # depth 1 cannot express the XOR interaction
+        assert search.best_params_["max_depth"] > 1
+        assert search.predict(X_test).shape == y_test.shape
+
+    def test_results_cover_grid(self, blob_data):
+        X_train, y_train, _, _ = blob_data
+        search = GridSearchCV(DecisionTreeClassifier(random_state=0),
+                              {"max_depth": [2, 4],
+                               "criterion": ["gini", "entropy"]})
+        search.fit(X_train, y_train)
+        assert len(search.results_) == 4
+        assert search.best_score_ == max(r["mean_score"]
+                                         for r in search.results_)
+
+    def test_best_estimator_refit_on_all_data(self, blob_data):
+        X_train, y_train, X_test, y_test = blob_data
+        search = GridSearchCV(DecisionTreeClassifier(random_state=0),
+                              {"max_depth": [4]})
+        search.fit(X_train, y_train)
+        from repro.ml import f1_score
+        assert f1_score(y_test, search.predict(X_test)) > 0.85
+
+    def test_invalid_splits(self):
+        with pytest.raises(ValueError, match="n_splits"):
+            GridSearchCV(DecisionTreeClassifier(), {"max_depth": [1]},
+                         n_splits=1)
+
+
+class TestRandomizedSearch:
+    def test_runs_n_iter_candidates(self, blob_data):
+        X_train, y_train, _, _ = blob_data
+        search = RandomizedSearchCV(
+            DecisionTreeClassifier(random_state=0),
+            {"max_depth": [2, 4, 8, 16]}, n_iter=5, seed=1)
+        search.fit(X_train, y_train)
+        assert len(search.results_) == 5
+
+    def test_callable_sampler(self, blob_data):
+        X_train, y_train, _, _ = blob_data
+        search = RandomizedSearchCV(
+            DecisionTreeClassifier(random_state=0),
+            {"max_depth": lambda rng: int(rng.integers(2, 10))},
+            n_iter=4, seed=0)
+        search.fit(X_train, y_train)
+        depths = [r["params"]["max_depth"] for r in search.results_]
+        assert all(2 <= d < 10 for d in depths)
+
+    def test_deterministic_given_seed(self, blob_data):
+        X_train, y_train, _, _ = blob_data
+        kwargs = dict(param_distributions={"max_depth": [2, 4, 8]},
+                      n_iter=4, seed=9)
+        s1 = RandomizedSearchCV(DecisionTreeClassifier(random_state=0),
+                                **kwargs).fit(X_train, y_train)
+        s2 = RandomizedSearchCV(DecisionTreeClassifier(random_state=0),
+                                **kwargs).fit(X_train, y_train)
+        assert [r["params"] for r in s1.results_] == \
+            [r["params"] for r in s2.results_]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="n_iter"):
+            RandomizedSearchCV(DecisionTreeClassifier(), {"a": [1]},
+                               n_iter=0)
+        with pytest.raises(ValueError, match="must not be empty"):
+            RandomizedSearchCV(DecisionTreeClassifier(), {})

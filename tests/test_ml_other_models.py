@@ -1,0 +1,144 @@
+"""Tests for naive Bayes, k-NN and the MLP."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    BernoulliNB,
+    GaussianNB,
+    KNeighborsClassifier,
+    MLPClassifier,
+    f1_score,
+)
+
+
+class TestGaussianNB:
+    def test_learns_blobs(self, blob_data):
+        X_train, y_train, X_test, y_test = blob_data
+        model = GaussianNB().fit(X_train, y_train)
+        assert f1_score(y_test, model.predict(X_test)) > 0.95
+
+    def test_proba_normalized(self, blob_data):
+        X_train, y_train, X_test, _ = blob_data
+        probs = GaussianNB().fit(X_train, y_train).predict_proba(X_test)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_class_priors_learned(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 2))
+        y = np.concatenate([np.zeros(80, dtype=int), np.ones(20, dtype=int)])
+        model = GaussianNB().fit(X, y)
+        assert model.class_prior_.tolist() == [0.8, 0.2]
+
+    def test_constant_feature_no_crash(self):
+        X = np.column_stack([np.ones(40),
+                             np.random.default_rng(0).normal(size=40)])
+        y = (X[:, 1] > 0).astype(int)
+        model = GaussianNB().fit(X, y)
+        assert f1_score(y, model.predict(X)) > 0.9
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError, match="var_smoothing"):
+            GaussianNB(var_smoothing=-1.0)
+
+
+class TestBernoulliNB:
+    def test_learns_binary_patterns(self):
+        rng = np.random.default_rng(1)
+        n = 300
+        y = rng.integers(0, 2, n)
+        # feature 0 correlates strongly with the class
+        X = np.column_stack([
+            (y + (rng.random(n) < 0.1)) % 2,
+            rng.integers(0, 2, n),
+        ]).astype(float)
+        model = BernoulliNB().fit(X[:200], y[:200])
+        assert f1_score(y[200:], model.predict(X[200:])) > 0.8
+
+    def test_binarize_threshold(self):
+        X = np.asarray([[0.2], [0.9], [0.1], [0.8]])
+        y = np.asarray([0, 1, 0, 1])
+        model = BernoulliNB(binarize=0.5).fit(X, y)
+        assert model.predict([[0.95]])[0] == 1
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            BernoulliNB(alpha=0.0)
+
+
+class TestKNN:
+    def test_learns_blobs(self, blob_data):
+        X_train, y_train, X_test, y_test = blob_data
+        model = KNeighborsClassifier(n_neighbors=5).fit(X_train, y_train)
+        assert f1_score(y_test, model.predict(X_test)) > 0.9
+
+    def test_one_neighbor_memorizes_training(self, blob_data):
+        X_train, y_train, _, _ = blob_data
+        model = KNeighborsClassifier(n_neighbors=1).fit(X_train, y_train)
+        np.testing.assert_array_equal(model.predict(X_train), y_train)
+
+    def test_distance_weighting(self, noisy_data):
+        X_train, y_train, X_test, y_test = noisy_data
+        model = KNeighborsClassifier(n_neighbors=15,
+                                     weights="distance").fit(X_train,
+                                                             y_train)
+        assert f1_score(y_test, model.predict(X_test)) > 0.5
+
+    def test_manhattan_metric(self, blob_data):
+        X_train, y_train, X_test, y_test = blob_data
+        model = KNeighborsClassifier(n_neighbors=5, p=1).fit(X_train,
+                                                             y_train)
+        assert f1_score(y_test, model.predict(X_test)) > 0.9
+
+    def test_k_larger_than_train(self):
+        X = np.asarray([[0.0], [1.0], [2.0]])
+        y = np.asarray([0, 0, 1])
+        model = KNeighborsClassifier(n_neighbors=50).fit(X, y)
+        # all points vote -> majority class everywhere
+        assert model.predict([[10.0]])[0] == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="n_neighbors"):
+            KNeighborsClassifier(n_neighbors=0)
+        with pytest.raises(ValueError, match="weights"):
+            KNeighborsClassifier(weights="exotic")
+        with pytest.raises(ValueError, match="p must be"):
+            KNeighborsClassifier(p=3)
+
+
+class TestMLP:
+    def test_learns_blobs(self, blob_data):
+        X_train, y_train, X_test, y_test = blob_data
+        model = MLPClassifier(hidden_layer_sizes=(16,), max_iter=40,
+                              random_state=0).fit(X_train, y_train)
+        assert f1_score(y_test, model.predict(X_test)) > 0.9
+
+    def test_learns_xor(self, noisy_data):
+        X_train, y_train, X_test, y_test = noisy_data
+        model = MLPClassifier(hidden_layer_sizes=(48, 24), max_iter=200,
+                              learning_rate=3e-3, patience=30,
+                              random_state=0).fit(X_train, y_train)
+        assert f1_score(y_test, model.predict(X_test)) > 0.65
+
+    def test_proba_normalized(self, blob_data):
+        X_train, y_train, X_test, _ = blob_data
+        model = MLPClassifier(max_iter=10, random_state=0).fit(X_train,
+                                                               y_train)
+        probs = model.predict_proba(X_test)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_deterministic_given_seed(self, blob_data):
+        X_train, y_train, X_test, _ = blob_data
+        m1 = MLPClassifier(max_iter=5, random_state=3).fit(X_train, y_train)
+        m2 = MLPClassifier(max_iter=5, random_state=3).fit(X_train, y_train)
+        np.testing.assert_allclose(m1.predict_proba(X_test),
+                                   m2.predict_proba(X_test))
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(0)
+        centers = np.asarray([[-3, 0], [3, 0], [0, 4]])
+        X = np.vstack([rng.normal(c, 0.5, size=(60, 2)) for c in centers])
+        y = np.repeat([0, 1, 2], 60)
+        model = MLPClassifier(hidden_layer_sizes=(16,), max_iter=60,
+                              random_state=0).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.9

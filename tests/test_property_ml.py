@@ -1,0 +1,125 @@
+"""Property-based tests (hypothesis) for the ML substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    MinMaxScaler,
+    RobustScaler,
+    SelectKBest,
+    SimpleImputer,
+    StandardScaler,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False)
+matrices = hnp.arrays(np.float64, shape=st.tuples(
+    st.integers(5, 30), st.integers(2, 6)), elements=finite_floats)
+labels01 = st.lists(st.integers(0, 1), min_size=4, max_size=40)
+
+
+class TestMetricProperties:
+    @given(labels01, st.randoms())
+    def test_f1_bounds(self, y_true, rand):
+        y_pred = [rand.randint(0, 1) for _ in y_true]
+        assert 0.0 <= f1_score(y_true, y_pred) <= 1.0
+
+    @given(labels01)
+    def test_perfect_prediction_maximal(self, y):
+        if sum(y) == 0:
+            assert f1_score(y, y) == 0.0  # no positives at all
+        else:
+            assert f1_score(y, y) == 1.0
+
+    @given(labels01, st.randoms())
+    def test_f1_between_precision_and_recall(self, y_true, rand):
+        y_pred = [rand.randint(0, 1) for _ in y_true]
+        p = precision_score(y_true, y_pred)
+        r = recall_score(y_true, y_pred)
+        f = f1_score(y_true, y_pred)
+        assert min(p, r) - 1e-12 <= f <= max(p, r) + 1e-12
+
+
+class TestTransformerProperties:
+    @settings(max_examples=30)
+    @given(matrices)
+    def test_minmax_into_unit_box(self, X):
+        out = MinMaxScaler().fit_transform(X)
+        assert out.min() >= -1e-9
+        assert out.max() <= 1.0 + 1e-9
+
+    @settings(max_examples=30)
+    @given(matrices)
+    def test_standard_scaler_round_trip_shape(self, X):
+        scaler = StandardScaler().fit(X)
+        out = scaler.transform(X)
+        assert out.shape == X.shape
+        assert np.isfinite(out).all()
+
+    @settings(max_examples=30)
+    @given(matrices)
+    def test_robust_scaler_finite(self, X):
+        out = RobustScaler().fit_transform(X)
+        assert np.isfinite(out).all()
+
+    @settings(max_examples=30)
+    @given(matrices, st.integers(0, 100))
+    def test_imputer_removes_all_nan(self, X, seed):
+        rng = np.random.default_rng(seed)
+        X = X.copy()
+        X[rng.random(X.shape) < 0.3] = np.nan
+        out = SimpleImputer().fit_transform(X)
+        assert not np.isnan(out).any()
+        # non-missing entries unchanged
+        mask = ~np.isnan(X)
+        np.testing.assert_array_equal(out[mask], X[mask])
+
+    @settings(max_examples=20)
+    @given(matrices, st.integers(1, 4), st.integers(0, 1000))
+    def test_select_k_best_width(self, X, k, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, X.shape[0])
+        if len(np.unique(y)) < 2:
+            y[0] = 1 - y[0]
+        out = SelectKBest(k=k).fit_transform(X, y)
+        assert out.shape == (X.shape[0], min(k, X.shape[1]))
+
+
+class TestTreeProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_predictions_are_training_classes(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(40, 3))
+        y = rng.integers(0, 2, 40)
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        probe = rng.normal(size=(20, 3))
+        assert set(tree.predict(probe).tolist()) <= set(y.tolist())
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_training_accuracy_full_depth(self, seed):
+        # With unique rows, a full-depth tree memorizes the training set.
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(30, 4))
+        y = rng.integers(0, 2, 30)
+        tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+        assert (tree.predict(X) == y).all()
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_depth_limit_reduces_leaves(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(60, 3))
+        y = rng.integers(0, 2, 60)
+        shallow = DecisionTreeClassifier(max_depth=2,
+                                         random_state=0).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=8,
+                                      random_state=0).fit(X, y)
+        assert shallow.tree_.n_leaves <= deep.tree_.n_leaves
+        assert shallow.tree_.n_leaves <= 4

@@ -1,0 +1,73 @@
+"""Unit tests for numeric and boolean similarity measures."""
+
+import math
+
+import pytest
+
+from repro.similarity import (
+    absolute_norm,
+    boolean_exact_match,
+    numeric_exact_match,
+    numeric_levenshtein_distance,
+    numeric_levenshtein_similarity,
+)
+
+
+class TestNumericExactMatch:
+    def test_equal(self):
+        assert numeric_exact_match(42.0, 42.0) == 1.0
+
+    def test_not_equal(self):
+        assert numeric_exact_match(42.0, 42.5) == 0.0
+
+    def test_nan_propagates(self):
+        assert math.isnan(numeric_exact_match(float("nan"), 1.0))
+
+
+class TestAbsoluteNorm:
+    def test_equal_values(self):
+        assert absolute_norm(10.0, 10.0) == 1.0
+
+    def test_both_zero(self):
+        assert absolute_norm(0.0, 0.0) == 1.0
+
+    def test_known_value(self):
+        # 1 - |10-5|/10 = 0.5
+        assert absolute_norm(10.0, 5.0) == 0.5
+
+    def test_symmetry(self):
+        assert absolute_norm(3.0, 7.0) == absolute_norm(7.0, 3.0)
+
+    def test_clipped_at_zero(self):
+        assert absolute_norm(1.0, -100.0) == 0.0
+
+    def test_nan_propagates(self):
+        assert math.isnan(absolute_norm(1.0, float("nan")))
+
+
+class TestNumericLevenshtein:
+    def test_integer_rendering(self):
+        # 1999 vs 1998: one digit edit.
+        assert numeric_levenshtein_distance(1999.0, 1998.0) == 1.0
+
+    def test_integral_floats_render_without_decimal(self):
+        assert numeric_levenshtein_distance(5.0, 5.0) == 0.0
+
+    def test_similarity_bounds(self):
+        assert 0.0 <= numeric_levenshtein_similarity(19.99, 24.99) <= 1.0
+
+    def test_nan(self):
+        assert math.isnan(numeric_levenshtein_similarity(float("nan"), 2.0))
+
+
+class TestBooleanExactMatch:
+    @pytest.mark.parametrize("v1,v2,expected", [
+        (True, True, 1.0), (False, False, 1.0),
+        (True, False, 0.0), (False, True, 0.0),
+    ])
+    def test_truth_table(self, v1, v2, expected):
+        assert boolean_exact_match(v1, v2) == expected
+
+    def test_missing_is_nan(self):
+        assert math.isnan(boolean_exact_match(None, True))
+        assert math.isnan(boolean_exact_match(False, None))

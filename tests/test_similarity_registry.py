@@ -1,0 +1,110 @@
+"""Tests for the named similarity-measure registry (Tables I/II rows)."""
+
+import math
+
+import pytest
+
+from repro.similarity import (
+    ALL_BOOLEAN_MEASURES,
+    ALL_NUMERIC_MEASURES,
+    ALL_STRING_MEASURES,
+    DISTANCE_MEASURES,
+    MEASURES,
+    get_measure,
+    score,
+)
+from repro.similarity.registry import SEQUENCE_MAX_CHARS
+
+
+class TestRegistryContents:
+    def test_sixteen_string_measures(self):
+        # Table II lists exactly 16 string measures.
+        assert len(ALL_STRING_MEASURES) == 16
+
+    def test_four_numeric_measures(self):
+        assert len(ALL_NUMERIC_MEASURES) == 4
+
+    def test_one_boolean_measure(self):
+        assert ALL_BOOLEAN_MEASURES == ("bool_exact_match",)
+
+    def test_all_names_unique(self):
+        names = list(MEASURES)
+        assert len(names) == len(set(names)) == 21
+
+    def test_expected_table2_rows_present(self):
+        expected = {"lev_dist", "lev_sim", "jaro", "exact_match",
+                    "jaro_winkler", "needleman_wunsch", "smith_waterman",
+                    "monge_elkan", "overlap_space", "dice_space",
+                    "cosine_space", "jaccard_space", "overlap_3gram",
+                    "dice_3gram", "cosine_3gram", "jaccard_3gram"}
+        assert expected == set(ALL_STRING_MEASURES)
+
+    def test_distance_measures_flagged(self):
+        assert "lev_dist" in DISTANCE_MEASURES
+        assert "jaccard_space" not in DISTANCE_MEASURES
+
+
+class TestLookup:
+    def test_get_measure(self):
+        assert get_measure("jaccard_space").name == "jaccard_space"
+
+    def test_unknown_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="unknown similarity measure"):
+            get_measure("jacard")
+
+
+class TestInvocation:
+    def test_tokenized_measure(self):
+        assert score("jaccard_space", "new york", "new york city") == \
+            pytest.approx(2 / 3)
+
+    def test_qgram_measure_nonzero_on_typo(self):
+        assert score("jaccard_3gram", "fenix", "fenyx") > 0.0
+
+    def test_missing_value_gives_nan(self):
+        assert math.isnan(score("jaccard_space", None, "x"))
+        assert math.isnan(score("lev_dist", "x", None))
+        assert math.isnan(score("abs_norm", None, None))
+
+    def test_numeric_measure_coerces_strings(self):
+        assert score("abs_norm", "10", "10") == 1.0
+
+    def test_numeric_measure_nan_on_text(self):
+        assert math.isnan(score("abs_norm", "ten", "10"))
+
+    def test_boolean_measure(self):
+        assert score("bool_exact_match", True, True) == 1.0
+
+    def test_non_string_values_coerced(self):
+        # Record values can be floats even for string measures.
+        assert score("exact_match", 3.5, 3.5) == 1.0
+
+    def test_every_string_measure_handles_empty(self):
+        for name in ALL_STRING_MEASURES:
+            value = score(name, "", "")
+            assert not math.isinf(value)
+
+    def test_every_measure_callable_on_typical_input(self):
+        for name in ALL_STRING_MEASURES:
+            value = score(name, "arnie mortons", "arnie morton's chicago")
+            assert isinstance(value, float)
+        for name in ALL_NUMERIC_MEASURES:
+            assert isinstance(score(name, 12.5, 13.0), float)
+
+
+class TestSequenceCap:
+    def test_long_strings_are_capped_for_dp_measures(self):
+        long_a = "a" * (SEQUENCE_MAX_CHARS + 500)
+        long_b = "a" * (SEQUENCE_MAX_CHARS + 500) + "b"
+        # Identical within the cap → distance 0 despite the trailing b.
+        assert score("lev_dist", long_a, long_b) == 0.0
+
+    def test_exact_match_is_not_capped(self):
+        long_a = "a" * (SEQUENCE_MAX_CHARS + 500)
+        long_b = long_a + "b"
+        assert score("exact_match", long_a, long_b) == 0.0
+
+    def test_token_measures_see_full_string(self):
+        prefix = "x " * 60
+        assert score("jaccard_space", prefix + "apple",
+                     prefix + "banana") < 1.0

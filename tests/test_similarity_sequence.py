@@ -1,0 +1,149 @@
+"""Unit tests for the character-sequence similarity functions."""
+
+import pytest
+
+from repro.similarity import (
+    exact_match,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    needleman_wunsch,
+    smith_waterman,
+)
+
+
+class TestExactMatch:
+    def test_identical(self):
+        assert exact_match("abc", "abc") == 1.0
+
+    def test_different(self):
+        assert exact_match("abc", "abd") == 0.0
+
+    def test_case_sensitive(self):
+        assert exact_match("ABC", "abc") == 0.0
+
+    def test_empty_strings_match(self):
+        assert exact_match("", "") == 1.0
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize("s1,s2,expected", [
+        ("kitten", "sitting", 3.0),
+        ("flaw", "lawn", 2.0),
+        ("new yrk", "new york", 1.0),
+        ("abc", "abc", 0.0),
+        ("", "abc", 3.0),
+        ("abc", "", 3.0),
+        ("", "", 0.0),
+        ("a", "b", 1.0),
+        ("ab", "ba", 2.0),
+    ])
+    def test_known_distances(self, s1, s2, expected):
+        assert levenshtein_distance(s1, s2) == expected
+
+    def test_symmetry(self):
+        assert levenshtein_distance("sunday", "saturday") == \
+            levenshtein_distance("saturday", "sunday")
+
+    def test_bounded_by_longer_length(self):
+        assert levenshtein_distance("abcdef", "xyz") <= 6.0
+
+    def test_similarity_identical(self):
+        assert levenshtein_similarity("hello", "hello") == 1.0
+
+    def test_similarity_disjoint(self):
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+
+    def test_similarity_both_empty(self):
+        assert levenshtein_similarity("", "") == 1.0
+
+    def test_similarity_half(self):
+        # "ab" -> "ax": 1 edit over max length 2.
+        assert levenshtein_similarity("ab", "ax") == 0.5
+
+    def test_unicode(self):
+        assert levenshtein_distance("café", "cafe") == 1.0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro_similarity("martha", "martha") == 1.0
+
+    def test_known_value_martha(self):
+        # Classic textbook example.
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.944444,
+                                                                    abs=1e-5)
+    def test_known_value_dixon(self):
+        assert jaro_similarity("dixon", "dicksonx") == pytest.approx(0.766667,
+                                                                     abs=1e-5)
+    def test_no_common_characters(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_empty_side(self):
+        assert jaro_similarity("", "abc") == 0.0
+
+    def test_symmetry(self):
+        assert jaro_similarity("crate", "trace") == \
+            jaro_similarity("trace", "crate")
+
+
+class TestJaroWinkler:
+    def test_known_value(self):
+        assert jaro_winkler_similarity("martha", "marhta") == \
+            pytest.approx(0.961111, abs=1e-5)
+
+    def test_at_least_jaro(self):
+        pairs = [("prefix", "prefixx"), ("dwayne", "duane"), ("ab", "ba")]
+        for s1, s2 in pairs:
+            assert jaro_winkler_similarity(s1, s2) >= jaro_similarity(s1, s2)
+
+    def test_prefix_boost_capped_at_four(self):
+        # Identical 4-char and 10-char prefixes boost the same.
+        base = jaro_similarity("abcdexxxx", "abcdeyyyy")
+        boosted = jaro_winkler_similarity("abcdexxxx", "abcdeyyyy")
+        assert boosted == pytest.approx(base + 4 * 0.1 * (1 - base))
+
+    def test_invalid_prefix_weight(self):
+        with pytest.raises(ValueError, match="prefix_weight"):
+            jaro_winkler_similarity("a", "b", prefix_weight=0.5)
+
+
+class TestNeedlemanWunsch:
+    def test_identical(self):
+        assert needleman_wunsch("query", "query") == 1.0
+
+    def test_both_empty(self):
+        assert needleman_wunsch("", "") == 1.0
+
+    def test_one_empty(self):
+        assert needleman_wunsch("", "abc") == 0.0
+
+    def test_bounds(self):
+        assert 0.0 <= needleman_wunsch("database", "databse") <= 1.0
+
+    def test_similar_beats_dissimilar(self):
+        assert needleman_wunsch("matching", "matchng") > \
+            needleman_wunsch("matching", "zzzzzz")
+
+
+class TestSmithWaterman:
+    def test_identical(self):
+        assert smith_waterman("abc", "abc") == 1.0
+
+    def test_substring_scores_full(self):
+        # The shorter string aligns perfectly inside the longer.
+        assert smith_waterman("xxabcxx", "abc") == 1.0
+
+    def test_both_empty(self):
+        assert smith_waterman("", "") == 1.0
+
+    def test_one_empty(self):
+        assert smith_waterman("abc", "") == 0.0
+
+    def test_local_beats_global_on_embedded_match(self):
+        s1, s2 = "zzzzhellozzzz", "hello"
+        assert smith_waterman(s1, s2) >= needleman_wunsch(s1, s2)
+
+    def test_bounds(self):
+        assert 0.0 <= smith_waterman("abcdef", "badcfe") <= 1.0

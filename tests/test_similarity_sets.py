@@ -1,0 +1,110 @@
+"""Unit tests for token-set similarities and Monge-Elkan."""
+
+import pytest
+
+from repro.similarity import (
+    cosine_similarity,
+    dice_similarity,
+    jaccard_similarity,
+    monge_elkan,
+    overlap_coefficient,
+)
+
+
+class TestJaccard:
+    def test_paper_example(self):
+        # "new york" vs "new york city" from Section III-B.
+        assert jaccard_similarity(["new", "york"],
+                                  ["new", "york", "city"]) == \
+            pytest.approx(2 / 3)
+
+    def test_identical_sets(self):
+        assert jaccard_similarity(["a", "b"], ["b", "a"]) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_similarity(["a"], ["b"]) == 0.0
+
+    def test_both_empty(self):
+        assert jaccard_similarity([], []) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard_similarity(["a"], []) == 0.0
+
+    def test_duplicates_ignored(self):
+        assert jaccard_similarity(["a", "a", "b"], ["a", "b"]) == 1.0
+
+
+class TestCosine:
+    def test_identical(self):
+        assert cosine_similarity(["x", "y"], ["x", "y"]) == 1.0
+
+    def test_known_value(self):
+        # |{a}| / sqrt(2*2) = 0.5
+        assert cosine_similarity(["a", "b"], ["a", "c"]) == 0.5
+
+    def test_one_empty(self):
+        assert cosine_similarity([], ["a"]) == 0.0
+
+    def test_both_empty(self):
+        assert cosine_similarity([], []) == 1.0
+
+
+class TestDice:
+    def test_known_value(self):
+        # 2*1 / (2+2) = 0.5
+        assert dice_similarity(["a", "b"], ["a", "c"]) == 0.5
+
+    def test_dice_geq_jaccard(self):
+        t1, t2 = ["a", "b", "c"], ["b", "c", "d"]
+        assert dice_similarity(t1, t2) >= jaccard_similarity(t1, t2)
+
+    def test_both_empty(self):
+        assert dice_similarity([], []) == 1.0
+
+
+class TestOverlap:
+    def test_subset_scores_one(self):
+        assert overlap_coefficient(["a", "b"], ["a", "b", "c", "d"]) == 1.0
+
+    def test_disjoint(self):
+        assert overlap_coefficient(["a"], ["z"]) == 0.0
+
+    def test_geq_all_others(self):
+        t1, t2 = ["a", "b", "c"], ["b", "c", "d", "e"]
+        assert overlap_coefficient(t1, t2) >= dice_similarity(t1, t2)
+        assert overlap_coefficient(t1, t2) >= cosine_similarity(t1, t2)
+        assert overlap_coefficient(t1, t2) >= jaccard_similarity(t1, t2)
+
+
+class TestMongeElkan:
+    def test_identical(self):
+        assert monge_elkan(["arts", "deli"], ["arts", "deli"]) == 1.0
+
+    def test_abbreviation_scores_high(self):
+        # "arts deli" vs "arts delicatessen": the classic Magellan case.
+        score = monge_elkan(["arts", "deli"], ["arts", "delicatessen"])
+        assert score > 0.9
+
+    def test_asymmetry(self):
+        t1, t2 = ["a"], ["a", "zzz"]
+        assert monge_elkan(t1, t2) != monge_elkan(t2, t1)
+
+    def test_empty_cases(self):
+        assert monge_elkan([], []) == 1.0
+        assert monge_elkan(["a"], []) == 0.0
+        assert monge_elkan([], ["a"]) == 0.0
+
+    def test_bounds(self):
+        score = monge_elkan(["foo", "bar"], ["baz", "qux"])
+        assert 0.0 <= score <= 1.0
+
+    def test_custom_secondary(self):
+        from repro.similarity import exact_match
+        score = monge_elkan(["a", "b"], ["a", "c"], secondary=exact_match)
+        assert score == 0.5
+
+    def test_token_cap_applies(self):
+        from repro.similarity.sets import MONGE_ELKAN_MAX_TOKENS
+        long1 = [f"tok{i}" for i in range(MONGE_ELKAN_MAX_TOKENS + 20)]
+        score = monge_elkan(long1, long1)
+        assert score == 1.0  # truncation keeps identity

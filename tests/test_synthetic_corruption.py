@@ -1,0 +1,124 @@
+"""Tests for the corruption operators and profiles."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import CorruptionProfile, Corruptor
+from repro.data.synthetic.corruption import (
+    abbreviate_token,
+    drop_token,
+    inject_tokens,
+    swap_tokens,
+    typo,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestOperators:
+    def test_typo_changes_string(self, rng):
+        original = "restaurant"
+        changed = sum(typo(original, rng) != original for _ in range(20))
+        assert changed >= 15  # a delete+insert can occasionally cancel out
+
+    def test_typo_short_string_unchanged(self, rng):
+        assert typo("a", rng) == "a"
+
+    def test_abbreviate_shortens(self, rng):
+        token = "delicatessen"
+        for _ in range(10):
+            out = abbreviate_token(token, rng)
+            assert len(out) < len(token)
+
+    def test_abbreviate_short_token_kept(self, rng):
+        assert abbreviate_token("abc", rng) == "abc"
+
+    def test_drop_token_never_empties(self, rng):
+        assert drop_token(["only"], rng) == ["only"]
+        assert len(drop_token(["a", "b", "c"], rng)) == 2
+
+    def test_swap_adjacent(self, rng):
+        out = swap_tokens(["a", "b"], rng)
+        assert out == ["b", "a"]
+
+    def test_inject_adds(self, rng):
+        out = inject_tokens(["a"], ["noise"], rng, count=2)
+        assert len(out) == 3
+        assert out.count("noise") == 2
+
+
+class TestCorruptor:
+    def test_zero_profile_is_identity(self, rng):
+        corruptor = Corruptor(CorruptionProfile(
+            typo_prob=0, abbreviation_prob=0, token_drop_prob=0,
+            token_swap_prob=0), rng)
+        assert corruptor.corrupt_string("arts delicatessen") == \
+            "arts delicatessen"
+
+    def test_missing_prob_one_gives_none(self, rng):
+        corruptor = Corruptor(CorruptionProfile(missing_prob=1.0), rng)
+        assert corruptor.corrupt_string("anything") is None
+
+    def test_synonym_substitution(self, rng):
+        profile = CorruptionProfile(
+            typo_prob=0, abbreviation_prob=0, token_drop_prob=0,
+            token_swap_prob=0, synonym_prob=1.0,
+            synonyms={"american": ["steakhouses"]})
+        corruptor = Corruptor(profile, rng)
+        assert corruptor.corrupt_string("american") == "steakhouses"
+
+    def test_long_text_gets_proportionally_dirtier(self):
+        profile = CorruptionProfile(
+            typo_prob=0, abbreviation_prob=0, token_drop_prob=0.5,
+            token_swap_prob=0)
+        short, long_ = "alpha beta", " ".join(f"tok{i}" for i in range(30))
+        rng1 = np.random.default_rng(1)
+        rng2 = np.random.default_rng(1)
+        short_dropped = []
+        long_dropped = []
+        for _ in range(30):
+            short_dropped.append(
+                2 - len(Corruptor(profile, rng1).corrupt_string(short)
+                        .split()))
+            long_dropped.append(
+                30 - len(Corruptor(profile, rng2).corrupt_string(long_)
+                         .split()))
+        assert np.mean(long_dropped) > np.mean(short_dropped)
+
+    def test_numeric_jitter_and_missing(self, rng):
+        corruptor = Corruptor(CorruptionProfile(numeric_jitter=0.5,
+                                                numeric_missing_prob=0.0),
+                              rng)
+        values = [corruptor.corrupt_numeric(100.0) for _ in range(50)]
+        assert all(v is not None for v in values)
+        assert any(v != 100.0 for v in values)
+
+    def test_numeric_missing(self, rng):
+        corruptor = Corruptor(CorruptionProfile(numeric_missing_prob=1.0),
+                              rng)
+        assert corruptor.corrupt_numeric(5.0) is None
+
+    def test_boolean_flip(self, rng):
+        corruptor = Corruptor(CorruptionProfile(), rng)
+        outcomes = {corruptor.corrupt_boolean(True, flip_prob=1.0)
+                    for _ in range(5)}
+        assert outcomes == {False}
+
+
+class TestProfileScaling:
+    def test_scaled_multiplies(self):
+        profile = CorruptionProfile(typo_prob=0.1, token_drop_prob=0.2)
+        scaled = profile.scaled(2.0)
+        assert scaled.typo_prob == pytest.approx(0.2)
+        assert scaled.token_drop_prob == pytest.approx(0.4)
+
+    def test_scaled_caps_probabilities(self):
+        profile = CorruptionProfile(typo_prob=0.8)
+        assert profile.scaled(10.0).typo_prob == 0.95
+
+    def test_scaled_keeps_synonyms(self):
+        profile = CorruptionProfile(synonyms={"a": ["b"]})
+        assert profile.scaled(1.5).synonyms == {"a": ["b"]}

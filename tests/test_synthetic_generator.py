@@ -1,0 +1,144 @@
+"""Tests for the benchmark generator and dataset specs."""
+
+import numpy as np
+import pytest
+
+from repro.data import MATCH, NON_MATCH
+from repro.data.synthetic import (
+    ALL_DATASETS,
+    DATASET_SPECS,
+    EASY_LARGE,
+    EASY_SMALL,
+    HARD_LARGE,
+    generate_benchmark,
+    load_benchmark,
+)
+
+
+class TestSpecs:
+    def test_eight_datasets(self):
+        assert len(DATASET_SPECS) == 8
+        assert set(ALL_DATASETS) == set(DATASET_SPECS)
+
+    def test_difficulty_tiers_cover_all(self):
+        assert set(EASY_SMALL) | set(EASY_LARGE) | set(HARD_LARGE) == \
+            set(ALL_DATASETS)
+
+    def test_table3_pair_counts(self):
+        # Exact Table III numbers.
+        expected = {
+            "beeradvo_ratebeer": (450, 68, 4),
+            "fodors_zagats": (946, 110, 6),
+            "itunes_amazon": (539, 132, 8),
+            "dblp_acm": (12363, 2220, 4),
+            "dblp_scholar": (28707, 5347, 4),
+            "amazon_google": (11460, 1167, 3),
+            "walmart_amazon": (10242, 962, 5),
+            "abt_buy": (9575, 1028, 3),
+        }
+        for name, (total, positive, n_attr) in expected.items():
+            spec = DATASET_SPECS[name]
+            assert spec.total_pairs == total, name
+            assert spec.positive_pairs == positive, name
+            assert len(spec.factory.attributes) == n_attr, name
+
+    def test_scaled_spec(self):
+        spec = DATASET_SPECS["abt_buy"].scaled(0.1)
+        assert spec.total_pairs == pytest.approx(958, abs=2)
+        assert spec.positive_pairs == pytest.approx(103, abs=2)
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValueError, match="scale must be positive"):
+            DATASET_SPECS["abt_buy"].scaled(0)
+
+
+class TestGeneration:
+    def test_pair_counts_match_spec(self, small_benchmark):
+        spec = small_benchmark.spec
+        assert len(small_benchmark.pairs) == spec.total_pairs
+        assert small_benchmark.pairs.num_positive == spec.positive_pairs
+
+    def test_all_pairs_labeled(self, small_benchmark):
+        assert small_benchmark.pairs.is_labeled
+
+    def test_positives_reference_same_entity(self, small_benchmark):
+        for pair in small_benchmark.pairs:
+            if pair.label == MATCH:
+                assert pair.left.record_id == pair.right.record_id
+
+    def test_negatives_reference_different_entities(self, small_benchmark):
+        for pair in small_benchmark.pairs:
+            if pair.label == NON_MATCH:
+                assert pair.left.record_id != pair.right.record_id
+
+    def test_no_duplicate_pairs(self, small_benchmark):
+        keys = [p.key for p in small_benchmark.pairs]
+        assert len(keys) == len(set(keys))
+
+    def test_determinism(self):
+        b1 = load_benchmark("fodors_zagats", seed=3, scale=0.2)
+        b2 = load_benchmark("fodors_zagats", seed=3, scale=0.2)
+        assert [p.key for p in b1.pairs] == [p.key for p in b2.pairs]
+        assert [r.values for r in b1.table_a] == \
+            [r.values for r in b2.table_a]
+
+    def test_different_seeds_differ(self):
+        b1 = load_benchmark("fodors_zagats", seed=3, scale=0.2)
+        b2 = load_benchmark("fodors_zagats", seed=4, scale=0.2)
+        assert [r.values for r in b1.table_a] != \
+            [r.values for r in b2.table_a]
+
+    def test_schema_matches_factory(self, small_benchmark):
+        spec = small_benchmark.spec
+        assert small_benchmark.table_a.columns == spec.factory.attributes
+        assert small_benchmark.table_b.columns == spec.factory.attributes
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            load_benchmark("nonexistent")
+
+    def test_splits_partition(self, small_benchmark):
+        train, valid, test = small_benchmark.splits(seed=0)
+        assert len(train) + len(valid) + len(test) == \
+            len(small_benchmark.pairs)
+        for fold in (train, valid, test):
+            assert fold.num_positive > 0
+
+    def test_summary_fields(self, small_benchmark):
+        summary = small_benchmark.summary()
+        assert summary["dataset"] == "Fodors-Zagats"
+        assert summary["num_attributes"] == 6
+
+    def test_hard_dataset_has_missing_values(self, hard_benchmark):
+        has_missing = any(v is None for record in hard_benchmark.table_b
+                          for v in record.values)
+        assert has_missing
+
+    def test_positive_exceeding_total_raises(self):
+        from repro.data.synthetic.generator import BenchmarkGenerator
+        spec = DATASET_SPECS["abt_buy"].scaled(0.05)
+        bad = type(spec)(
+            name=spec.name, factory=spec.factory,
+            attribute_kinds=spec.attribute_kinds, total_pairs=10,
+            positive_pairs=50, hard_negative_rate=0.5,
+            profile_a=spec.profile_a, profile_b=spec.profile_b)
+        with pytest.raises(ValueError, match="exceeds total"):
+            BenchmarkGenerator(bad).generate()
+
+
+class TestDifficultyOrdering:
+    def test_hard_negatives_are_more_similar(self):
+        """Sibling negatives must look more like matches than random ones."""
+        from repro.similarity import score
+        benchmark = load_benchmark("walmart_amazon", seed=2, scale=0.05)
+        positives, negatives = [], []
+        for pair in benchmark.pairs:
+            v1 = pair.left.get("title")
+            v2 = pair.right.get("title")
+            if v1 is None or v2 is None:
+                continue
+            sim = score("jaccard_space", v1, v2)
+            (positives if pair.label == MATCH else negatives).append(sim)
+        # positives similar on average, but negatives overlap their range
+        assert np.mean(positives) > np.mean(negatives)
+        assert max(negatives) > np.mean(positives) - 0.2

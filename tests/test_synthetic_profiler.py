@@ -1,0 +1,60 @@
+"""Tests for the benchmark difficulty profiler."""
+
+import pytest
+
+from repro.data.synthetic import load_benchmark, profile_benchmark
+
+
+@pytest.fixture(scope="module")
+def easy_profile():
+    return profile_benchmark(load_benchmark("fodors_zagats", seed=4,
+                                            scale=0.4))
+
+
+@pytest.fixture(scope="module")
+def hard_profile():
+    return profile_benchmark(load_benchmark("abt_buy", seed=4, scale=0.1))
+
+
+class TestAttributeProfiles:
+    def test_one_profile_per_attribute(self, easy_profile):
+        assert len(easy_profile.attributes) == 6
+
+    def test_missing_rates_in_range(self, hard_profile):
+        for attr in hard_profile.attributes:
+            assert 0.0 <= attr.missing_rate <= 1.0
+
+    def test_hard_dataset_has_missing_values(self, hard_profile):
+        assert max(a.missing_rate for a in hard_profile.attributes) > 0.05
+
+    def test_long_text_detected(self, hard_profile):
+        by_name = {a.name: a for a in hard_profile.attributes}
+        assert by_name["description"].mean_words > 10
+
+    def test_distinct_rate_bounds(self, easy_profile):
+        for attr in easy_profile.attributes:
+            assert 0.0 < attr.distinct_rate <= 1.0
+
+
+class TestSeparability:
+    def test_positive_rate_recorded(self, easy_profile):
+        assert easy_profile.positive_rate == pytest.approx(110 / 946,
+                                                           abs=0.05)
+
+    def test_positives_more_similar_on_best_axis(self, easy_profile):
+        assert easy_profile.best_gap > 0.2
+
+    def test_difficulty_ordering(self, easy_profile, hard_profile):
+        """The generated tiers are real: the hard dataset's best single
+        similarity axis separates matches far less than the easy one's."""
+        assert hard_profile.best_gap < easy_profile.best_gap
+
+    def test_text_report(self, easy_profile):
+        text = easy_profile.to_text()
+        assert "Fodors-Zagats" in text
+        assert "separability" in text
+
+    def test_invalid_sample_size(self):
+        benchmark = load_benchmark("fodors_zagats", seed=1, scale=0.2)
+        with pytest.raises(ValueError, match="sample_size"):
+            profile_benchmark(benchmark, sample_size=0)

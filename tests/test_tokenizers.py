@@ -1,0 +1,74 @@
+"""Tests for whitespace / q-gram / alphanumeric tokenizers."""
+
+import pytest
+
+from repro.similarity import (
+    ALNUM,
+    QGRAM3,
+    SPACE,
+    Tokenizer,
+    alphanumeric_tokenize,
+    qgram_tokenize,
+    whitespace_tokenize,
+)
+
+
+class TestWhitespace:
+    def test_basic(self):
+        assert whitespace_tokenize("new  york city") == ["new", "york",
+                                                         "city"]
+
+    def test_empty(self):
+        assert whitespace_tokenize("") == []
+
+    def test_leading_trailing(self):
+        assert whitespace_tokenize("  a b  ") == ["a", "b"]
+
+
+class TestAlphanumeric:
+    def test_splits_on_punctuation(self):
+        assert alphanumeric_tokenize("Arnie Morton's!") == \
+            ["arnie", "morton", "s"]
+
+    def test_keeps_digits(self):
+        assert alphanumeric_tokenize("model FH5571") == ["model", "fh5571"]
+
+    def test_empty(self):
+        assert alphanumeric_tokenize("...") == []
+
+
+class TestQgram:
+    def test_padded_grams(self):
+        assert qgram_tokenize("ab", q=3) == ["##a", "#ab", "ab$", "b$$"]
+
+    def test_unpadded(self):
+        assert qgram_tokenize("abcd", q=3, pad=False) == ["abc", "bcd"]
+
+    def test_unpadded_short_string_empty(self):
+        assert qgram_tokenize("ab", q=3, pad=False) == []
+
+    def test_count_with_padding(self):
+        text = "hello"
+        grams = qgram_tokenize(text, q=3)
+        assert len(grams) == len(text) + 3 - 1
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError, match="q must be"):
+            qgram_tokenize("abc", q=0)
+
+
+class TestTokenizerWrapper:
+    def test_named_instances(self):
+        assert SPACE("a b") == ["a", "b"]
+        assert QGRAM3("ab") == ["##a", "#ab", "ab$", "b$$"]
+        assert ALNUM("A-b") == ["a", "b"]
+
+    def test_equality_by_name(self):
+        assert SPACE == Tokenizer("space", whitespace_tokenize)
+        assert SPACE != QGRAM3
+
+    def test_hashable(self):
+        assert len({SPACE, QGRAM3, ALNUM}) == 3
+
+    def test_repr(self):
+        assert "space" in repr(SPACE)
