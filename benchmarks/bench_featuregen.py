@@ -1,0 +1,181 @@
+"""Feature-generation throughput bench: naive vs columnar vs parallel.
+
+Builds a duplicate-heavy synthetic candidate set — blocking output
+repeats records heavily, and the AutoML-EM-Active loop re-scores the
+same pool every iteration, so unique value pairs are far fewer than
+pairs — then times each execution path of
+:meth:`repro.features.FeatureGenerator.transform` over a full Table II
+plan and writes rows/sec to ``BENCH_featuregen.json`` at the repo root.
+
+Usage::
+
+    python benchmarks/bench_featuregen.py [--pairs 6000] [--n-jobs 4]
+    python benchmarks/bench_featuregen.py --check   # exit 1 if columnar
+                                                    # is slower than naive
+
+The ``--check`` mode also runs as an opt-in pytest marker:
+``pytest benchmarks/test_bench_featuregen.py --perf``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.data.pairs import PairSet, RecordPair  # noqa: E402
+from repro.data.table import Table  # noqa: E402
+from repro.features import FeatureGenerator, autoem_feature_plan  # noqa: E402
+from repro.features.types import DataType  # noqa: E402
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_featuregen.json"
+
+#: Schema of the synthetic workload: the mix Table II must cover.
+TYPES = {
+    "name": DataType.WORDS_1_5,
+    "brand": DataType.SINGLE_WORD,
+    "description": DataType.LONG_TEXT,
+    "price": DataType.NUMERIC,
+    "in_stock": DataType.BOOLEAN,
+}
+
+_WORDS = ("alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf",
+          "hotel", "india", "juliett", "kilo", "lima", "mike", "november",
+          "oscar", "papa", "quebec", "romeo", "sierra", "tango")
+
+
+def _record_rows(n_records: int, rng: np.random.Generator) -> list[list]:
+    rows = []
+    for _ in range(n_records):
+        name = " ".join(rng.choice(_WORDS, size=rng.integers(2, 5)))
+        brand = str(rng.choice(_WORDS))
+        description = " ".join(rng.choice(_WORDS, size=rng.integers(8, 16)))
+        price = (None if rng.random() < 0.1
+                 else float(np.round(rng.uniform(1, 500), 2)))
+        in_stock = None if rng.random() < 0.1 else bool(rng.random() < 0.5)
+        rows.append([name, brand, description, price, in_stock])
+    return rows
+
+
+def build_workload(n_pairs: int = 6000, duplication: int = 4,
+                   seed: int = 0) -> PairSet:
+    """A candidate set where each distinct record combo repeats
+    ``duplication`` times (the blocking-output / AL-pool regime)."""
+    rng = np.random.default_rng(seed)
+    n_unique = max(1, n_pairs // duplication)
+    n_records = max(20, n_unique // 8)
+    columns = list(TYPES)
+    table_a = Table("bench_a", columns, _record_rows(n_records, rng))
+    table_b = Table("bench_b", columns, _record_rows(n_records, rng))
+    combos = [(int(rng.integers(n_records)), int(rng.integers(n_records)))
+              for _ in range(n_unique)]
+    pairs = [RecordPair(table_a[i], table_b[j])
+             for i, j in combos for _ in range(duplication)]
+    rng.shuffle(pairs)
+    return PairSet(table_a, table_b, pairs[:n_pairs])
+
+
+def _timed(func) -> tuple[float, np.ndarray]:
+    start = time.perf_counter()
+    result = func()
+    return time.perf_counter() - start, result
+
+
+def run_bench(n_pairs: int = 6000, duplication: int = 4,
+              n_jobs: int | None = None, seed: int = 0) -> dict:
+    """Time every execution path on one workload; return the report."""
+    if n_jobs is None:
+        # At least 2 so the pool path is genuinely exercised even on a
+        # single-core box (where it measures pure pool overhead).
+        n_jobs = max(2, min(4, os.cpu_count() or 1))
+    pairs = build_workload(n_pairs=n_pairs, duplication=duplication,
+                           seed=seed)
+    plan = autoem_feature_plan(TYPES)
+
+    naive_seconds, reference = _timed(
+        lambda: FeatureGenerator(plan, engine="naive").transform(pairs))
+
+    columnar_seconds, columnar = _timed(
+        lambda: FeatureGenerator(plan).transform(pairs))
+
+    cached_generator = FeatureGenerator(plan, cache=True)
+    cached_generator.transform(pairs)  # populate
+    cached_seconds, cached = _timed(
+        lambda: cached_generator.transform(pairs))
+
+    parallel_seconds, parallel = _timed(
+        lambda: FeatureGenerator(plan, n_jobs=n_jobs,
+                                 parallel_threshold=0).transform(pairs))
+
+    for name, matrix in (("columnar", columnar), ("cached", cached),
+                         ("parallel", parallel)):
+        np.testing.assert_array_equal(matrix, reference,
+                                      err_msg=f"{name} path diverged")
+
+    def path(seconds: float, **extra) -> dict:
+        return {"seconds": round(seconds, 6),
+                "rows_per_sec": round(len(pairs) / max(seconds, 1e-9), 1),
+                **extra}
+
+    return {
+        "workload": {
+            "n_pairs": len(pairs),
+            "n_unique_combos": max(1, n_pairs // duplication),
+            "duplication": duplication,
+            "n_features": len(plan),
+            "seed": seed,
+        },
+        "paths": {
+            "naive": path(naive_seconds),
+            "columnar": path(columnar_seconds),
+            "columnar_cached": path(cached_seconds),
+            "parallel": path(parallel_seconds, n_jobs=n_jobs),
+        },
+        "speedup_columnar_vs_naive": round(
+            naive_seconds / max(columnar_seconds, 1e-9), 2),
+        "speedup_cached_vs_naive": round(
+            naive_seconds / max(cached_seconds, 1e-9), 2),
+        "speedup_parallel_vs_naive": round(
+            naive_seconds / max(parallel_seconds, 1e-9), 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pairs", type=int, default=6000,
+                        help="candidate-set size (default 6000)")
+    parser.add_argument("--duplication", type=int, default=4,
+                        help="repeats per distinct record combo")
+    parser.add_argument("--n-jobs", type=int, default=None,
+                        help="workers for the parallel path "
+                             "(default min(4, cores))")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"report path (default {DEFAULT_OUTPUT.name})")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless the columnar path beats naive")
+    args = parser.parse_args(argv)
+
+    report = run_bench(n_pairs=args.pairs, duplication=args.duplication,
+                       n_jobs=args.n_jobs, seed=args.seed)
+    args.output.write_text(json.dumps(report, indent=2) + "\n",
+                           encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.output}")
+
+    if args.check and report["speedup_columnar_vs_naive"] < 1.0:
+        print("CHECK FAILED: columnar path is slower than the naive loop",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,24 @@
-"""Bench-suite configuration: make ``common`` importable from any cwd."""
+"""Bench-suite configuration: make ``common`` importable from any cwd,
+and gate opt-in perf checks behind ``--perf``."""
 
 import sys
 from pathlib import Path
 
+import pytest
+
 sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--perf", action="store_true", default=False,
+        help="run opt-in performance regression checks (marker 'perf')")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--perf"):
+        return
+    skip_perf = pytest.mark.skip(reason="perf check: pass --perf to run")
+    for item in items:
+        if "perf" in item.keywords:
+            item.add_marker(skip_perf)

@@ -72,12 +72,13 @@ def _cmd_match(args) -> int:
         matcher = AutoMLEM(n_iterations=args.budget,
                            forest_size=args.forest_size,
                            model_space="all" if args.all_models
-                           else "random_forest", seed=args.seed)
+                           else "random_forest", n_jobs=args.n_jobs,
+                           seed=args.seed)
     elif args.system == "magellan":
         from .baselines import MagellanMatcher
 
         matcher = MagellanMatcher(forest_size=args.forest_size,
-                                  seed=args.seed)
+                                  n_jobs=args.n_jobs, seed=args.seed)
     else:
         from .baselines import DeepMatcherLite
 
@@ -145,6 +146,8 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("--forest-size", type=int, default=50)
     match.add_argument("--all-models", action="store_true",
                        help="search the full model space, not RF-only")
+    match.add_argument("--n-jobs", type=int, default=1,
+                       help="feature-generation workers (-1 = all cores)")
     match.add_argument("--show-pipeline", action="store_true")
     match.add_argument("--seed", type=int, default=0)
     match.add_argument("--scale", type=float, default=1.0)

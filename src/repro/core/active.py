@@ -69,6 +69,9 @@ class AutoMLEMActive:
     inner_forest_size:
         Tree count of the in-loop random forest whose vote fractions
         provide label confidence.
+    n_jobs:
+        Worker processes for featurizing the pool (``None`` defers to
+        the feature generator's own setting).
     automl_kwargs:
         Keyword arguments for the final :class:`AutoMLEM` stage (budget,
         model space, seed, ...).
@@ -78,7 +81,7 @@ class AutoMLEMActive:
                  st_batch: int = 200, n_iterations: int = 20,
                  label_budget: int | None = None,
                  inner_forest_size: int = 32,
-                 query_strategy="uncertainty",
+                 query_strategy="uncertainty", n_jobs: int | None = None,
                  automl_kwargs: dict | None = None, seed: int = 0):
         if init_size < 2:
             raise ValueError(f"init_size must be >= 2, got {init_size}")
@@ -90,6 +93,7 @@ class AutoMLEMActive:
         self.n_iterations = n_iterations
         self.label_budget = label_budget
         self.inner_forest_size = inner_forest_size
+        self.n_jobs = n_jobs
         self.query_strategy = make_strategy(query_strategy)
         self.automl_kwargs = dict(automl_kwargs or {})
         self.seed = seed
@@ -108,7 +112,7 @@ class AutoMLEMActive:
             matcher_probe = AutoMLEM(**self.automl_kwargs)
             feature_generator = (feature_generator
                                  or matcher_probe.make_feature_generator(pool))
-            X_pool = feature_generator.transform(pool)
+            X_pool = feature_generator.transform(pool, n_jobs=self.n_jobs)
         X_pool = np.asarray(X_pool, dtype=np.float64)
         if len(X_pool) != len(pool):
             raise ValueError(

@@ -42,6 +42,14 @@ class AutoMLEM:
         Figure 12 ablation switches.
     forest_size:
         Tree count for forest classifiers (auto-sklearn fixes 100).
+    n_jobs:
+        Worker processes for feature generation (1 = sequential, -1 =
+        all cores); forwarded to the :class:`FeatureGenerator`.
+    feature_cache:
+        Optional shared
+        :class:`~repro.features.cache.FeatureMatrixCache` (or ``True``
+        for a private one) so repeated transforms of the same pair sets
+        reuse their matrices.
 
     >>> matcher = AutoMLEM(n_iterations=20, seed=0)
     >>> matcher.fit(train_pairs, valid_pairs)
@@ -55,6 +63,7 @@ class AutoMLEM:
                  include_feature_preprocessing: bool = True,
                  forest_size: int = 100, ensemble_size: int = 1,
                  exclude_attributes: tuple[str, ...] = (),
+                 n_jobs: int = 1, feature_cache=None,
                  seed: int = 0, verbose: bool = False):
         if feature_plan not in ("autoem", "magellan"):
             raise ValueError(
@@ -71,6 +80,8 @@ class AutoMLEM:
         self.forest_size = forest_size
         self.ensemble_size = ensemble_size
         self.exclude_attributes = tuple(exclude_attributes)
+        self.n_jobs = n_jobs
+        self.feature_cache = feature_cache
         self.seed = seed
         self.verbose = verbose
 
@@ -81,7 +92,8 @@ class AutoMLEM:
         maker = (make_autoem_features if self.feature_plan == "autoem"
                  else make_magellan_features)
         return maker(pairs.table_a, pairs.table_b,
-                     exclude_attributes=self.exclude_attributes)
+                     exclude_attributes=self.exclude_attributes,
+                     n_jobs=self.n_jobs, cache=self.feature_cache)
 
     # -- training -------------------------------------------------------
 

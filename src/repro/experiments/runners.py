@@ -34,6 +34,7 @@ class DatasetBundle:
     train: PairSet
     valid: PairSet
     test: PairSet
+    n_jobs: int = 1
     _features: dict = field(default_factory=dict)
 
     def features(self, plan: str):
@@ -41,7 +42,8 @@ class DatasetBundle:
         if plan not in self._features:
             maker = (make_autoem_features if plan == "autoem"
                      else make_magellan_features)
-            generator = maker(self.benchmark.table_a, self.benchmark.table_b)
+            generator = maker(self.benchmark.table_a, self.benchmark.table_b,
+                              n_jobs=self.n_jobs)
             self._features[plan] = (generator.transform(self.train),
                                     generator.transform(self.valid),
                                     generator.transform(self.test),
@@ -58,15 +60,21 @@ _BUNDLES: dict[tuple, DatasetBundle] = {}
 
 
 def load_bundle(name: str, config: ExperimentConfig = FAST,
-                generator_seed: int = 1) -> DatasetBundle:
-    """Load (or reuse) a generated benchmark bundle."""
+                generator_seed: int = 1, n_jobs: int = 1) -> DatasetBundle:
+    """Load (or reuse) a generated benchmark bundle.
+
+    ``n_jobs`` sets the feature-generation worker count for matrices the
+    bundle has not materialized yet (results are identical either way,
+    so it is not part of the cache key).
+    """
     key = (name, config.scales.get(name, 1.0), generator_seed,
            config.split_seed)
     if key not in _BUNDLES:
         benchmark = load_benchmark(name, seed=generator_seed,
                                    scale=config.scales.get(name, 1.0))
         train, valid, test = benchmark.splits(seed=config.split_seed)
-        _BUNDLES[key] = DatasetBundle(name, benchmark, train, valid, test)
+        _BUNDLES[key] = DatasetBundle(name, benchmark, train, valid, test,
+                                      n_jobs=n_jobs)
     return _BUNDLES[key]
 
 

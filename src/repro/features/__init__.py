@@ -1,6 +1,8 @@
 """Feature generation: Magellan's Table I rules vs AutoML-EM's Table II."""
 
 from .autoem import TABLE_II, autoem_feature_plan, autoem_measures_for
+from .cache import FeatureMatrixCache, pairs_fingerprint, plan_fingerprint
+from .columnar import TokenCache, columnar_transform
 from .magellan import TABLE_I, magellan_feature_plan, magellan_measures_for
 from .types import DataType, infer_column_type, infer_schema_types
 from .vectorize import (
@@ -12,14 +14,19 @@ from .vectorize import (
 __all__ = [
     "DataType",
     "FeatureGenerator",
+    "FeatureMatrixCache",
     "TABLE_I",
     "TABLE_II",
+    "TokenCache",
     "autoem_feature_plan",
     "autoem_measures_for",
+    "columnar_transform",
     "infer_column_type",
     "infer_schema_types",
     "magellan_feature_plan",
     "magellan_measures_for",
     "make_autoem_features",
     "make_magellan_features",
+    "pairs_fingerprint",
+    "plan_fingerprint",
 ]

@@ -1,0 +1,99 @@
+"""Fingerprint-keyed caching of computed feature matrices.
+
+Feature generation is recomputed far more often than its inputs change:
+every AutoML trial that re-enters :meth:`FeatureGenerator.transform`,
+every active-learning iteration that re-scores the same pool, and every
+``fit``/``evaluate`` round trip over the same split sees the identical
+``(plan, PairSet)`` combination.  This module keys matrices by a content
+fingerprint of both — the plan's ``(attribute, measure)`` slots plus the
+sequence cap, and the pair set's table contents plus record-id pairs —
+so a repeat request is an O(1) lookup instead of an O(pairs × measures)
+recomputation.
+
+Labels are deliberately excluded from the pair fingerprint: features do
+not depend on them, so an unlabeled pool view and its labeled original
+share one cache entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+
+def plan_fingerprint(plan, sequence_max_chars: int | None = None) -> str:
+    """Digest of a feature plan's slots (and the sequence cap in force)."""
+    digest = hashlib.sha1()
+    for attribute, measure in plan:
+        digest.update(attribute.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(measure.encode("utf-8"))
+        digest.update(b"\x00")
+    digest.update(repr(sequence_max_chars).encode("ascii"))
+    return digest.hexdigest()
+
+
+def pairs_fingerprint(pairs) -> str:
+    """Digest of a :class:`~repro.data.pairs.PairSet`'s feature-relevant
+    identity: both tables' contents and the ordered record-id pairs."""
+    digest = hashlib.sha1()
+    digest.update(pairs.table_a.fingerprint.encode("ascii"))
+    digest.update(pairs.table_b.fingerprint.encode("ascii"))
+    ids = np.asarray([(p.left.record_id, p.right.record_id) for p in pairs],
+                     dtype=np.int64)
+    digest.update(ids.tobytes())
+    return digest.hexdigest()
+
+
+class FeatureMatrixCache:
+    """A small LRU cache of feature matrices.
+
+    Entries are stored and returned as copies, so neither the producer
+    nor any consumer can corrupt a cached matrix by mutating it in
+    place.  One cache instance can be shared by several generators (and
+    matchers) as long as their keys embed the plan — which
+    :meth:`FeatureGenerator._cache_key` does.
+    """
+
+    def __init__(self, max_entries: int = 16):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key) -> np.ndarray | None:
+        """The cached matrix for ``key`` (a copy), or ``None``."""
+        matrix = self._entries.get(key)
+        if matrix is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return matrix.copy()
+
+    def store(self, key, matrix: np.ndarray) -> None:
+        self._entries[key] = np.array(matrix, dtype=np.float64, copy=True)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def stats(self) -> dict:
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses}
+
+    def __repr__(self) -> str:
+        return (f"FeatureMatrixCache({len(self._entries)}/{self.max_entries} "
+                f"entries, {self.hits} hits, {self.misses} misses)")

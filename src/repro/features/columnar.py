@@ -1,0 +1,186 @@
+"""Column-oriented batch execution of feature plans.
+
+The naive feature path walks ``pairs × measures`` row by row, calling
+:meth:`~repro.similarity.registry.SimilarityMeasure.__call__` half a
+million times for a Table II plan over a few thousand candidates — and
+tokenizing every string once per token measure.  This engine reorganizes
+the same work column-first:
+
+1. **Group by attribute.**  The plan's slots are bucketed per attribute
+   so each attribute's left/right values are extracted from the pair set
+   exactly once.
+2. **Deduplicate value pairs.**  Blocking output (and active-learning
+   pools) repeat records heavily, so the unique ``(v1, v2)`` pairs per
+   attribute are far fewer than the pair count.  Measures are scored over
+   unique pairs only; results are scattered back with one fancy-indexed
+   assignment per attribute.
+3. **Share tokenization.**  All set measures of a tokenizer family
+   (SPACE, QGRAM3) read tokens from one :class:`TokenCache`, so each
+   unique string is tokenized once per tokenizer, not once per measure.
+4. **Optional process pool.**  For large candidate sets the unique pairs
+   are chunked across ``n_jobs`` workers; below
+   :data:`PARALLEL_MIN_UNIQUE_PAIRS` total unique pairs the sequential
+   path is used (pool startup would dominate).
+
+Scores are guarded ``inf -> nan`` so unbounded distance measures cannot
+leak infinities into feature matrices (imputation handles ``nan``; it
+does not handle ``inf``).  All paths are bit-identical to the naive
+reference loop — ``tests/test_features_columnar.py`` enforces it.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+#: Below this many unique value pairs per transform the process pool is
+#: not worth its startup cost and the sequential path runs instead.
+PARALLEL_MIN_UNIQUE_PAIRS = 2048
+
+#: Smallest chunk of unique value pairs shipped to one worker task.
+_MIN_CHUNK = 128
+
+
+class TokenCache(dict):
+    """Bounded ``(tokenizer_name, string) -> tokens`` memo.
+
+    Shared by every token-based measure of a transform (and across
+    repeated single-pair scoring).  Eviction is wholesale: when the entry
+    cap is hit the cache is cleared — tokenization is cheap enough that
+    an occasional cold restart beats per-entry LRU bookkeeping.
+    """
+
+    def __init__(self, max_entries: int = 200_000):
+        super().__init__()
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+
+    def __setitem__(self, key, value):
+        if len(self) >= self.max_entries:
+            self.clear()
+        super().__setitem__(key, value)
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Normalize an ``n_jobs`` knob: ``None``->1, negatives count from
+    the CPU count (``-1`` = all cores, joblib-style)."""
+    if n_jobs is None:
+        return 1
+    n_jobs = int(n_jobs)
+    if n_jobs == 0:
+        raise ValueError("n_jobs must be >= 1 or negative (-1 = all cores)")
+    if n_jobs < 0:
+        n_jobs = max(1, (os.cpu_count() or 1) + 1 + n_jobs)
+    return n_jobs
+
+
+def score_value_pairs(measures, value_pairs, token_cache=None,
+                      sequence_max_chars: int | None = None) -> np.ndarray:
+    """Score ``measures`` over raw ``(v1, v2)`` tuples.
+
+    Returns a ``(len(value_pairs), len(measures))`` float matrix with the
+    ``inf -> nan`` guard applied.  ``token_cache`` is shared across all
+    token-based measures in the list.
+    """
+    cache = TokenCache() if token_cache is None else token_cache
+    out = np.empty((len(value_pairs), len(measures)), dtype=np.float64)
+    for j, measure in enumerate(measures):
+        score = measure.scorer(cache, sequence_max_chars)
+        column = out[:, j]
+        for k, (v1, v2) in enumerate(value_pairs):
+            column[k] = score(v1, v2)
+    np.copyto(out, np.nan, where=np.isinf(out))
+    return out
+
+
+def _score_chunk(measures, value_pairs, sequence_max_chars):
+    """Worker task: score one chunk of unique value pairs (picklable)."""
+    return score_value_pairs(measures, value_pairs,
+                             sequence_max_chars=sequence_max_chars)
+
+
+def _unique_value_pairs(pairs, attribute):
+    """One attribute's deduplicated value pairs and the scatter index.
+
+    Keys are type-tagged — ``True``/``1.0`` hash equal but render to
+    different strings, so they must not collapse into one entry.
+    """
+    index_of: dict = {}
+    unique: list = []
+    inverse = np.empty(len(pairs), dtype=np.intp)
+    for i, pair in enumerate(pairs):
+        v1 = pair.left.get(attribute)
+        v2 = pair.right.get(attribute)
+        key = (v1.__class__, v1, v2.__class__, v2)
+        j = index_of.get(key)
+        if j is None:
+            j = len(unique)
+            index_of[key] = j
+            unique.append((v1, v2))
+        inverse[i] = j
+    return unique, inverse
+
+
+def columnar_transform(measures, pairs, *, n_jobs: int | None = 1,
+                       token_cache=None,
+                       sequence_max_chars: int | None = None,
+                       parallel_threshold: int = PARALLEL_MIN_UNIQUE_PAIRS
+                       ) -> np.ndarray:
+    """Materialize a feature plan column-first over ``pairs``.
+
+    ``measures`` is the bound plan: a list of ``(attribute, measure)``
+    with :class:`~repro.similarity.registry.SimilarityMeasure` objects,
+    one per output column in order.  ``pairs`` is any iterable of
+    record pairs with a stable length (``PairSet`` or a list).
+    """
+    n_jobs = resolve_n_jobs(n_jobs)
+    matrix = np.empty((len(pairs), len(measures)), dtype=np.float64)
+    groups: dict[str, list] = {}
+    for column, (attribute, measure) in enumerate(measures):
+        groups.setdefault(attribute, []).append((column, measure))
+    per_attribute = []
+    total_unique = 0
+    for attribute, slots in groups.items():
+        unique, inverse = _unique_value_pairs(pairs, attribute)
+        per_attribute.append((slots, unique, inverse))
+        total_unique += len(unique)
+    if n_jobs > 1 and total_unique >= parallel_threshold:
+        _transform_parallel(matrix, per_attribute, n_jobs,
+                            sequence_max_chars)
+    else:
+        cache = TokenCache() if token_cache is None else token_cache
+        for slots, unique, inverse in per_attribute:
+            scores = score_value_pairs([m for _, m in slots], unique,
+                                       cache, sequence_max_chars)
+            matrix[:, [c for c, _ in slots]] = scores[inverse, :]
+    return matrix
+
+
+def _transform_parallel(matrix, per_attribute, n_jobs,
+                        sequence_max_chars) -> None:
+    """Chunk unique pairs across a process pool and scatter the results.
+
+    Chunking is per attribute so a worker scores every measure of its
+    attribute over its chunk with one shared token cache — the same
+    cache locality the sequential path has, minus cross-chunk reuse.
+    """
+    unique_scores = [np.empty((len(unique), len(slots)), dtype=np.float64)
+                     for slots, unique, _ in per_attribute]
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        tasks = []
+        for gi, (slots, unique, _) in enumerate(per_attribute):
+            measure_list = [m for _, m in slots]
+            chunk = max(_MIN_CHUNK, -(-len(unique) // (2 * n_jobs)))
+            for start in range(0, len(unique), chunk):
+                future = pool.submit(_score_chunk, measure_list,
+                                     unique[start:start + chunk],
+                                     sequence_max_chars)
+                tasks.append((gi, start, future))
+        for gi, start, future in tasks:
+            block = future.result()
+            unique_scores[gi][start:start + len(block)] = block
+    for (slots, _, inverse), scores in zip(per_attribute, unique_scores):
+        matrix[:, [c for c, _ in slots]] = scores[inverse, :]

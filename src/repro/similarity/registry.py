@@ -24,7 +24,10 @@ from .tokenizers import QGRAM3, SPACE, Tokenizer
 #: are evaluated on this prefix.  Table II applies every measure to every
 #: string attribute, and beyond ~a dozen words the alignment of the head
 #: tokens carries the identifying signal — the token-set measures cover
-#: the tail.
+#: the tail.  This module-level value is the *default*; callers that need
+#: a different cap pass ``sequence_max_chars`` to
+#: :meth:`SimilarityMeasure.__call__` / :meth:`SimilarityMeasure.scorer`
+#: (``FeatureGenerator`` exposes it as a constructor knob).
 SEQUENCE_MAX_CHARS = 64
 
 #: Measures that get the prefix cap (pairwise character DP / matching).
@@ -49,7 +52,7 @@ class SimilarityMeasure:
         self.tokenizer = tokenizer
         self._capped = name in _CAPPED_SEQUENCE_MEASURES
 
-    def __call__(self, v1, v2) -> float:
+    def __call__(self, v1, v2, sequence_max_chars: int | None = None) -> float:
         if v1 is None or v2 is None:
             return float("nan")
         if self.kind == "numeric":
@@ -64,9 +67,75 @@ class SimilarityMeasure:
         if self.tokenizer is not None:
             return self._func(self.tokenizer(s1), self.tokenizer(s2))
         if self._capped:
-            s1 = s1[:SEQUENCE_MAX_CHARS]
-            s2 = s2[:SEQUENCE_MAX_CHARS]
+            cap = (SEQUENCE_MAX_CHARS if sequence_max_chars is None
+                   else sequence_max_chars)
+            s1 = s1[:cap]
+            s2 = s2[:cap]
         return self._func(s1, s2)
+
+    def scorer(self, token_cache=None, sequence_max_chars: int | None = None):
+        """A plain ``f(v1, v2) -> float`` equivalent to calling the measure.
+
+        The returned callable hoists the per-call dispatch (kind checks,
+        tokenizer lookup) out of hot loops, and — for token-based
+        measures — memoizes tokenization in ``token_cache``, a dict-like
+        mapping of ``(tokenizer_name, string) -> tokens``.  Sharing one
+        cache across the four set measures of a tokenizer family means
+        each unique string is tokenized once, not once per measure call.
+        ``sequence_max_chars`` overrides the module-level
+        :data:`SEQUENCE_MAX_CHARS` prefix cap for DP measures.
+        """
+        nan = float("nan")
+        func = self._func
+        if self.kind == "numeric":
+            def score_numeric(v1, v2):
+                if v1 is None or v2 is None:
+                    return nan
+                try:
+                    f1, f2 = float(v1), float(v2)
+                except (TypeError, ValueError):
+                    return nan
+                return func(f1, f2)
+            return score_numeric
+        if self.kind == "boolean":
+            def score_boolean(v1, v2):
+                if v1 is None or v2 is None:
+                    return nan
+                return func(v1, v2)
+            return score_boolean
+        tokenizer = self.tokenizer
+        if tokenizer is not None:
+            cache = {} if token_cache is None else token_cache
+            tok_name = tokenizer.name
+            def score_tokens(v1, v2):
+                if v1 is None or v2 is None:
+                    return nan
+                s1, s2 = str(v1), str(v2)
+                key1 = (tok_name, s1)
+                tokens1 = cache.get(key1)
+                if tokens1 is None:
+                    cache[key1] = tokens1 = tokenizer(s1)
+                key2 = (tok_name, s2)
+                tokens2 = cache.get(key2)
+                if tokens2 is None:
+                    cache[key2] = tokens2 = tokenizer(s2)
+                return func(tokens1, tokens2)
+            return score_tokens
+        if self._capped:
+            def score_capped(v1, v2):
+                if v1 is None or v2 is None:
+                    return nan
+                # Resolved at call time so the module-level default stays
+                # patchable when no explicit cap was configured.
+                cap = (SEQUENCE_MAX_CHARS if sequence_max_chars is None
+                       else sequence_max_chars)
+                return func(str(v1)[:cap], str(v2)[:cap])
+            return score_capped
+        def score_sequence(v1, v2):
+            if v1 is None or v2 is None:
+                return nan
+            return func(str(v1), str(v2))
+        return score_sequence
 
     def __repr__(self) -> str:
         tok = self.tokenizer.name if self.tokenizer else "N/A"
