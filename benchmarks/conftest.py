@@ -13,6 +13,25 @@ def pytest_addoption(parser):
     parser.addoption(
         "--perf", action="store_true", default=False,
         help="run opt-in performance regression checks (marker 'perf')")
+    parser.addoption(
+        "--run-log-dir", default=None,
+        help="write JSONL trial telemetry of every AutoML search the "
+             "benches launch to numbered files under this directory")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _route_run_logs(request):
+    """Point runner-launched searches' telemetry at --run-log-dir."""
+    from repro.experiments import runners
+
+    target = request.config.getoption("--run-log-dir")
+    if target is None:
+        yield
+        return
+    Path(target).mkdir(parents=True, exist_ok=True)
+    runners.set_run_log_dir(target)
+    yield
+    runners.set_run_log_dir(None)
 
 
 def pytest_collection_modifyitems(config, items):

@@ -13,6 +13,14 @@ from .metalearning import (
     dataset_meta_features,
 )
 from .optimizer import AutoML, OptimizationHistory, TrialResult
+from .runner import (
+    RunLog,
+    TrialOutcome,
+    TrialRunner,
+    TrialTimeout,
+    format_error,
+    read_run_log,
+)
 from .search import RandomSearch, SMACSearch, TPESearch, make_search
 from .space import (
     Categorical,
@@ -38,9 +46,15 @@ __all__ = [
     "Hyperparameter",
     "OptimizationHistory",
     "RandomSearch",
+    "RunLog",
     "SMACSearch",
     "TPESearch",
+    "TrialOutcome",
     "TrialResult",
+    "TrialRunner",
+    "TrialTimeout",
+    "format_error",
+    "read_run_log",
     "UniformFloat",
     "UniformInt",
     "build_config_space",

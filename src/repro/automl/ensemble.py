@@ -74,7 +74,12 @@ def build_ensemble(history: OptimizationHistory, X_train, y_train,
     fitted = []
     valid_probs = []
     for trial in candidates:
-        pipeline = build_pipeline(trial.config, random_state=seed)
+        # Rebuild with the trial's own seed where recorded, so ensemble
+        # members match the models that earned their validation scores.
+        pipeline = build_pipeline(
+            trial.config,
+            random_state=trial.random_state
+            if trial.random_state is not None else seed)
         pipeline.fit(X_train, np.asarray(y_train))
         fitted.append(pipeline)
         valid_probs.append(pipeline.predict_proba(X_valid))

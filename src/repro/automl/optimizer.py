@@ -5,29 +5,59 @@ configuration, fit it on the training set, score it on the validation
 set (F1 by default), feed the result back to the search algorithm,
 repeat until the budget (iterations and/or wall-clock seconds) runs out,
 and return the best pipeline.
+
+Every evaluation goes through :class:`repro.automl.runner.TrialRunner`,
+so a pathological configuration (unbounded fit, ``MemoryError``,
+``LinAlgError``, ...) is scored as a failed trial instead of stalling or
+killing the search, and — when a ``run_log`` is given — every trial is
+appended to a JSONL telemetry file the run can later be resumed from
+(``OptimizationHistory.load`` / ``AutoML(resume_from=...)``).
 """
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from ..ml.metrics import f1_score
 from .components import ConfiguredPipeline, build_pipeline
+from .runner import RunLog, TrialRunner, _json_default
 from .search import make_search
 from .space import ConfigurationSpace
 
 
 @dataclass
 class TrialResult:
-    """One evaluated configuration."""
+    """One evaluated configuration.
+
+    ``random_state`` is the seed the trial's pipeline was built with;
+    rebuilding the winner with the same seed reproduces the exact model
+    that earned ``score`` (forests and samplers are stochastic).
+    """
 
     config: dict
     score: float
     elapsed: float
     error: str | None = None
+    random_state: int | None = None
+
+    def to_record(self) -> dict:
+        """The trial as a JSON-serializable dict (JSONL schema)."""
+        return {"type": "trial", "config": dict(self.config),
+                "score": self.score, "elapsed": self.elapsed,
+                "error": self.error, "random_state": self.random_state}
+
+    @classmethod
+    def from_record(cls, record: dict) -> "TrialResult":
+        return cls(config=dict(record["config"]),
+                   score=float(record["score"]),
+                   elapsed=float(record.get("elapsed", 0.0)),
+                   error=record.get("error"),
+                   random_state=record.get("random_state"))
 
 
 @dataclass
@@ -56,6 +86,37 @@ class OptimizationHistory:
             curve.append(best if np.isfinite(best) else 0.0)
         return curve
 
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for t in self.trials if t.error is not None)
+
+    def save(self, path) -> None:
+        """Write the trials as JSONL (one ``trial`` record per line)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as fh:
+            for trial in self.trials:
+                fh.write(json.dumps(trial.to_record(),
+                                    default=_json_default) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "OptimizationHistory":
+        """Rebuild a history from :meth:`save` output *or* a run log.
+
+        Non-trial records (the run log's ``summary``) are skipped, so
+        the telemetry file of an interrupted run loads directly.
+        """
+        history = cls()
+        with Path(path).open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                if record.get("type", "trial") == "trial":
+                    history.add(TrialResult.from_record(record))
+        return history
+
     def __len__(self) -> int:
         return len(self.trials)
 
@@ -79,12 +140,27 @@ class AutoML:
     scorer:
         ``scorer(y_true, y_pred) -> float``; higher is better.  Default
         F1 on the positive class.
+    trial_timeout / trial_isolation:
+        Per-trial wall-clock limit and isolation mode, forwarded to
+        :class:`~repro.automl.runner.TrialRunner`.  A timed-out trial is
+        scored as failed; the search continues.
+    run_log:
+        Path (or open :class:`~repro.automl.runner.RunLog`) for JSONL
+        telemetry: one record per trial plus a run summary.
+    resume_from:
+        Path to a prior run log / saved history, or an
+        :class:`OptimizationHistory`; its trials are replayed into this
+        run's history and budget before any new trial runs, so an
+        interrupted search continues where it stopped.
     """
 
     def __init__(self, space: ConfigurationSpace, search: str = "smac",
                  n_iterations: int = 30, time_budget: float | None = None,
                  scorer=f1_score, ensemble_size: int = 1,
                  initial_configs: list[dict] | None = None, seed: int = 0,
+                 trial_timeout: float | None = None,
+                 trial_isolation: str = "auto",
+                 run_log=None, resume_from=None,
                  verbose: bool = False):
         if n_iterations < 1:
             raise ValueError(
@@ -102,20 +178,57 @@ class AutoML:
         #: anything (see repro.automl.metalearning.ConfigPortfolio).
         self.initial_configs = list(initial_configs or [])
         self.seed = seed
+        self.trial_timeout = trial_timeout
+        self.trial_isolation = trial_isolation
+        self.run_log = run_log
+        self.resume_from = resume_from
         self.verbose = verbose
 
-    def fit(self, X_train, y_train, X_valid, y_valid) -> "AutoML":
-        """Run the search; afterwards ``best_pipeline_`` is fitted on train."""
+    def _resume_history(self) -> OptimizationHistory:
+        """The prior trials to replay (empty when not resuming)."""
+        if self.resume_from is None:
+            return OptimizationHistory()
+        if isinstance(self.resume_from, OptimizationHistory):
+            return OptimizationHistory(list(self.resume_from.trials))
+        return OptimizationHistory.load(self.resume_from)
+
+    def fit(self, X_train, y_train, X_valid, y_valid,
+            run_context: dict | None = None) -> "AutoML":
+        """Run the search; afterwards ``best_pipeline_`` is fitted on train.
+
+        ``run_context`` is merged into the run log's summary record
+        (callers use it for e.g. feature-cache hit/miss stats).
+        """
         X_train = np.asarray(X_train, dtype=np.float64)
         X_valid = np.asarray(X_valid, dtype=np.float64)
         y_train = np.asarray(y_train)
         y_valid = np.asarray(y_valid)
         search = make_search(self.search_name, self.space, seed=self.seed)
-        self.history_ = OptimizationHistory()
-        evaluated: list[tuple[dict, float]] = []
+        self.history_ = self._resume_history()
+        runner = TrialRunner(timeout=self.trial_timeout,
+                             isolation=self.trial_isolation)
+        log = RunLog.ensure(self.run_log)
+        evaluated: list[tuple[dict, float]] = [
+            (t.config, t.score if t.error is None else 0.0)
+            for t in self.history_.trials]
         started = time.monotonic()
         rng = np.random.default_rng(self.seed)
-        for iteration in range(self.n_iterations):
+        incumbent: float | None = None
+        for index, trial in enumerate(self.history_.trials):
+            if trial.error is None:
+                incumbent = (trial.score if incumbent is None
+                             else max(incumbent, trial.score))
+            if log is not None:  # re-emit replayed trials: log == whole run
+                log.trial(index=index, config=trial.config,
+                          score=trial.score, elapsed=trial.elapsed,
+                          error=trial.error,
+                          random_state=trial.random_state,
+                          incumbent_score=incumbent)
+        # Keep the pipeline-seed stream aligned with an uninterrupted
+        # run: skip the draws the replayed trials consumed.
+        for _ in self.history_.trials:
+            rng.integers(2 ** 31)
+        for iteration in range(len(self.history_), self.n_iterations):
             if self.time_budget is not None \
                     and time.monotonic() - started >= self.time_budget:
                 break
@@ -123,32 +236,40 @@ class AutoML:
                 config = dict(self.initial_configs[iteration])
             else:
                 config = search.propose(evaluated)
-            trial_started = time.monotonic()
-            try:
-                pipeline = build_pipeline(
-                    config, random_state=int(rng.integers(2 ** 31)))
-                pipeline.fit(X_train, y_train)
-                score = float(self.scorer(y_valid, pipeline.predict(X_valid)))
-                error = None
-            except (ValueError, RuntimeError, FloatingPointError) as exc:
-                score = 0.0
-                error = f"{type(exc).__name__}: {exc}"
-            elapsed = time.monotonic() - trial_started
-            self.history_.add(TrialResult(config, score, elapsed, error))
-            if error is None:
-                evaluated.append((config, score))
+            random_state = int(rng.integers(2 ** 31))
+            outcome = runner.run(
+                lambda: self._evaluate(config, random_state, X_train,
+                                       y_train, X_valid, y_valid))
+            trial = TrialResult(config, outcome.score, outcome.elapsed,
+                                outcome.error, random_state=random_state)
+            self.history_.add(trial)
+            if trial.error is None:
+                evaluated.append((config, trial.score))
+                incumbent = (trial.score if incumbent is None
+                             else max(incumbent, trial.score))
             else:
                 # Penalize failing regions so the surrogate avoids them.
                 evaluated.append((config, 0.0))
+            if log is not None:
+                log.trial(index=iteration, config=config,
+                          score=trial.score, elapsed=trial.elapsed,
+                          error=trial.error, random_state=random_state,
+                          incumbent_score=incumbent)
             if self.verbose:
-                status = f"{score:.4f}" if error is None else f"error({error})"
+                status = (f"{trial.score:.4f}" if trial.error is None
+                          else f"error({trial.error})")
                 print(f"[automl] trial {iteration + 1}/{self.n_iterations}: "
                       f"{config.get('classifier:__choice__')} -> {status}")
         best = self.history_.best
         self.best_config_ = best.config
         self.best_score_ = best.score
-        self.best_pipeline_ = build_pipeline(best.config,
-                                             random_state=self.seed)
+        self.best_random_state_ = (best.random_state
+                                   if best.random_state is not None
+                                   else self.seed)
+        # Rebuild with the *trial's* seed so the deployed pipeline is the
+        # exact model that earned best_score_.
+        self.best_pipeline_ = build_pipeline(
+            best.config, random_state=self.best_random_state_)
         self.best_pipeline_.fit(X_train, y_train)
         self.ensemble_ = None
         if self.ensemble_size > 1:
@@ -158,7 +279,31 @@ class AutoML:
                 self.history_, X_train, y_train, X_valid, y_valid,
                 ensemble_size=self.ensemble_size, scorer=self.scorer,
                 seed=self.seed)
+        if log is not None:
+            log.summary(
+                n_trials=len(self.history_),
+                n_failed=self.history_.n_failed,
+                best_score=self.best_score_,
+                best_config=self.best_config_,
+                best_random_state=self.best_random_state_,
+                search=self.search_name, seed=self.seed,
+                n_iterations=self.n_iterations,
+                time_budget=self.time_budget,
+                wall_time=time.monotonic() - started,
+                trial_time=sum(t.elapsed for t in self.history_.trials),
+                trial_timeout=self.trial_timeout,
+                isolation=runner.effective_isolation,
+                **dict(run_context or {}))
+            if log is not self.run_log:  # opened here -> close here
+                log.close()
         return self
+
+    def _evaluate(self, config: dict, random_state: int, X_train, y_train,
+                  X_valid, y_valid) -> float:
+        """Build, fit and score one configuration (runs inside the runner)."""
+        pipeline = build_pipeline(config, random_state=random_state)
+        pipeline.fit(X_train, y_train)
+        return float(self.scorer(y_valid, pipeline.predict(X_valid)))
 
     def refit(self, X, y) -> "AutoML":
         """Refit the best pipeline on (typically train+valid) data.
@@ -167,8 +312,9 @@ class AutoML:
         that may now be part of the refit set.
         """
         self._check_fitted()
-        self.best_pipeline_ = build_pipeline(self.best_config_,
-                                             random_state=self.seed)
+        self.best_pipeline_ = build_pipeline(
+            self.best_config_,
+            random_state=getattr(self, "best_random_state_", self.seed))
         self.best_pipeline_.fit(np.asarray(X, dtype=np.float64),
                                 np.asarray(y))
         self.ensemble_ = None

@@ -73,6 +73,9 @@ def _cmd_match(args) -> int:
                            forest_size=args.forest_size,
                            model_space="all" if args.all_models
                            else "random_forest", n_jobs=args.n_jobs,
+                           trial_timeout=args.trial_timeout,
+                           run_log=args.run_log,
+                           resume_from=args.resume_from,
                            seed=args.seed)
     elif args.system == "magellan":
         from .baselines import MagellanMatcher
@@ -148,6 +151,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="search the full model space, not RF-only")
     match.add_argument("--n-jobs", type=int, default=1,
                        help="feature-generation workers (-1 = all cores)")
+    match.add_argument("--trial-timeout", type=float, default=None,
+                       help="per-trial wall-clock limit in seconds; a "
+                            "timed-out pipeline is scored as a failed "
+                            "trial and the search continues "
+                            "(automl-em only)")
+    match.add_argument("--run-log", default=None,
+                       help="write JSONL trial telemetry (one record per "
+                            "trial + a run summary) to this path "
+                            "(automl-em only)")
+    match.add_argument("--resume-from", default=None,
+                       help="resume the search from a prior run log / "
+                            "saved history JSONL (automl-em only)")
     match.add_argument("--show-pipeline", action="store_true")
     match.add_argument("--seed", type=int, default=0)
     match.add_argument("--scale", type=float, default=1.0)

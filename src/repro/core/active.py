@@ -49,6 +49,20 @@ class ActiveRunHistory:
     def total_machine_labels(self) -> int:
         return sum(it.machine_labels for it in self.iterations)
 
+    @property
+    def mean_machine_label_accuracy(self) -> float:
+        """Mean accuracy over iterations that adopted machine labels.
+
+        Iterations with ``st_batch=0`` (no self-training) record ``nan``
+        and are excluded; with no self-training anywhere the mean itself
+        is ``nan``.
+        """
+        values = np.asarray([it.machine_label_accuracy
+                             for it in self.iterations], dtype=np.float64)
+        if values.size == 0 or np.isnan(values).all():
+            return float("nan")
+        return float(np.nanmean(values))
+
 
 class AutoMLEMActive:
     """Algorithm 1: hybrid active-learning / self-training AutoML-EM.
@@ -75,6 +89,10 @@ class AutoMLEMActive:
     automl_kwargs:
         Keyword arguments for the final :class:`AutoMLEM` stage (budget,
         model space, seed, ...).
+    trial_timeout / run_log:
+        Per-trial time limit and JSONL telemetry path for the final
+        AutoML stage (shorthand for the same keys in ``automl_kwargs``,
+        which take precedence when both are given).
     """
 
     def __init__(self, init_size: int = 500, ac_batch: int = 20,
@@ -82,7 +100,9 @@ class AutoMLEMActive:
                  label_budget: int | None = None,
                  inner_forest_size: int = 32,
                  query_strategy="uncertainty", n_jobs: int | None = None,
-                 automl_kwargs: dict | None = None, seed: int = 0):
+                 automl_kwargs: dict | None = None,
+                 trial_timeout: float | None = None, run_log=None,
+                 seed: int = 0):
         if init_size < 2:
             raise ValueError(f"init_size must be >= 2, got {init_size}")
         if ac_batch < 0 or st_batch < 0:
@@ -96,6 +116,10 @@ class AutoMLEMActive:
         self.n_jobs = n_jobs
         self.query_strategy = make_strategy(query_strategy)
         self.automl_kwargs = dict(automl_kwargs or {})
+        if trial_timeout is not None:
+            self.automl_kwargs.setdefault("trial_timeout", trial_timeout)
+        if run_log is not None:
+            self.automl_kwargs.setdefault("run_log", run_log)
         self.seed = seed
 
     def fit(self, pool: PairSet, X_pool: np.ndarray | None = None,
@@ -128,17 +152,24 @@ class AutoMLEMActive:
         labels: list[int] = []
         is_human: list[bool] = []
 
-        # Initial random sample, labeled by the human oracle.
-        init = rng.choice(n, size=min(self.init_size, n), replace=False)
+        # Initial random sample, labeled by the human oracle (never more
+        # than the label budget allows).
+        init_take = min(self.init_size, n)
+        if self.label_budget is not None:
+            init_take = min(init_take, self.label_budget)
+        init = rng.choice(n, size=init_take, replace=False)
         for i in init:
             labels.append(self.oracle_.label(pool[int(i)]))
             labeled_idx.append(int(i))
             is_human.append(True)
         unlabeled[init] = False
         # A usable model needs both classes; keep sampling randomly (each
-        # draw costs a query) until the seed set has them.
+        # draw costs a query) until the seed set has them — but stop at
+        # the budget instead of paying for draws it cannot afford.
         attempts = 0
-        while len(set(labels)) < 2 and unlabeled.any() and attempts < n:
+        while (len(set(labels)) < 2 and unlabeled.any() and attempts < n
+               and (self.oracle_.remaining is None
+                    or self.oracle_.remaining > 0)):
             extra = int(rng.choice(np.flatnonzero(unlabeled)))
             labels.append(self.oracle_.label(pool[extra]))
             labeled_idx.append(extra)
@@ -188,7 +219,10 @@ class AutoMLEMActive:
                     correct += 1
             unlabeled[ac_global] = False
             unlabeled[st_global] = False
-            accuracy = correct / len(st_global) if len(st_global) else 1.0
+            # No adopted machine labels -> accuracy is undefined, not 1.0
+            # (reporting 1.0 inflated per-iteration stats for st_batch=0).
+            accuracy = (correct / len(st_global) if len(st_global)
+                        else float("nan"))
             self.history_.iterations.append(ActiveIteration(
                 iteration=iteration, human_labels=len(ac_global),
                 machine_labels=len(st_global),

@@ -50,6 +50,17 @@ class AutoMLEM:
         :class:`~repro.features.cache.FeatureMatrixCache` (or ``True``
         for a private one) so repeated transforms of the same pair sets
         reuse their matrices.
+    trial_timeout / trial_isolation:
+        Per-trial wall-clock limit (seconds) and isolation mode for the
+        search, forwarded to the AutoML engine's
+        :class:`~repro.automl.runner.TrialRunner`.
+    run_log:
+        Optional JSONL telemetry path (or open
+        :class:`~repro.automl.runner.RunLog`): one record per trial
+        plus a run summary that includes feature-cache hit/miss stats.
+    resume_from:
+        Optional prior run log / saved history to resume the search
+        from (see :class:`repro.automl.optimizer.AutoML`).
 
     >>> matcher = AutoMLEM(n_iterations=20, seed=0)
     >>> matcher.fit(train_pairs, valid_pairs)
@@ -64,6 +75,9 @@ class AutoMLEM:
                  forest_size: int = 100, ensemble_size: int = 1,
                  exclude_attributes: tuple[str, ...] = (),
                  n_jobs: int = 1, feature_cache=None,
+                 trial_timeout: float | None = None,
+                 trial_isolation: str = "auto",
+                 run_log=None, resume_from=None,
                  seed: int = 0, verbose: bool = False):
         if feature_plan not in ("autoem", "magellan"):
             raise ValueError(
@@ -82,6 +96,10 @@ class AutoMLEM:
         self.exclude_attributes = tuple(exclude_attributes)
         self.n_jobs = n_jobs
         self.feature_cache = feature_cache
+        self.trial_timeout = trial_timeout
+        self.trial_isolation = trial_isolation
+        self.run_log = run_log
+        self.resume_from = resume_from
         self.seed = seed
         self.verbose = verbose
 
@@ -121,9 +139,23 @@ class AutoMLEM:
                               n_iterations=self.n_iterations,
                               time_budget=self.time_budget,
                               ensemble_size=self.ensemble_size,
+                              trial_timeout=self.trial_timeout,
+                              trial_isolation=self.trial_isolation,
+                              run_log=self.run_log,
+                              resume_from=self.resume_from,
                               seed=self.seed, verbose=self.verbose)
-        self.automl_.fit(X_train, y_train, X_valid, y_valid)
+        self.automl_.fit(X_train, y_train, X_valid, y_valid,
+                         run_context=self._run_context())
         return self
+
+    def _run_context(self) -> dict:
+        """Run-summary telemetry context: feature plan + cache stats."""
+        context: dict = {"feature_plan": self.feature_plan}
+        generator = getattr(self, "feature_generator_", None)
+        cache = getattr(generator, "cache", None)
+        if cache is not None:
+            context["feature_cache"] = dict(cache.stats)
+        return context
 
     # -- inference ------------------------------------------------------
 

@@ -53,6 +53,8 @@ class ExperimentConfig:
     generator_seeds: tuple
     #: train/valid/test split seed
     split_seed: int
+    #: per-trial wall-clock limit for AutoML searches (None = unlimited)
+    trial_timeout: float | None = None
 
 
 _FAST_SCALES = {

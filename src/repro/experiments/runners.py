@@ -10,6 +10,8 @@ cached per process so benches that share workloads don't recompute them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import count
+from pathlib import Path
 
 import numpy as np
 
@@ -58,6 +60,24 @@ class DatasetBundle:
 
 _BUNDLES: dict[tuple, DatasetBundle] = {}
 
+#: When set (e.g. by ``benchmarks/conftest.py --run-log-dir``), every
+#: AutoML search the runners launch writes its JSONL trial telemetry to
+#: a numbered file under this directory.
+RUN_LOG_DIR: Path | None = None
+_RUN_LOG_COUNT = count()
+
+
+def set_run_log_dir(path) -> None:
+    """Route all runner-launched searches' telemetry under ``path``."""
+    global RUN_LOG_DIR
+    RUN_LOG_DIR = Path(path) if path is not None else None
+
+
+def _next_run_log() -> Path | None:
+    if RUN_LOG_DIR is None:
+        return None
+    return RUN_LOG_DIR / f"automl-run-{next(_RUN_LOG_COUNT):04d}.jsonl"
+
 
 def load_bundle(name: str, config: ExperimentConfig = FAST,
                 generator_seed: int = 1, n_jobs: int = 1) -> DatasetBundle:
@@ -84,7 +104,9 @@ def clear_bundle_cache() -> None:
 
 def _automl_em(config: ExperimentConfig, **overrides) -> AutoMLEM:
     kwargs = dict(n_iterations=config.automl_iterations,
-                  forest_size=config.forest_size, seed=0)
+                  forest_size=config.forest_size,
+                  trial_timeout=config.trial_timeout,
+                  run_log=_next_run_log(), seed=0)
     kwargs.update(overrides)
     return AutoMLEM(**kwargs)
 
@@ -330,7 +352,12 @@ def run_fig10(config: ExperimentConfig = FAST,
                                   budget=budget, valid_f1=0.0, test_f1=0.0)
                     continue
                 best = max(upto, key=lambda t: t.score)
-                pipeline = build_pipeline(best.config, random_state=0)
+                # Use the trial's own seed so the checkpointed pipeline
+                # is the model that earned the incumbent valid score.
+                pipeline = build_pipeline(
+                    best.config,
+                    random_state=best.random_state
+                    if best.random_state is not None else 0)
                 pipeline.fit(X_tr, bundle.train.labels)
                 test_f1 = 100 * f1_score(bundle.test.labels,
                                          pipeline.predict(X_te))

@@ -41,9 +41,13 @@ def pairs_fingerprint(pairs) -> str:
     digest = hashlib.sha1()
     digest.update(pairs.table_a.fingerprint.encode("ascii"))
     digest.update(pairs.table_b.fingerprint.encode("ascii"))
-    ids = np.asarray([(p.left.record_id, p.right.record_id) for p in pairs],
-                     dtype=np.int64)
-    digest.update(ids.tobytes())
+    # repr-based hashing keeps the digest type-agnostic: integer, string
+    # and UUID record ids all work (and 1 vs "1" hash differently).
+    for pair in pairs:
+        digest.update(repr(pair.left.record_id).encode("utf-8"))
+        digest.update(b"\x1f")
+        digest.update(repr(pair.right.record_id).encode("utf-8"))
+        digest.update(b"\x1e")
     return digest.hexdigest()
 
 

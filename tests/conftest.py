@@ -50,3 +50,15 @@ def noisy_data():
 @pytest.fixture()
 def rng():
     return np.random.default_rng(0)
+
+
+@pytest.fixture()
+def fast_trial_timeout():
+    """Sub-second per-trial limit for timeout tests (keeps tier-1 fast).
+
+    Tests exercising the trial-timeout path should carry the
+    ``trial_timeout`` marker and take their limit from this fixture, so
+    the whole isolation machinery is covered without multi-second
+    sleeps.
+    """
+    return 0.3

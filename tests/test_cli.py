@@ -20,6 +20,17 @@ class TestParser:
         args = build_parser().parse_args(["match"])
         assert args.system == "automl-em"
         assert args.budget == 20
+        assert args.trial_timeout is None
+        assert args.run_log is None
+        assert args.resume_from is None
+
+    def test_match_runner_knobs(self):
+        args = build_parser().parse_args(
+            ["match", "--trial-timeout", "2.5", "--run-log", "/tmp/r.jsonl",
+             "--resume-from", "/tmp/prior.jsonl"])
+        assert args.trial_timeout == 2.5
+        assert args.run_log == "/tmp/r.jsonl"
+        assert args.resume_from == "/tmp/prior.jsonl"
 
     def test_experiment_choices(self):
         with pytest.raises(SystemExit):
@@ -48,6 +59,18 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "f1=" in out
+
+    def test_match_writes_run_log(self, tmp_path, capsys):
+        from repro.automl import read_run_log
+
+        log_path = tmp_path / "run.jsonl"
+        code = main(["match", "--dataset", "fodors_zagats",
+                     "--scale", "0.25", "--budget", "3",
+                     "--forest-size", "8", "--run-log", str(log_path)])
+        assert code == 0
+        records = read_run_log(log_path)
+        assert sum(1 for r in records if r["type"] == "trial") == 3
+        assert records[-1]["type"] == "summary"
 
     def test_match_magellan_system(self, capsys):
         code = main(["match", "--dataset", "fodors_zagats",

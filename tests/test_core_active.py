@@ -1,5 +1,7 @@
 """Tests for AutoML-EM-Active (Algorithm 1)."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -50,6 +52,26 @@ class TestAlgorithmOne:
         active = make_active(st_batch=0).fit(pool)
         assert active.machine_label_count_ == 0
 
+    def test_st_zero_accuracy_is_nan_not_one(self, pool_and_test):
+        # Regression: iterations that adopt no machine labels used to
+        # report accuracy 1.0, inflating per-iteration stats.
+        pool, _ = pool_and_test
+        active = make_active(st_batch=0).fit(pool)
+        assert active.history_.iterations
+        for it in active.history_.iterations:
+            assert math.isnan(it.machine_label_accuracy)
+        assert math.isnan(active.history_.mean_machine_label_accuracy)
+
+    def test_mean_machine_label_accuracy_ignores_nan(self, pool_and_test):
+        pool, _ = pool_and_test
+        active = make_active().fit(pool)
+        mean = active.history_.mean_machine_label_accuracy
+        values = [it.machine_label_accuracy
+                  for it in active.history_.iterations
+                  if not math.isnan(it.machine_label_accuracy)]
+        assert values
+        assert mean == pytest.approx(float(np.mean(values)))
+
     def test_machine_labels_mostly_correct_on_easy_data(self, pool_and_test):
         pool, _ = pool_and_test
         active = make_active().fit(pool)
@@ -61,6 +83,32 @@ class TestAlgorithmOne:
         pool, _ = pool_and_test
         active = make_active(label_budget=70, n_iterations=10).fit(pool)
         assert active.oracle_.queries_used <= 70
+
+    def test_label_budget_equal_to_init_size(self, pool_and_test):
+        # Regression: the class-coverage seed loop used to keep paying
+        # for random draws after the budget was spent, tripping the
+        # oracle's LabelBudgetExceeded guard when budget == init_size.
+        pool, _ = pool_and_test
+        active = make_active(init_size=60, label_budget=60,
+                             n_iterations=5).fit(pool)
+        assert active.oracle_.queries_used <= 60
+        assert active.oracle_.remaining == 0
+        assert active.machine_label_count_ == 0  # no budget left to loop
+
+    def test_label_budget_smaller_than_init_size(self, pool_and_test):
+        pool, _ = pool_and_test
+        active = make_active(init_size=60, label_budget=40,
+                             n_iterations=5).fit(pool)
+        assert active.oracle_.queries_used <= 40
+
+    def test_seed_loop_stops_at_budget(self, pool_and_test):
+        # Even when the init draw lands on a single class, the coverage
+        # top-up must stop at the budget instead of raising.
+        pool, _ = pool_and_test
+        for seed in range(5):
+            active = make_active(init_size=4, label_budget=6,
+                                 n_iterations=2, seed=seed).fit(pool)
+            assert active.oracle_.queries_used <= 6
 
     def test_history_tracks_pool_shrinkage(self, pool_and_test):
         pool, _ = pool_and_test

@@ -97,3 +97,44 @@ class TestConfiguration:
         assert matcher.evaluate_matrix(X[80:], y[80:])["f1"] > 0.7
         with pytest.raises(RuntimeError, match="fitted from matrices"):
             matcher.predict("not-a-matrix-path")
+
+
+class TestTelemetry:
+    def test_run_log_includes_feature_cache_stats(self, splits, tmp_path):
+        from repro.automl import read_run_log
+
+        train, valid, _ = splits
+        path = tmp_path / "em-run.jsonl"
+        matcher = AutoMLEM(n_iterations=3, forest_size=8, seed=0,
+                           feature_cache=True, run_log=path)
+        matcher.fit(train, valid)
+        records = read_run_log(path)
+        summary = [r for r in records if r["type"] == "summary"][0]
+        assert summary["feature_plan"] == "autoem"
+        assert summary["feature_cache"]["misses"] >= 1
+        assert sum(1 for r in records if r["type"] == "trial") == 3
+
+    def test_trial_knobs_reach_automl(self, rng):
+        n = 80
+        y = (rng.random(n) < 0.3).astype(int)
+        X = np.column_stack([y + rng.normal(0, 0.2, n), rng.random(n)])
+        matcher = AutoMLEM(n_iterations=2, forest_size=8, seed=0,
+                           trial_timeout=30.0, trial_isolation="none")
+        matcher.fit_matrices(X[:60], y[:60], X[60:], y[60:])
+        assert matcher.automl_.trial_timeout == 30.0
+        assert matcher.automl_.trial_isolation == "none"
+
+    def test_active_run_log_passthrough(self, tmp_path):
+        from repro.core import AutoMLEMActive
+
+        active = AutoMLEMActive(
+            init_size=10, trial_timeout=5.0,
+            run_log=tmp_path / "active.jsonl",
+            automl_kwargs=dict(n_iterations=2, forest_size=8))
+        assert active.automl_kwargs["trial_timeout"] == 5.0
+        assert active.automl_kwargs["run_log"] == tmp_path / "active.jsonl"
+        # explicit automl_kwargs win over the shorthand
+        explicit = AutoMLEMActive(
+            init_size=10, trial_timeout=5.0,
+            automl_kwargs=dict(trial_timeout=1.0))
+        assert explicit.automl_kwargs["trial_timeout"] == 1.0

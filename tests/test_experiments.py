@@ -113,6 +113,37 @@ class TestBundles:
         assert len(bundle.pool) == len(bundle.train) + len(bundle.valid)
 
 
+class TestRunLogRouting:
+    def test_run_log_dir_threads_into_matchers(self, tmp_path):
+        from repro.automl import read_run_log
+        from repro.experiments import runners
+
+        runners.set_run_log_dir(tmp_path)
+        try:
+            first = runners._automl_em(FAST)
+            second = runners._automl_em(FAST)
+            assert first.run_log != second.run_log  # numbered per search
+            assert first.run_log.parent == tmp_path
+            assert first.trial_timeout == FAST.trial_timeout
+            # and the log actually gets written by a fit
+            import numpy as np
+            rng = np.random.default_rng(0)
+            n = 80
+            y = (rng.random(n) < 0.3).astype(int)
+            X = np.column_stack([y + rng.normal(0, 0.2, n), rng.random(n)])
+            tiny = runners._automl_em(FAST, n_iterations=2, forest_size=8)
+            tiny.fit_matrices(X[:60], y[:60], X[60:], y[60:])
+            records = read_run_log(tiny.run_log)
+            assert records[-1]["type"] == "summary"
+        finally:
+            runners.set_run_log_dir(None)
+
+    def test_run_logs_off_by_default(self):
+        from repro.experiments import runners
+
+        assert runners._automl_em(FAST).run_log is None
+
+
 class TestRunnersSmoke:
     """One cheap runner execution checking table structure (full runs are
     the benchmarks' job)."""

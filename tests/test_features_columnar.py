@@ -261,6 +261,39 @@ class TestMatrixCache:
             second.transform(duplicate_heavy_pairs), matrix)
         assert cache.hits == 1
 
+    def test_non_integer_record_ids_supported(self):
+        from uuid import UUID
+
+        from repro.features.cache import pairs_fingerprint
+
+        rows_a = [["arts deli", 12.0, True], ["fenix", 9.0, False]]
+        rows_b = [["arts delicatessen", 12.5, True], ["fenix bar", 8.0, None]]
+        ids_a = ["rec-alpha", UUID("12345678-1234-5678-1234-567812345678")]
+        table_a = Table("A", COLUMNS, rows_a, ids=ids_a)
+        table_b = Table("B", COLUMNS, rows_b, ids=["x", "y"])
+        pairs = PairSet(table_a, table_b,
+                        [RecordPair(table_a[0], table_b[0]),
+                         RecordPair(table_a[1], table_b[1])])
+        fingerprint = pairs_fingerprint(pairs)  # used to crash on str ids
+        assert fingerprint == pairs_fingerprint(pairs)
+        generator = FeatureGenerator(FULL_PLAN, cache=True)
+        first = generator.transform(pairs)
+        np.testing.assert_array_equal(generator.transform(pairs), first)
+        assert generator.cache.hits == 1
+
+    def test_id_types_not_conflated(self):
+        from repro.features.cache import pairs_fingerprint
+
+        rows = [["a", 1.0, True], ["b", 2.0, False]]
+        int_ids = Table("A", COLUMNS, rows, ids=[1, 2])
+        str_ids = Table("A", COLUMNS, rows, ids=["1", "2"])
+        other = Table("B", COLUMNS, rows)
+        int_pairs = PairSet(int_ids, other,
+                            [RecordPair(int_ids[0], other[0])])
+        str_pairs = PairSet(str_ids, other,
+                            [RecordPair(str_ids[0], other[0])])
+        assert pairs_fingerprint(int_pairs) != pairs_fingerprint(str_pairs)
+
     def test_lru_eviction(self, duplicate_heavy_pairs):
         generator = FeatureGenerator(FULL_PLAN,
                                      cache=FeatureMatrixCache(max_entries=1))
