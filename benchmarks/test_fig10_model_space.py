@@ -1,6 +1,5 @@
 """Figure 10: random-forest-only vs all-model search space (E8)."""
 
-import numpy as np
 from common import BENCH, run_once, save_table
 
 from repro.experiments import run_fig10

@@ -18,7 +18,7 @@ from repro.core import AutoMLEM
 from repro.data import read_pairs, read_table, write_pairs, write_table
 from repro.data.synthetic import load_benchmark
 from repro.features import make_autoem_features
-from repro.ml import SimpleImputer, f1_score
+from repro.ml import f1_score
 
 
 def step1_csv_and_blocking(workdir: Path):

@@ -9,8 +9,6 @@ against itself, and trains AutoML-EM to find the duplicates.
 Run:  python examples/dedup_single_table.py
 """
 
-import numpy as np
-
 from repro.blocking import OverlapBlocker, blocking_recall
 from repro.core import AutoMLEM
 from repro.data import MATCH, NON_MATCH, PairSet, RecordPair, Table

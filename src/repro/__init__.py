@@ -9,6 +9,9 @@ Public API highlights:
   self-training).
 * :class:`repro.baselines.MagellanMatcher` /
   :class:`repro.baselines.DeepMatcherLite` — the two baselines.
+* :mod:`repro.serve` — deployable model bundles, the model registry and
+  the batch/streaming matching service
+  (``AutoMLEM.export_bundle`` → :class:`repro.serve.BatchMatcher`).
 """
 
 __version__ = "0.1.0"

@@ -17,6 +17,7 @@ from collections import defaultdict
 
 from ..data.pairs import PairSet, RecordPair
 from ..data.table import Table
+from ..features.columnar import TokenCache
 from ..similarity.tokenizers import ALNUM, Tokenizer
 
 
@@ -44,15 +45,37 @@ class AttributeEquivalenceBlocker:
 
 
 class OverlapBlocker:
-    """Pair records sharing >= ``min_overlap`` tokens of an attribute."""
+    """Pair records sharing >= ``min_overlap`` tokens of an attribute.
+
+    Tokenization is memoized in a shared :class:`TokenCache` (the same
+    ``(tokenizer_name, string) -> tokens`` convention the feature engine
+    uses), so each distinct attribute value is tokenized once per
+    blocker — not once per record — and a cache can be shared with a
+    feature generator serving the same tables.  Candidate pairs are
+    deduplicated: overlapping blocks can surface the same ``(a, b)``
+    combination through several probe paths, and downstream consumers
+    (pair fingerprints, labeling budgets) assume each candidate appears
+    once.
+    """
 
     def __init__(self, attribute: str, min_overlap: int = 1,
-                 tokenizer: Tokenizer = ALNUM):
+                 tokenizer: Tokenizer = ALNUM,
+                 token_cache: TokenCache | None = None):
         if min_overlap < 1:
             raise ValueError(f"min_overlap must be >= 1, got {min_overlap}")
         self.attribute = attribute
         self.min_overlap = min_overlap
         self.tokenizer = tokenizer
+        self.token_cache = TokenCache() if token_cache is None \
+            else token_cache
+
+    def _token_set(self, value) -> set[str]:
+        text = str(value)
+        key = (self.tokenizer.name, text)
+        tokens = self.token_cache.get(key)
+        if tokens is None:
+            self.token_cache[key] = tokens = self.tokenizer(text)
+        return set(tokens)
 
     def block(self, table_a: Table, table_b: Table) -> PairSet:
         index: dict[str, list[int]] = defaultdict(list)
@@ -60,19 +83,33 @@ class OverlapBlocker:
             value = record.get(self.attribute)
             if value is None:
                 continue
-            for token in set(self.tokenizer(str(value))):
+            for token in self._token_set(value):
                 index[token].append(record.record_id)
+        # Blocking output repeats attribute values heavily, so the
+        # matching right-id set is computed once per distinct value and
+        # reused for every table-a record carrying it.
+        matches_by_value: dict[str, list[int]] = {}
         pairs: list[RecordPair] = []
+        seen: set[tuple] = set()
         for record in table_a:
             value = record.get(self.attribute)
             if value is None:
                 continue
-            overlap_counts: dict[int, int] = defaultdict(int)
-            for token in set(self.tokenizer(str(value))):
-                for right_id in index.get(token, ()):
-                    overlap_counts[right_id] += 1
-            for right_id, count in sorted(overlap_counts.items()):
-                if count >= self.min_overlap:
+            text = str(value)
+            right_ids = matches_by_value.get(text)
+            if right_ids is None:
+                overlap_counts: dict[int, int] = defaultdict(int)
+                for token in self._token_set(value):
+                    for right_id in index.get(token, ()):
+                        overlap_counts[right_id] += 1
+                right_ids = sorted(
+                    right_id for right_id, count in overlap_counts.items()
+                    if count >= self.min_overlap)
+                matches_by_value[text] = right_ids
+            for right_id in right_ids:
+                pair_key = (record.record_id, right_id)
+                if pair_key not in seen:
+                    seen.add(pair_key)
                     pairs.append(RecordPair(record, table_b.by_id(right_id)))
         return PairSet(table_a, table_b, pairs)
 

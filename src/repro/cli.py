@@ -1,11 +1,16 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the common workflows without writing Python:
+Seven subcommands cover the common workflows without writing Python:
 
 * ``list-datasets`` — the available Table III benchmark analogs;
 * ``generate`` — write a benchmark's tables/pairs to CSV files;
 * ``match`` — train AutoML-EM (or a baseline) and report test F1;
-* ``experiment`` — run one paper table/figure runner and print it.
+* ``experiment`` — run one paper table/figure runner and print it;
+* ``export`` — train AutoML-EM and save/register a deployable
+  :class:`~repro.serve.ModelBundle`;
+* ``predict`` — score a pairs CSV with a saved bundle;
+* ``serve-batch`` — run the full blocking → featurize → predict path
+  over two tables with a saved bundle.
 """
 
 from __future__ import annotations
@@ -102,6 +107,7 @@ _EXPERIMENTS = {
     "table3": "run_table3", "table4": "run_table4", "fig8": "run_fig8",
     "fig9": "run_fig9", "fig10": "run_fig10", "fig12": "run_fig12",
     "fig13": "run_fig13", "fig14": "run_fig14", "fig15": "run_fig15",
+    "serving": "run_serving_study",
 }
 
 
@@ -119,10 +125,161 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _resolve_bundle(args):
+    """Bundle path → ModelBundle; with --name, path is a registry root."""
+    from .serve import ModelBundle, ModelRegistry
+
+    if getattr(args, "name", None):
+        return ModelRegistry(args.bundle).get(args.name, args.model_version)
+    return ModelBundle.load(args.bundle)
+
+
+def _write_predictions(result, path) -> None:
+    """Scored pairs → CSV (ltable_id, rtable_id, probability, prediction)."""
+    import csv
+
+    with Path(path).open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["ltable_id", "rtable_id", "probability",
+                         "prediction"])
+        for pair, probability, prediction in zip(
+                result.pairs, result.probabilities, result.predictions):
+            writer.writerow([pair.left.record_id, pair.right.record_id,
+                             f"{probability:.6f}", int(prediction)])
+
+
+def _cmd_export(args) -> int:
+    from .core import AutoMLEM, tune_threshold
+
+    train, valid, test = _load_splits(args)
+    matcher = AutoMLEM(n_iterations=args.budget,
+                       forest_size=args.forest_size,
+                       model_space="all" if args.all_models
+                       else "random_forest", n_jobs=args.n_jobs,
+                       trial_timeout=args.trial_timeout, seed=args.seed)
+    print(f"training automl-em on {len(train)} train / "
+          f"{len(valid)} valid pairs ...")
+    matcher.fit(train, valid)
+    result = matcher.evaluate(test)
+    threshold = None
+    if args.tune_threshold:
+        tuned = tune_threshold(matcher.predict_proba(valid)[:, 1],
+                               valid.labels)
+        threshold = tuned.threshold
+        print(f"tuned threshold={threshold:.4f} "
+              f"(valid F1 {tuned.default_score:.4f} -> {tuned.score:.4f})")
+    bundle = matcher.export_bundle(threshold=threshold, metrics=result)
+    if args.name:
+        from .serve import ModelRegistry
+
+        registry = ModelRegistry(args.output)
+        version = registry.register(bundle, args.name)
+        print(f"registered {args.name} {version} "
+              f"at {registry.path(args.name, version)}")
+    else:
+        bundle.save(args.output, overwrite=args.overwrite)
+        print(f"wrote bundle to {args.output}")
+    print(f"test f1={result['f1']:.4f}  "
+          f"fingerprint={bundle.fingerprint[:16]}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from .data.io import read_pairs, read_table
+    from .serve import BatchMatcher
+
+    bundle = _resolve_bundle(args)
+    data = Path(args.data_dir)
+    table_a = read_table(data / "tableA.csv")
+    table_b = read_table(data / "tableB.csv")
+    pairs = read_pairs(data / args.pairs, table_a, table_b)
+    with BatchMatcher(bundle, batch_size=args.batch_size,
+                      n_jobs=args.n_jobs,
+                      request_log=args.request_log) as matcher:
+        result = matcher.match_pairs(pairs)
+    if args.output:
+        _write_predictions(result, args.output)
+        print(f"wrote {len(result)} predictions to {args.output}")
+    print(f"{len(result)} pairs -> {result.n_matches} predicted matches "
+          f"({result.n_batches} batches)")
+    if pairs.is_labeled:
+        scores = result.metrics()
+        print(f"precision={scores['precision']:.4f} "
+              f"recall={scores['recall']:.4f} f1={scores['f1']:.4f}")
+    return 0
+
+
+def _cmd_serve_batch(args) -> int:
+    from .blocking import OverlapBlocker
+    from .serve import BatchMatcher
+
+    bundle = _resolve_bundle(args)
+    if args.data_dir:
+        from .data.io import read_table
+
+        data = Path(args.data_dir)
+        table_a = read_table(data / "tableA.csv")
+        table_b = read_table(data / "tableB.csv")
+    else:
+        from .data.synthetic import load_benchmark
+
+        benchmark = load_benchmark(args.dataset, seed=args.seed,
+                                   scale=args.scale)
+        table_a, table_b = benchmark.table_a, benchmark.table_b
+    blocker = OverlapBlocker(args.block_on, min_overlap=args.min_overlap)
+    with BatchMatcher(bundle, blocker, batch_size=args.batch_size,
+                      n_jobs=args.n_jobs,
+                      request_log=args.request_log) as matcher:
+        result = matcher.match(table_a, table_b)
+    if args.output:
+        _write_predictions(result, args.output)
+        print(f"wrote {len(result)} scored candidates to {args.output}")
+    snapshot = matcher.metrics.snapshot()
+    print(f"{table_a.num_rows}x{table_b.num_rows} rows -> "
+          f"{len(result)} candidates -> {result.n_matches} matches "
+          f"in {result.n_batches} batches "
+          f"({snapshot['pairs_per_second']:.0f} pairs/s)")
+    return 0
+
+
+def _add_data_args(parser) -> None:
+    """Benchmark-or-CSV input selection shared by training commands."""
+    parser.add_argument("--dataset", default="fodors_zagats",
+                        help="generated benchmark key")
+    parser.add_argument("--data-dir", default=None,
+                        help="CSV directory (tableA/tableB/train/valid/"
+                             "test) instead of a generated benchmark")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", type=float, default=1.0)
+
+
+def _add_serve_args(parser) -> None:
+    """Bundle resolution + serving knobs shared by predict/serve-batch."""
+    parser.add_argument("bundle",
+                        help="bundle directory (or registry root with "
+                             "--name)")
+    parser.add_argument("--name", default=None,
+                        help="treat the bundle path as a ModelRegistry "
+                             "root and load this registered model")
+    parser.add_argument("--model-version", default=None,
+                        help="registry version (default: latest)")
+    parser.add_argument("--batch-size", type=int, default=4096,
+                        help="featurization micro-batch row cap")
+    parser.add_argument("--n-jobs", type=int, default=1)
+    parser.add_argument("--request-log", default=None,
+                        help="append JSONL request telemetry here")
+    parser.add_argument("--output", default=None,
+                        help="write scored pairs CSV here")
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="AutoML-EM reproduction (ICDE 2021) command line")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("list-datasets",
@@ -171,6 +328,54 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", help="run one paper table/figure runner")
     experiment.add_argument("name",
                             choices=("fig3", *sorted(_EXPERIMENTS)))
+
+    export = commands.add_parser(
+        "export", help="train AutoML-EM and save a deployable bundle")
+    export.add_argument("output",
+                        help="bundle directory (or registry root with "
+                             "--name)")
+    export.add_argument("--name", default=None,
+                        help="register into a ModelRegistry at OUTPUT "
+                             "under this model name")
+    _add_data_args(export)
+    export.add_argument("--budget", type=int, default=20,
+                        help="AutoML pipeline evaluations")
+    export.add_argument("--forest-size", type=int, default=50)
+    export.add_argument("--all-models", action="store_true",
+                        help="search the full model space, not RF-only")
+    export.add_argument("--n-jobs", type=int, default=1)
+    export.add_argument("--trial-timeout", type=float, default=None)
+    export.add_argument("--tune-threshold", action="store_true",
+                        help="store a validation-tuned decision "
+                             "threshold instead of the native 0.5")
+    export.add_argument("--overwrite", action="store_true",
+                        help="replace an existing bundle directory")
+
+    predict = commands.add_parser(
+        "predict", help="score a pairs CSV with a saved bundle")
+    _add_serve_args(predict)
+    predict.add_argument("--data-dir", required=True,
+                         help="CSV directory with tableA.csv/tableB.csv "
+                              "and the pairs file")
+    predict.add_argument("--pairs", default="test.csv",
+                         help="pairs CSV inside --data-dir "
+                              "(default: test.csv)")
+
+    serve_batch = commands.add_parser(
+        "serve-batch",
+        help="block + featurize + predict over two tables")
+    _add_serve_args(serve_batch)
+    serve_batch.add_argument("--data-dir", default=None,
+                             help="CSV directory with tableA.csv and "
+                                  "tableB.csv")
+    serve_batch.add_argument("--dataset", default="fodors_zagats",
+                             help="generated benchmark key (when no "
+                                  "--data-dir)")
+    serve_batch.add_argument("--seed", type=int, default=0)
+    serve_batch.add_argument("--scale", type=float, default=1.0)
+    serve_batch.add_argument("--block-on", default="name",
+                             help="attribute for the overlap blocker")
+    serve_batch.add_argument("--min-overlap", type=int, default=1)
     return parser
 
 
@@ -181,6 +386,9 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _cmd_generate,
         "match": _cmd_match,
         "experiment": _cmd_experiment,
+        "export": _cmd_export,
+        "predict": _cmd_predict,
+        "serve-batch": _cmd_serve_batch,
     }
     return handlers[args.command](args)
 

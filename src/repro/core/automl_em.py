@@ -15,6 +15,7 @@ import numpy as np
 from ..automl.components import build_config_space
 from ..automl.optimizer import AutoML
 from ..data.pairs import PairSet
+from ..features.types import infer_schema_types
 from ..features.vectorize import (
     FeatureGenerator,
     make_autoem_features,
@@ -124,6 +125,12 @@ class AutoMLEM:
         """
         self.feature_generator_ = (feature_generator
                                    or self.make_feature_generator(train))
+        # The serving layer needs the training schema as a compatibility
+        # contract (ModelBundle.check_schema); capture it while the
+        # source tables are at hand.
+        self.schema_ = {
+            column: data_type.name for column, data_type in
+            infer_schema_types(train.table_a, train.table_b).items()}
         X_train = self.feature_generator_.transform(train)
         X_valid = self.feature_generator_.transform(valid)
         return self.fit_matrices(X_train, train.labels, X_valid, valid.labels)
@@ -187,6 +194,63 @@ class AutoMLEM:
         predictions = self.automl_.predict(X_test)
         precision, recall, f1 = precision_recall_f1(y_test, predictions)
         return {"precision": precision, "recall": recall, "f1": f1}
+
+    # -- deployment -----------------------------------------------------
+
+    def export_bundle(self, path=None, *, threshold: float | None = None,
+                      metrics: dict | None = None,
+                      metadata: dict | None = None,
+                      overwrite: bool = False):
+        """Package the fitted matcher as a deployable ModelBundle.
+
+        Returns a :class:`repro.serve.ModelBundle` (saved to ``path``
+        when given) containing the winning fitted predictor (the greedy
+        ensemble when one was built, else the best pipeline), the
+        feature plan, the training schema, an optional decision
+        ``threshold`` (``None`` keeps the predictor's native 0.5
+        operating point, bit-identical to :meth:`predict`), and search
+        provenance.  ``metrics`` (e.g. the :meth:`evaluate` dict) and
+        ``metadata`` are recorded in the bundle manifest.
+        """
+        from ..serve.bundle import ModelBundle
+
+        self._check_fitted()
+        if not hasattr(self, "feature_generator_"):
+            raise RuntimeError(
+                "matcher was fitted from matrices; export_bundle needs "
+                "the feature generator and schema of a pair-set fit")
+        from .. import __version__
+
+        generator = self.feature_generator_
+        predictor = (self.automl_.ensemble_
+                     if getattr(self.automl_, "ensemble_", None) is not None
+                     else self.automl_.best_pipeline_)
+        info = {
+            "repro_version": __version__,
+            "feature_plan": self.feature_plan,
+            "search": self.search,
+            "n_iterations": self.n_iterations,
+            "seed": self.seed,
+            "best_config": dict(self.best_config_),
+            "best_score": self.best_score_,
+            "best_random_state": getattr(self.automl_,
+                                         "best_random_state_", None),
+            "ensemble_size": self.ensemble_size,
+        }
+        if metrics is not None:
+            info["metrics"] = dict(metrics)
+        info.update(metadata or {})
+        bundle = ModelBundle(
+            predictor, plan=list(generator.plan),
+            schema=getattr(self, "schema_", None)
+            or {attribute: "unspecified"
+                for attribute, _ in generator.plan},
+            threshold=threshold,
+            sequence_max_chars=generator.sequence_max_chars,
+            metadata=info)
+        if path is not None:
+            bundle.save(path, overwrite=overwrite)
+        return bundle
 
     # -- introspection --------------------------------------------------
 

@@ -10,6 +10,7 @@ from .extra import (
     run_metalearning_warmstart,
     run_query_strategies,
     run_search_comparison,
+    run_serving_study,
 )
 from .results import ResultTable
 from .runners import (
@@ -55,6 +56,7 @@ __all__ = [
     "run_fig14",
     "run_fig15",
     "run_search_comparison",
+    "run_serving_study",
     "run_table3",
     "run_table4",
 ]

@@ -305,3 +305,50 @@ def run_labeler_study(config: ExperimentConfig = FAST,
     table.add_row(labeler="label_propagation", inferred=int(len(result)),
                   accuracy_pct=100 * accuracy)
     return table
+
+
+def run_serving_study(config: ExperimentConfig = FAST,
+                      dataset: str = "fodors_zagats",
+                      registry_root=None,
+                      batch_size: int = 512) -> ResultTable:
+    """Deployment bench: export → register → reload → serve parity.
+
+    Trains AutoML-EM, publishes the winner through a
+    :class:`~repro.serve.ModelRegistry`, reloads the bundle from disk
+    and replays the test pairs through a micro-batched
+    :class:`~repro.serve.BatchMatcher` — the served F1 must equal the
+    in-process F1 (the bundle round-trip is lossless), and the table
+    reports the serving path's batching and throughput alongside.
+    """
+    import tempfile
+
+    from ..serve import BatchMatcher, ModelRegistry
+
+    data = load_bundle(dataset, config)
+    matcher = AutoMLEM(n_iterations=config.automl_iterations,
+                       forest_size=config.forest_size,
+                       trial_timeout=config.trial_timeout, seed=0)
+    matcher.fit(data.train, data.valid)
+    in_process = matcher.evaluate(data.test)
+
+    root = registry_root or tempfile.mkdtemp(prefix="repro-registry-")
+    registry = ModelRegistry(root)
+    version = registry.register(
+        matcher.export_bundle(metrics=in_process), dataset)
+    reloaded = registry.get(dataset, version)
+    with BatchMatcher(reloaded, batch_size=batch_size) as served:
+        result = served.match_pairs(data.test)
+    snapshot = served.metrics.snapshot()
+
+    table = ResultTable(
+        f"Extra - serving parity on {dataset} "
+        f"(registry {root}, model {dataset} {version})",
+        ["stage", "f1_pct", "pairs", "batches", "pairs_per_s"])
+    table.add_row(stage="in-process", f1_pct=100 * in_process["f1"],
+                  pairs=len(data.test))
+    served_metrics = result.metrics()
+    table.add_row(stage="served (bundle reload)",
+                  f1_pct=100 * served_metrics["f1"], pairs=len(result),
+                  batches=result.n_batches,
+                  pairs_per_s=snapshot["pairs_per_second"])
+    return table

@@ -1,0 +1,40 @@
+"""repro.serve — deployable model artifacts and the matching service.
+
+The serving layer turns a trained AutoML-EM run into a production
+artifact and back into predictions:
+
+* :class:`ModelBundle` — versioned, checksummed serialization of the
+  fitted pipeline + feature plan + schema + threshold + provenance
+  (``AutoMLEM.export_bundle`` produces one);
+* :class:`ModelRegistry` — a directory layout publishing bundles under
+  ``<name>/<version>/`` with atomic writes;
+* :class:`BatchMatcher` / :class:`StreamMatcher` — the blocking →
+  micro-batched featurization → predict serving path, with
+  :class:`ServeMetrics` counters and JSONL :class:`RequestLog`
+  telemetry.
+"""
+
+from .bundle import (
+    FORMAT_VERSION,
+    BundleError,
+    BundleIntegrityError,
+    ModelBundle,
+    SchemaMismatchError,
+)
+from .matcher import BatchMatcher, MatchResult, StreamMatcher
+from .registry import ModelRegistry
+from .telemetry import RequestLog, ServeMetrics
+
+__all__ = [
+    "FORMAT_VERSION",
+    "BatchMatcher",
+    "BundleError",
+    "BundleIntegrityError",
+    "MatchResult",
+    "ModelBundle",
+    "ModelRegistry",
+    "RequestLog",
+    "ServeMetrics",
+    "SchemaMismatchError",
+    "StreamMatcher",
+]

@@ -1,0 +1,204 @@
+"""Batch and streaming matchers: the blocking → featurize → predict path.
+
+:class:`BatchMatcher` serves a :class:`~repro.serve.bundle.ModelBundle`
+over whole tables: candidate pairs come from a blocker, featurization
+runs in micro-batches (so peak memory is bounded by ``batch_size`` rows
+of features, not by the candidate count) and the bundle's predictor
+scores each batch as it is produced.  The feature generator — and with
+it the shared token cache and optional
+:class:`~repro.features.cache.FeatureMatrixCache` — persists across
+batches and across calls, so repeated values are tokenized once per
+serving session.
+
+:class:`StreamMatcher` is the incremental variant: callers submit
+candidate-pair batches as they arrive; every request is timed and
+counted in a :class:`~repro.serve.telemetry.ServeMetrics`, and
+optionally appended to a JSONL
+:class:`~repro.serve.telemetry.RequestLog`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.pairs import PairSet
+from ..data.table import Table
+from ..ml.metrics import precision_recall_f1
+from .bundle import ModelBundle
+from .telemetry import RequestLog, ServeMetrics
+
+
+@dataclass
+class MatchResult:
+    """Scored candidate pairs from one matching request."""
+
+    pairs: PairSet
+    probabilities: np.ndarray
+    predictions: np.ndarray
+    n_batches: int = 1
+    max_batch_rows: int = 0
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def n_matches(self) -> int:
+        return int(self.predictions.sum())
+
+    @property
+    def matches(self) -> PairSet:
+        """The subset of candidate pairs predicted to match."""
+        return self.pairs[np.flatnonzero(self.predictions == 1)]
+
+    def metrics(self) -> dict:
+        """Precision / recall / F1 against the pairs' gold labels."""
+        precision, recall, f1 = precision_recall_f1(self.pairs.labels,
+                                                    self.predictions)
+        return {"precision": precision, "recall": recall, "f1": f1}
+
+
+class _MatcherBase:
+    """Shared bundle/featurizer/telemetry plumbing of the two matchers."""
+
+    def __init__(self, bundle: ModelBundle, *, n_jobs: int = 1,
+                 cache=None, request_log=None):
+        self.bundle = bundle
+        self.generator = bundle.feature_generator(n_jobs=n_jobs, cache=cache)
+        self.metrics = ServeMetrics()
+        self._own_log = not isinstance(request_log, RequestLog)
+        self.request_log = RequestLog.ensure(request_log)
+
+    def _score_pairs(self, pairs: PairSet, batch_size: int | None
+                     ) -> MatchResult:
+        """Featurize + predict ``pairs`` in bounded micro-batches."""
+        self.bundle.check_schema(pairs.table_a, pairs.table_b)
+        total = len(pairs)
+        if batch_size is None or batch_size >= total:
+            batch_size = max(total, 1)
+        probabilities = np.empty(total, dtype=np.float64)
+        predictions = np.empty(total, dtype=np.int64)
+        n_batches = 0
+        max_rows = 0
+        for start in range(0, total, batch_size):
+            batch = pairs[start:start + batch_size]
+            X = self.generator.transform(batch)
+            stop = start + len(batch)
+            probabilities[start:stop] = self.bundle.predict_proba(X)
+            predictions[start:stop] = self.bundle.predict(X)
+            n_batches += 1
+            max_rows = max(max_rows, len(batch))
+        return MatchResult(pairs, probabilities, predictions,
+                           n_batches=n_batches, max_batch_rows=max_rows)
+
+    def _serve(self, pairs: PairSet, batch_size: int | None,
+               kind: str) -> MatchResult:
+        started = time.monotonic()
+        try:
+            result = self._score_pairs(pairs, batch_size)
+        except Exception as exc:
+            self.metrics.observe_error()
+            if self.request_log is not None:
+                self.request_log.request(
+                    kind=kind, n_pairs=len(pairs), error=f"{type(exc).__name__}: {exc}",
+                    latency=time.monotonic() - started)
+            raise
+        latency = time.monotonic() - started
+        self.metrics.observe(len(result), result.n_matches, latency,
+                             max_batch_rows=result.max_batch_rows)
+        if self.request_log is not None:
+            self.request_log.request(
+                kind=kind, n_pairs=len(result),
+                n_matches=result.n_matches, n_batches=result.n_batches,
+                max_batch_rows=result.max_batch_rows, latency=latency,
+                error=None)
+        return result
+
+    def close(self) -> None:
+        """Write a final metrics summary and close an owned request log."""
+        if self.request_log is not None:
+            self.request_log.summary(**self.metrics.snapshot())
+            if self._own_log:
+                self.request_log.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class BatchMatcher(_MatcherBase):
+    """Serve a bundle over whole tables (or pre-blocked pair sets).
+
+    Parameters
+    ----------
+    bundle:
+        The :class:`ModelBundle` to serve.
+    blocker:
+        Candidate-pair generator with a ``block(table_a, table_b)``
+        method (see :mod:`repro.blocking`); required by :meth:`match`,
+        unused by :meth:`match_pairs`.
+    batch_size:
+        Micro-batch row cap for featurization + scoring; peak feature
+        memory is ``O(batch_size × n_features)`` regardless of how many
+        candidate pairs blocking produces.
+    n_jobs / cache:
+        Forwarded to the bundle's :class:`FeatureGenerator`.
+    request_log:
+        Optional JSONL telemetry path (or open :class:`RequestLog`).
+    """
+
+    def __init__(self, bundle: ModelBundle, blocker=None, *,
+                 batch_size: int = 4096, n_jobs: int = 1, cache=None,
+                 request_log=None):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        super().__init__(bundle, n_jobs=n_jobs, cache=cache,
+                         request_log=request_log)
+        self.blocker = blocker
+        self.batch_size = batch_size
+
+    def match(self, table_a: Table, table_b: Table) -> MatchResult:
+        """Block, featurize and score two tables end to end."""
+        if self.blocker is None:
+            raise ValueError(
+                "BatchMatcher.match needs a blocker; construct with "
+                "blocker=... or score pre-blocked pairs via match_pairs")
+        self.bundle.check_schema(table_a, table_b)
+        candidates = self.blocker.block(table_a, table_b)
+        return self._serve(candidates, self.batch_size, kind="batch")
+
+    def match_pairs(self, pairs: PairSet) -> MatchResult:
+        """Score an existing candidate :class:`PairSet`."""
+        return self._serve(pairs, self.batch_size, kind="batch")
+
+
+class StreamMatcher(_MatcherBase):
+    """Serve a bundle over incrementally arriving candidate batches.
+
+    Each :meth:`submit` call is one request: it is scored immediately
+    (no internal queueing), timed, and counted.  The featurizer's token
+    cache persists across requests, so a hot stream stops re-tokenizing
+    recurring values.
+
+    >>> with StreamMatcher(bundle, request_log="serve.jsonl") as matcher:
+    ...     for batch in incoming_batches:
+    ...         result = matcher.submit(batch)
+    ...     print(matcher.metrics.snapshot())
+    """
+
+    def __init__(self, bundle: ModelBundle, *, max_batch_rows: int | None
+                 = None, n_jobs: int = 1, cache=None, request_log=None):
+        super().__init__(bundle, n_jobs=n_jobs, cache=cache,
+                         request_log=request_log)
+        if max_batch_rows is not None and max_batch_rows < 1:
+            raise ValueError(
+                f"max_batch_rows must be >= 1, got {max_batch_rows}")
+        self.max_batch_rows = max_batch_rows
+
+    def submit(self, pairs: PairSet) -> MatchResult:
+        """Score one incoming batch of candidate pairs."""
+        return self._serve(pairs, self.max_batch_rows, kind="stream")

@@ -1,0 +1,141 @@
+"""ModelRegistry: a directory of published, versioned model bundles.
+
+Experiments train models; serving needs to find them.  The registry is a
+filesystem layout connecting the two::
+
+    <root>/
+      <name>/
+        v0001/          # one ModelBundle directory per version
+        v0002/
+        LATEST          # text file naming the newest version
+
+``register`` assigns the next version number and publishes the bundle
+with atomic renames (bundle staging via :meth:`ModelBundle.save`, then a
+tmp-file + ``os.replace`` for ``LATEST``), so concurrent readers always
+see either the previous latest version or the new one — never a partial
+bundle.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import tempfile
+from pathlib import Path
+
+from .bundle import MANIFEST_NAME, BundleError, ModelBundle
+
+LATEST_NAME = "LATEST"
+_VERSION_RE = re.compile(r"^v(\d{4,})$")
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class ModelRegistry:
+    """Publish and resolve :class:`ModelBundle` directories by name.
+
+    >>> registry = ModelRegistry("models/")
+    >>> version = registry.register(bundle, "fodors_zagats")
+    >>> matcher_bundle = registry.get("fodors_zagats")   # latest
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- publishing -----------------------------------------------------
+
+    def register(self, bundle: ModelBundle, name: str) -> str:
+        """Store ``bundle`` as the next version of ``name``; returns it."""
+        self._check_name(name)
+        model_dir = self.root / name
+        model_dir.mkdir(parents=True, exist_ok=True)
+        version = self._next_version(model_dir)
+        bundle.save(model_dir / version)
+        self._write_latest(model_dir, version)
+        return version
+
+    @staticmethod
+    def _check_name(name: str) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"invalid model name {name!r}: use letters, digits, "
+                f"'.', '_' or '-' (no path separators)")
+
+    def _next_version(self, model_dir: Path) -> str:
+        versions = self._versions(model_dir)
+        last = int(_VERSION_RE.match(versions[-1]).group(1)) if versions \
+            else 0
+        return f"v{last + 1:04d}"
+
+    @staticmethod
+    def _write_latest(model_dir: Path, version: str) -> None:
+        fd, tmp = tempfile.mkstemp(dir=model_dir, prefix=".latest-")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(version + "\n")
+            os.replace(tmp, model_dir / LATEST_NAME)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # -- resolution -----------------------------------------------------
+
+    @staticmethod
+    def _versions(model_dir: Path) -> list[str]:
+        if not model_dir.is_dir():
+            return []
+        found = [entry.name for entry in model_dir.iterdir()
+                 if _VERSION_RE.match(entry.name)
+                 and (entry / MANIFEST_NAME).exists()]
+        return sorted(found)
+
+    def list(self) -> dict[str, list[str]]:
+        """All registered models: ``{name: [versions, oldest first]}``."""
+        out: dict[str, list[str]] = {}
+        for entry in sorted(self.root.iterdir()):
+            if entry.is_dir():
+                versions = self._versions(entry)
+                if versions:
+                    out[entry.name] = versions
+        return out
+
+    def latest(self, name: str) -> str:
+        """The newest version string of ``name``."""
+        model_dir = self.root / name
+        latest_file = model_dir / LATEST_NAME
+        if latest_file.exists():
+            version = latest_file.read_text(encoding="utf-8").strip()
+            if (model_dir / version / MANIFEST_NAME).exists():
+                return version
+        versions = self._versions(model_dir)
+        if not versions:
+            raise KeyError(f"no model named {name!r} in registry "
+                           f"{self.root}")
+        return versions[-1]
+
+    def path(self, name: str, version: str | None = None) -> Path:
+        """Bundle directory for ``name`` at ``version`` (default latest)."""
+        if version is None:
+            version = self.latest(name)
+        bundle_dir = self.root / name / version
+        if not (bundle_dir / MANIFEST_NAME).exists():
+            raise KeyError(f"no bundle for {name!r} version {version!r} "
+                           f"in registry {self.root}")
+        return bundle_dir
+
+    def get(self, name: str, version: str | None = None) -> ModelBundle:
+        """Load a registered bundle (latest version by default)."""
+        return ModelBundle.load(self.path(name, version))
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.latest(name)
+        except (KeyError, BundleError):
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        models = self.list()
+        return (f"ModelRegistry({str(self.root)!r}, {len(models)} models, "
+                f"{sum(len(v) for v in models.values())} versions)")

@@ -1,0 +1,84 @@
+"""Serving telemetry: request counters and JSONL request logs.
+
+:class:`ServeMetrics` aggregates per-request latency / throughput /
+error counters behind a lock (a streaming matcher may be driven from
+several threads); ``snapshot()`` returns a plain dict safe to ship to a
+dashboard.  :class:`RequestLog` extends the AutoML run log
+(:class:`repro.automl.runner.RunLog`) with a ``request`` record type, so
+serving telemetry shares the run log's JSONL conventions: one flushed
+JSON object per line, durable up to the last completed request.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..automl.runner import RunLog
+
+
+class ServeMetrics:
+    """Thread-safe counters for one matcher's request stream."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.errors = 0
+        self.pairs = 0
+        self.matches = 0
+        self.total_latency = 0.0
+        self.max_latency = 0.0
+        self.max_batch_rows = 0
+
+    def observe(self, n_pairs: int, n_matches: int, latency: float,
+                max_batch_rows: int | None = None) -> None:
+        """Record one successfully served request."""
+        with self._lock:
+            self.requests += 1
+            self.pairs += int(n_pairs)
+            self.matches += int(n_matches)
+            self.total_latency += float(latency)
+            self.max_latency = max(self.max_latency, float(latency))
+            if max_batch_rows is not None:
+                self.max_batch_rows = max(self.max_batch_rows,
+                                          int(max_batch_rows))
+
+    def observe_error(self) -> None:
+        with self._lock:
+            self.requests += 1
+            self.errors += 1
+
+    def snapshot(self) -> dict:
+        """Current counters plus derived mean latency and throughput."""
+        with self._lock:
+            served = self.requests - self.errors
+            return {
+                "requests": self.requests,
+                "errors": self.errors,
+                "pairs": self.pairs,
+                "matches": self.matches,
+                "total_latency": self.total_latency,
+                "max_latency": self.max_latency,
+                "max_batch_rows": self.max_batch_rows,
+                "mean_latency": (self.total_latency / served
+                                 if served else 0.0),
+                "pairs_per_second": (self.pairs / self.total_latency
+                                     if self.total_latency > 0 else 0.0),
+            }
+
+    def __repr__(self) -> str:
+        snap = self.snapshot()
+        return (f"ServeMetrics({snap['requests']} requests, "
+                f"{snap['pairs']} pairs, {snap['errors']} errors, "
+                f"{snap['pairs_per_second']:.0f} pairs/s)")
+
+
+class RequestLog(RunLog):
+    """JSONL request telemetry for a serving session.
+
+    Record types: ``{"type": "request", ...}`` per served request and
+    the inherited ``{"type": "summary", ...}`` (a final
+    :meth:`ServeMetrics.snapshot`).
+    """
+
+    def request(self, **fields) -> None:
+        self.write({"type": "request", **fields})

@@ -47,6 +47,17 @@ def noisy_data():
     return X[:320], y[:320], X[320:], y[320:]
 
 
+@pytest.fixture(scope="session")
+def trained_em(small_benchmark):
+    """A small fitted AutoMLEM plus its splits (shared by serve tests)."""
+    from repro.core import AutoMLEM
+
+    train, valid, test = small_benchmark.splits(seed=0)
+    matcher = AutoMLEM(n_iterations=2, forest_size=8, seed=0)
+    matcher.fit(train, valid)
+    return matcher, train, valid, test
+
+
 @pytest.fixture()
 def rng():
     return np.random.default_rng(0)

@@ -14,7 +14,6 @@ from repro.automl import (
     TrialResult,
     TrialRunner,
     build_config_space,
-    format_error,
     read_run_log,
 )
 

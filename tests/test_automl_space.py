@@ -1,6 +1,5 @@
 """Tests for hyperparameter types and configuration spaces."""
 
-import numpy as np
 import pytest
 
 from repro.automl import (

@@ -69,6 +69,78 @@ class TestOverlapBlocker:
             OverlapBlocker("name", min_overlap=0)
 
 
+class TestOverlapBlockerDedup:
+    """Regression: duplicate candidates and re-tokenization (PR 3)."""
+
+    @pytest.fixture()
+    def repeated_tables(self):
+        # Table A repeats the same name across records; B's blocks for
+        # "arnie" and "mortons" overlap on the same right records.
+        a = Table("A", ["name"], [
+            ["arnie mortons"],
+            ["arnie mortons"],
+            ["arnie mortons"],
+            ["arts deli"],
+        ])
+        b = Table("B", ["name"], [
+            ["arnie mortons of chicago"],
+            ["mortons arnie"],
+            ["arts delicatessen"],
+        ])
+        return a, b
+
+    def test_no_duplicate_candidate_pairs(self, repeated_tables):
+        a, b = repeated_tables
+        pairs = OverlapBlocker("name").block(a, b)
+        keys = [p.key for p in pairs]
+        assert len(keys) == len(set(keys))
+
+    def test_matches_naive_reference(self, repeated_tables):
+        """Blocking output equals the brute-force overlap definition."""
+        from repro.similarity.tokenizers import ALNUM
+
+        a, b = repeated_tables
+        for min_overlap in (1, 2):
+            expected = set()
+            for left in a:
+                for right in b:
+                    if left["name"] is None or right["name"] is None:
+                        continue
+                    shared = (set(ALNUM(str(left["name"])))
+                              & set(ALNUM(str(right["name"]))))
+                    if len(shared) >= min_overlap:
+                        expected.add((left.record_id, right.record_id))
+            got = OverlapBlocker("name", min_overlap=min_overlap).block(a, b)
+            assert {p.key for p in got} == expected
+
+    def test_token_cache_reused_across_records(self, repeated_tables):
+        a, b = repeated_tables
+        blocker = OverlapBlocker("name")
+        blocker.block(a, b)
+        # One cache entry per *distinct* value string, not per record.
+        distinct = {str(r["name"]) for r in a if r["name"] is not None} \
+            | {str(r["name"]) for r in b if r["name"] is not None}
+        assert len(blocker.token_cache) == len(distinct)
+
+    def test_shared_token_cache_instance(self, repeated_tables):
+        from repro.features.columnar import TokenCache
+
+        a, b = repeated_tables
+        shared = TokenCache()
+        first = OverlapBlocker("name", token_cache=shared).block(a, b)
+        warm = OverlapBlocker("name", token_cache=shared).block(a, b)
+        assert {p.key for p in first} == {p.key for p in warm}
+        assert len(shared) > 0
+
+    def test_benchmark_output_unchanged(self, small_benchmark):
+        """Dedup + caching must not change real blocking output."""
+        pairs = OverlapBlocker("name").block(small_benchmark.table_a,
+                                             small_benchmark.table_b)
+        keys = [p.key for p in pairs]
+        assert len(keys) == len(set(keys))
+        assert len(pairs) > 0
+
+
 class TestBlockingRecall:
     def test_full_recall(self, tables):
         a, b = tables

@@ -78,3 +78,101 @@ class TestCommands:
                      "--forest-size", "8"])
         assert code == 0
         assert "f1=" in capsys.readouterr().out
+
+
+class TestVersionFlag:
+    def test_version_exits_zero_and_prints_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestServeParsers:
+    def test_export_defaults(self):
+        args = build_parser().parse_args(["export", "/tmp/bundle"])
+        assert args.output == "/tmp/bundle"
+        assert args.name is None
+        assert args.budget == 20
+        assert not args.tune_threshold
+        assert not args.overwrite
+
+    def test_export_registry_mode(self):
+        args = build_parser().parse_args(
+            ["export", "/tmp/models", "--name", "prod",
+             "--tune-threshold", "--budget", "5"])
+        assert args.name == "prod"
+        assert args.tune_threshold
+        assert args.budget == 5
+
+    def test_predict_args(self):
+        args = build_parser().parse_args(
+            ["predict", "/tmp/bundle", "--data-dir", "/tmp/d",
+             "--batch-size", "128", "--output", "p.csv"])
+        assert args.bundle == "/tmp/bundle"
+        assert args.pairs == "test.csv"
+        assert args.batch_size == 128
+        assert args.output == "p.csv"
+
+    def test_serve_batch_args(self):
+        args = build_parser().parse_args(
+            ["serve-batch", "/tmp/models", "--name", "prod",
+             "--block-on", "city", "--min-overlap", "2"])
+        assert args.name == "prod"
+        assert args.block_on == "city"
+        assert args.min_overlap == 2
+        assert args.batch_size == 4096
+
+
+class TestServeCommands:
+    def test_export_predict_serve_round_trip(self, tmp_path, capsys):
+        main(["generate", "fodors_zagats", str(tmp_path / "d"),
+              "--scale", "0.25", "--seed", "1"])
+        code = main(["export", str(tmp_path / "models"), "--name", "fz",
+                     "--data-dir", str(tmp_path / "d"),
+                     "--budget", "2", "--forest-size", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "registered fz v0001" in out
+        assert "fingerprint=" in out
+
+        code = main(["predict", str(tmp_path / "models"), "--name", "fz",
+                     "--data-dir", str(tmp_path / "d"),
+                     "--batch-size", "16",
+                     "--output", str(tmp_path / "preds.csv"),
+                     "--request-log", str(tmp_path / "req.jsonl")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "predicted matches" in out
+        assert "f1=" in out
+        header = (tmp_path / "preds.csv").read_text().splitlines()[0]
+        assert header == "ltable_id,rtable_id,probability,prediction"
+        from repro.automl import read_run_log
+
+        records = read_run_log(tmp_path / "req.jsonl")
+        assert records[0]["type"] == "request"
+        assert records[-1]["type"] == "summary"
+
+        code = main(["serve-batch", str(tmp_path / "models"),
+                     "--name", "fz", "--data-dir", str(tmp_path / "d"),
+                     "--block-on", "name", "--min-overlap", "2",
+                     "--output", str(tmp_path / "matches.csv")])
+        assert code == 0
+        assert "candidates" in capsys.readouterr().out
+        assert (tmp_path / "matches.csv").exists()
+
+    def test_export_direct_bundle_path(self, tmp_path, capsys):
+        main(["generate", "fodors_zagats", str(tmp_path / "d"),
+              "--scale", "0.25", "--seed", "1"])
+        code = main(["export", str(tmp_path / "bundle"),
+                     "--data-dir", str(tmp_path / "d"),
+                     "--budget", "2", "--forest-size", "8",
+                     "--tune-threshold"])
+        assert code == 0
+        assert "wrote bundle" in capsys.readouterr().out
+        from repro.serve import ModelBundle
+
+        bundle = ModelBundle.load(tmp_path / "bundle")
+        assert bundle.threshold is not None

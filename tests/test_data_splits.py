@@ -1,6 +1,5 @@
 """Tests for stratified pair-set splitting."""
 
-import numpy as np
 import pytest
 
 from repro.data import (

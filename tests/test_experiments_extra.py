@@ -65,3 +65,14 @@ class TestExtraRunners:
         assert len(table) >= 1
         for row in table.rows:
             assert row["candidates"] >= 0
+
+    def test_serving_study_parity(self, tiny_config, tmp_path):
+        from repro.experiments import run_serving_study
+        table = run_serving_study(tiny_config, "fodors_zagats",
+                                  registry_root=tmp_path / "registry",
+                                  batch_size=64)
+        assert table.column("stage")[0] == "in-process"
+        f1 = table.column("f1_pct")
+        assert f1[0] == f1[1]  # bundle round trip is lossless
+        assert table.column("batches")[1] >= 1
+        assert (tmp_path / "registry" / "fodors_zagats" / "LATEST").exists()

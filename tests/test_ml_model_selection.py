@@ -1,6 +1,5 @@
 """Tests for grid search and randomized search."""
 
-import numpy as np
 import pytest
 
 from repro.ml import (

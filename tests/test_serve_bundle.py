@@ -1,0 +1,210 @@
+"""Tests for ModelBundle serialization and the ModelRegistry."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    FORMAT_VERSION,
+    BundleError,
+    BundleIntegrityError,
+    ModelBundle,
+    ModelRegistry,
+    SchemaMismatchError,
+)
+from repro.serve.bundle import MANIFEST_NAME, PIPELINE_NAME
+
+
+@pytest.fixture()
+def bundle(trained_em):
+    matcher, _, _, test = trained_em
+    return matcher.export_bundle(metrics=matcher.evaluate(test))
+
+
+class TestRoundTrip:
+    def test_save_load_predict_bit_matches(self, trained_em, bundle,
+                                           tmp_path):
+        matcher, _, _, test = trained_em
+        bundle.save(tmp_path / "b")
+        loaded = ModelBundle.load(tmp_path / "b")
+        X = matcher.feature_generator_.transform(test)
+        assert np.array_equal(loaded.predict(X), matcher.predict(test))
+        assert np.array_equal(loaded.predict_proba(X),
+                              matcher.predict_proba(test)[:, 1])
+
+    def test_round_trip_preserves_bundle_fields(self, bundle, tmp_path):
+        bundle.save(tmp_path / "b")
+        loaded = ModelBundle.load(tmp_path / "b")
+        assert loaded.plan == bundle.plan
+        assert loaded.schema == bundle.schema
+        assert loaded.threshold == bundle.threshold
+        assert loaded.sequence_max_chars == bundle.sequence_max_chars
+        assert loaded.metadata == bundle.metadata
+        assert loaded.fingerprint == bundle.fingerprint
+
+    def test_manifest_is_versioned_and_checksummed(self, bundle, tmp_path):
+        bundle.save(tmp_path / "b")
+        manifest = json.loads(
+            (tmp_path / "b" / MANIFEST_NAME).read_text())
+        assert manifest["format_version"] == FORMAT_VERSION
+        assert PIPELINE_NAME in manifest["checksums"]
+        assert "fingerprint" in manifest
+        assert manifest["metadata"]["best_config"]
+
+    def test_export_records_metrics_and_provenance(self, trained_em,
+                                                   bundle):
+        matcher = trained_em[0]
+        assert bundle.metadata["metrics"]["f1"] >= 0.0
+        assert bundle.metadata["search"] == matcher.search
+        assert bundle.metadata["best_score"] == matcher.best_score_
+
+    def test_save_refuses_overwrite_by_default(self, bundle, tmp_path):
+        bundle.save(tmp_path / "b")
+        with pytest.raises(FileExistsError):
+            bundle.save(tmp_path / "b")
+        bundle.save(tmp_path / "b", overwrite=True)
+        assert ModelBundle.load(tmp_path / "b").plan == bundle.plan
+
+    def test_overwrite_refuses_non_bundle_directory(self, bundle, tmp_path):
+        target = tmp_path / "not-a-bundle"
+        target.mkdir()
+        (target / "precious.txt").write_text("user data")
+        with pytest.raises(BundleError, match="does not look like"):
+            bundle.save(target, overwrite=True)
+
+
+class TestIntegrity:
+    def test_corrupted_pipeline_raises(self, bundle, tmp_path):
+        bundle.save(tmp_path / "b")
+        pipeline = tmp_path / "b" / PIPELINE_NAME
+        pipeline.write_bytes(pipeline.read_bytes()[:-1] + b"\x00")
+        with pytest.raises(BundleIntegrityError, match="checksum"):
+            ModelBundle.load(tmp_path / "b")
+
+    def test_edited_manifest_raises(self, bundle, tmp_path):
+        bundle.save(tmp_path / "b")
+        manifest_path = tmp_path / "b" / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["threshold"] = 0.99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(BundleIntegrityError, match="fingerprint"):
+            ModelBundle.load(tmp_path / "b")
+
+    def test_unsupported_format_version_raises(self, bundle, tmp_path):
+        bundle.save(tmp_path / "b")
+        manifest_path = tmp_path / "b" / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = FORMAT_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(BundleError, match="format_version"):
+            ModelBundle.load(tmp_path / "b")
+
+    def test_missing_manifest_raises(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(BundleError, match="not a model bundle"):
+            ModelBundle.load(tmp_path / "empty")
+
+
+class TestSchema:
+    def test_check_schema_accepts_training_tables(self, trained_em,
+                                                  small_benchmark, bundle):
+        bundle.check_schema(small_benchmark.table_a,
+                            small_benchmark.table_b)
+
+    def test_check_schema_rejects_missing_attribute(self, small_benchmark,
+                                                    bundle):
+        kept = [c for c in small_benchmark.table_a.columns
+                if c != bundle.plan[0][0]]
+        narrowed = small_benchmark.table_a.project(kept)
+        with pytest.raises(SchemaMismatchError, match="lacks attributes"):
+            bundle.check_schema(narrowed)
+
+    def test_plan_must_be_covered_by_schema(self, bundle):
+        with pytest.raises(BundleError, match="absent from the recorded"):
+            ModelBundle(bundle.predictor, plan=[("ghost", "jaccard_space")],
+                        schema={"name": "WORDS_1_5"})
+
+    def test_empty_plan_rejected(self, bundle):
+        with pytest.raises(BundleError, match="non-empty"):
+            ModelBundle(bundle.predictor, plan=[], schema={})
+
+
+class TestThreshold:
+    def test_native_threshold_matches_predict(self, trained_em, bundle):
+        matcher, _, _, test = trained_em
+        X = matcher.feature_generator_.transform(test)
+        assert bundle.threshold is None
+        assert np.array_equal(bundle.predict(X), matcher.predict(test))
+
+    def test_explicit_threshold_applied(self, trained_em):
+        matcher, _, _, test = trained_em
+        X = matcher.feature_generator_.transform(test)
+        eager = matcher.export_bundle(threshold=0.0)
+        assert (eager.predict(X) == 1).all()
+        strict = matcher.export_bundle(threshold=1.01)
+        assert (strict.predict(X) == 0).all()
+
+    def test_threshold_survives_round_trip(self, trained_em, tmp_path):
+        matcher = trained_em[0]
+        matcher.export_bundle(tmp_path / "b", threshold=0.25)
+        assert ModelBundle.load(tmp_path / "b").threshold == 0.25
+
+
+class TestExportGuards:
+    def test_unfitted_matcher_cannot_export(self):
+        from repro.core import AutoMLEM
+
+        with pytest.raises(RuntimeError, match="not fitted"):
+            AutoMLEM().export_bundle()
+
+    def test_matrix_fit_cannot_export(self, trained_em):
+        from repro.core import AutoMLEM
+
+        matcher, train, valid, _ = trained_em
+        X_tr = matcher.feature_generator_.transform(train)
+        X_va = matcher.feature_generator_.transform(valid)
+        matrix_fit = AutoMLEM(n_iterations=1, forest_size=4)
+        matrix_fit.fit_matrices(X_tr, train.labels, X_va, valid.labels)
+        with pytest.raises(RuntimeError, match="fitted from matrices"):
+            matrix_fit.export_bundle()
+
+
+class TestRegistry:
+    def test_register_get_latest(self, bundle, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        assert registry.register(bundle, "model") == "v0001"
+        assert registry.register(bundle, "model") == "v0002"
+        assert registry.latest("model") == "v0002"
+        assert registry.get("model").fingerprint == bundle.fingerprint
+        assert registry.get("model", "v0001").plan == bundle.plan
+
+    def test_list_models_and_versions(self, bundle, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.register(bundle, "alpha")
+        registry.register(bundle, "beta")
+        registry.register(bundle, "beta")
+        assert registry.list() == {"alpha": ["v0001"],
+                                   "beta": ["v0001", "v0002"]}
+        assert "alpha" in registry
+        assert "gamma" not in registry
+
+    def test_missing_model_raises(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        with pytest.raises(KeyError, match="no model"):
+            registry.latest("ghost")
+        with pytest.raises(KeyError):
+            registry.get("ghost")
+
+    def test_invalid_names_rejected(self, bundle, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        for name in ("", "../escape", "a/b", ".hidden"):
+            with pytest.raises(ValueError, match="invalid model name"):
+                registry.register(bundle, name)
+
+    def test_latest_survives_missing_pointer_file(self, bundle, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.register(bundle, "model")
+        registry.register(bundle, "model")
+        (tmp_path / "reg" / "model" / "LATEST").unlink()
+        assert registry.latest("model") == "v0002"

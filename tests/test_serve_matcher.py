@@ -1,0 +1,224 @@
+"""Tests for BatchMatcher / StreamMatcher and the serving telemetry."""
+
+import json
+import math
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.automl.runner import read_run_log
+from repro.blocking import OverlapBlocker
+from repro.serve import BatchMatcher, SchemaMismatchError, \
+    ServeMetrics, StreamMatcher
+
+
+@pytest.fixture()
+def bundle(trained_em):
+    return trained_em[0].export_bundle()
+
+
+class TestBatchMatcher:
+    def test_served_f1_equals_in_process(self, trained_em, bundle):
+        matcher, _, _, test = trained_em
+        with BatchMatcher(bundle, batch_size=16) as served:
+            result = served.match_pairs(test)
+        assert result.metrics() == matcher.evaluate(test)
+
+    def test_micro_batches_bound_featurization(self, trained_em, bundle,
+                                               monkeypatch):
+        """Peak featurized rows never exceed batch_size (memory bound)."""
+        _, _, _, test = trained_em
+        served = BatchMatcher(bundle, batch_size=16)
+        chunk_sizes = []
+        original = served.generator.transform
+
+        def recording_transform(pairs, **kwargs):
+            chunk_sizes.append(len(pairs))
+            return original(pairs, **kwargs)
+
+        monkeypatch.setattr(served.generator, "transform",
+                            recording_transform)
+        result = served.match_pairs(test)
+        assert chunk_sizes, "no featurization happened"
+        assert max(chunk_sizes) <= 16
+        assert len(chunk_sizes) == math.ceil(len(test) / 16)
+        assert result.n_batches == len(chunk_sizes)
+        assert result.max_batch_rows == max(chunk_sizes)
+        assert served.metrics.snapshot()["max_batch_rows"] <= 16
+
+    def test_batched_scores_equal_unbatched(self, trained_em, bundle):
+        _, _, _, test = trained_em
+        one_shot = BatchMatcher(bundle).match_pairs(test)
+        batched = BatchMatcher(bundle, batch_size=7).match_pairs(test)
+        assert np.array_equal(one_shot.probabilities, batched.probabilities)
+        assert np.array_equal(one_shot.predictions, batched.predictions)
+        assert one_shot.n_batches == 1
+        assert batched.n_batches == math.ceil(len(test) / 7)
+
+    def test_match_runs_blocking_end_to_end(self, small_benchmark, bundle):
+        blocker = OverlapBlocker("name", min_overlap=2)
+        with BatchMatcher(bundle, blocker, batch_size=256) as served:
+            result = served.match(small_benchmark.table_a,
+                                  small_benchmark.table_b)
+        assert len(result) == len(blocker.block(small_benchmark.table_a,
+                                                small_benchmark.table_b))
+        assert set(np.unique(result.predictions)) <= {0, 1}
+        assert len(result.matches) == result.n_matches
+
+    def test_match_without_blocker_raises(self, small_benchmark, bundle):
+        with pytest.raises(ValueError, match="needs a blocker"):
+            BatchMatcher(bundle).match(small_benchmark.table_a,
+                                       small_benchmark.table_b)
+
+    def test_schema_mismatch_rejected_and_counted(self, trained_em, bundle):
+        from repro.data.pairs import PairSet, RecordPair
+
+        _, _, _, test = trained_em
+        kept = [c for c in test.table_a.columns if c != bundle.plan[0][0]]
+        narrow_a = test.table_a.project(kept)
+        served = BatchMatcher(bundle, OverlapBlocker(bundle.plan[0][0]))
+        # match() checks the tables before even blocking ...
+        with pytest.raises(SchemaMismatchError):
+            served.match(narrow_a, test.table_b)
+        # ... and match_pairs counts the failed request in the metrics.
+        bad = PairSet(narrow_a, test.table_b,
+                      [RecordPair(narrow_a[0], test.table_b[0])])
+        with pytest.raises(SchemaMismatchError):
+            served.match_pairs(bad)
+        assert served.metrics.snapshot()["errors"] == 1
+
+    def test_invalid_batch_size(self, bundle):
+        with pytest.raises(ValueError, match="batch_size"):
+            BatchMatcher(bundle, batch_size=0)
+
+    def test_request_log_records_batches(self, trained_em, bundle,
+                                         tmp_path):
+        _, _, _, test = trained_em
+        log_path = tmp_path / "requests.jsonl"
+        with BatchMatcher(bundle, batch_size=16,
+                          request_log=log_path) as served:
+            served.match_pairs(test)
+            served.match_pairs(test[:5])
+        records = read_run_log(log_path)
+        kinds = [r["type"] for r in records]
+        assert kinds == ["request", "request", "summary"]
+        assert records[0]["n_pairs"] == len(test)
+        assert records[0]["max_batch_rows"] <= 16
+        assert records[0]["error"] is None
+        assert records[-1]["requests"] == 2
+
+
+class TestStreamMatcher:
+    def test_incremental_batches_and_metrics(self, trained_em, bundle):
+        _, _, _, test = trained_em
+        stream = StreamMatcher(bundle)
+        full = BatchMatcher(bundle).match_pairs(test)
+        step = 10
+        served = []
+        for start in range(0, len(test), step):
+            served.append(stream.submit(test[start:start + step]))
+        probabilities = np.concatenate([r.probabilities for r in served])
+        assert np.array_equal(probabilities, full.probabilities)
+        snapshot = stream.metrics.snapshot()
+        assert snapshot["requests"] == math.ceil(len(test) / step)
+        assert snapshot["pairs"] == len(test)
+        assert snapshot["errors"] == 0
+        assert snapshot["total_latency"] > 0
+        assert snapshot["pairs_per_second"] > 0
+
+    def test_max_batch_rows_bounds_each_request(self, trained_em, bundle):
+        _, _, _, test = trained_em
+        stream = StreamMatcher(bundle, max_batch_rows=8)
+        result = stream.submit(test)
+        assert result.max_batch_rows <= 8
+        assert result.n_batches == math.ceil(len(test) / 8)
+
+    def test_error_counted_and_logged(self, trained_em, bundle, tmp_path):
+        _, _, _, test = trained_em
+        from repro.data.pairs import PairSet, RecordPair
+
+        kept = [c for c in test.table_a.columns if c != bundle.plan[0][0]]
+        narrow_a = test.table_a.project(kept)
+        bad = PairSet(narrow_a, test.table_b,
+                      [RecordPair(narrow_a[0], test.table_b[0])])
+        log_path = tmp_path / "stream.jsonl"
+        with StreamMatcher(bundle, request_log=log_path) as stream:
+            stream.submit(test[:4])
+            with pytest.raises(SchemaMismatchError):
+                stream.submit(bad)
+        snapshot = stream.metrics.snapshot()
+        assert snapshot["requests"] == 2
+        assert snapshot["errors"] == 1
+        records = read_run_log(log_path)
+        assert records[1]["error"].startswith("SchemaMismatchError")
+        assert records[-1]["type"] == "summary"
+        assert records[-1]["errors"] == 1
+
+
+class TestServeMetrics:
+    def test_counters_and_derived_rates(self):
+        metrics = ServeMetrics()
+        metrics.observe(100, 10, 0.5, max_batch_rows=50)
+        metrics.observe(300, 30, 1.5, max_batch_rows=75)
+        metrics.observe_error()
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"] == 3
+        assert snapshot["errors"] == 1
+        assert snapshot["pairs"] == 400
+        assert snapshot["matches"] == 40
+        assert snapshot["max_latency"] == 1.5
+        assert snapshot["max_batch_rows"] == 75
+        assert snapshot["mean_latency"] == pytest.approx(1.0)
+        assert snapshot["pairs_per_second"] == pytest.approx(200.0)
+
+    def test_empty_snapshot_has_no_nan(self):
+        snapshot = ServeMetrics().snapshot()
+        assert snapshot["mean_latency"] == 0.0
+        assert snapshot["pairs_per_second"] == 0.0
+
+
+class TestFreshProcessReload:
+    def test_bundle_reload_in_fresh_process_reproduces_f1(
+            self, trained_em, tmp_path):
+        """Acceptance: export → fresh interpreter → identical F1/probas."""
+        matcher, _, _, test = trained_em
+        from repro.data.io import write_pairs, write_table
+
+        bundle_dir = tmp_path / "bundle"
+        matcher.export_bundle(bundle_dir)
+        write_table(test.table_a, tmp_path / "tableA.csv")
+        write_table(test.table_b, tmp_path / "tableB.csv")
+        write_pairs(test, tmp_path / "pairs.csv")
+
+        in_process = matcher.evaluate(test)
+        probabilities = matcher.predict_proba(test)[:, 1]
+
+        script = (
+            "import json, sys\n"
+            "import numpy as np\n"
+            "from repro.data.io import read_pairs, read_table\n"
+            "from repro.serve import BatchMatcher, ModelBundle\n"
+            "base = sys.argv[1]\n"
+            "bundle = ModelBundle.load(base + '/bundle')\n"
+            "a = read_table(base + '/tableA.csv')\n"
+            "b = read_table(base + '/tableB.csv')\n"
+            "pairs = read_pairs(base + '/pairs.csv', a, b)\n"
+            "result = BatchMatcher(bundle, batch_size=16)"
+            ".match_pairs(pairs)\n"
+            "print(json.dumps({'metrics': result.metrics(), 'proba': "
+            "result.probabilities.tolist()}))\n")
+        src = Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src}{os.pathsep}" \
+            + env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [sys.executable, "-c", script, str(tmp_path)],
+            capture_output=True, text=True, env=env, timeout=300)
+        assert completed.returncode == 0, completed.stderr
+        payload = json.loads(completed.stdout.strip().splitlines()[-1])
+        assert payload["metrics"] == in_process
+        assert np.array_equal(np.asarray(payload["proba"]), probabilities)

@@ -10,7 +10,6 @@ from repro.data.synthetic import (
     EASY_LARGE,
     EASY_SMALL,
     HARD_LARGE,
-    generate_benchmark,
     load_benchmark,
 )
 
