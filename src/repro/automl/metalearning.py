@@ -85,7 +85,7 @@ class ConfigPortfolio:
         query = dataset_meta_features(X, y)
         matrix = np.stack([e.meta_features for e in self.entries])
         scale = matrix.std(axis=0)
-        scale[scale == 0.0] = 1.0
+        scale[scale == 0.0] = 1.0  # repro-lint: disable=REP005 - exact-zero std guard
         distances = np.linalg.norm((matrix - query) / scale, axis=1)
         order = np.argsort(distances, kind="stable")
         suggestions: list[dict] = []

@@ -10,7 +10,9 @@ Seven subcommands cover the common workflows without writing Python:
   :class:`~repro.serve.ModelBundle`;
 * ``predict`` — score a pairs CSV with a saved bundle;
 * ``serve-batch`` — run the full blocking → featurize → predict path
-  over two tables with a saved bundle.
+  over two tables with a saved bundle;
+* ``lint`` — run the AST-based reproducibility linter (REP rules)
+  over source trees (see :mod:`repro.devtools`).
 """
 
 from __future__ import annotations
@@ -242,6 +244,21 @@ def _cmd_serve_batch(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import sys
+
+    from .devtools.lint import _print_rule_catalog, run_lint
+
+    if args.list_rules:
+        _print_rule_catalog(sys.stdout)
+        return 0
+    return run_lint(args.paths, baseline=args.baseline,
+                    no_baseline=args.no_baseline,
+                    update_baseline=args.write_baseline,
+                    select=args.select,
+                    output_format=args.output_format)
+
+
 def _add_data_args(parser) -> None:
     """Benchmark-or-CSV input selection shared by training commands."""
     parser.add_argument("--dataset", default="fodors_zagats",
@@ -376,6 +393,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve_batch.add_argument("--block-on", default="name",
                              help="attribute for the overlap blocker")
     serve_batch.add_argument("--min-overlap", type=int, default=1)
+
+    lint = commands.add_parser(
+        "lint", help="run the AST-based reproducibility linter")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories "
+                           "(default: src tests benchmarks)")
+    lint.add_argument("--baseline", default=".repro-lint-baseline")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="report every finding, ignoring the baseline")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="snapshot current findings as the new baseline")
+    lint.add_argument("--select", default=None, metavar="CODES",
+                      help="comma-separated rule codes (e.g. REP001)")
+    lint.add_argument("--format", default="text", choices=("text", "json"),
+                      dest="output_format")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
     return parser
 
 
@@ -389,6 +423,7 @@ def main(argv: list[str] | None = None) -> int:
         "export": _cmd_export,
         "predict": _cmd_predict,
         "serve-batch": _cmd_serve_batch,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -134,7 +134,7 @@ class LabelPropagationLabeler:
             raise ValueError("label propagation needs at least one label")
         n = len(X)
         scale = X.std(axis=0)
-        scale[scale == 0.0] = 1.0
+        scale[scale == 0.0] = 1.0  # repro-lint: disable=REP005 - exact-zero std guard
         Z = X / scale
         # k-NN RBF affinity (symmetrized).
         distances = ((Z[:, None, :] - Z[None, :, :]) ** 2).sum(axis=2) \
@@ -157,7 +157,7 @@ class LabelPropagationLabeler:
         affinity[rows, cols] = weights
         affinity = np.maximum(affinity, affinity.T)
         degree = affinity.sum(axis=1)
-        degree[degree == 0.0] = 1.0
+        degree[degree == 0.0] = 1.0  # repro-lint: disable=REP005 - exact-zero degree guard
         transition = affinity / degree[:, None]
         # Iterate F <- alpha * T F + (1 - alpha) * Y with clamping.
         Y = np.zeros((n, 2))

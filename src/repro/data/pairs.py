@@ -7,7 +7,7 @@ gold labels, supporting the split/sample operations the experiments need.
 
 from __future__ import annotations
 
-from collections.abc import Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -60,7 +60,8 @@ class PairSet:
     def __iter__(self) -> Iterator[RecordPair]:
         return iter(self.pairs)
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: int | slice | list[int] | np.ndarray
+                    ) -> "RecordPair | PairSet":
         if isinstance(index, (slice, list, np.ndarray)):
             if isinstance(index, slice):
                 subset = self.pairs[index]
@@ -93,7 +94,7 @@ class PairSet:
             return 0.0
         return self.num_positive / len(self.pairs)
 
-    def subset(self, indices) -> "PairSet":
+    def subset(self, indices: Iterable[int]) -> "PairSet":
         return self[list(indices)]
 
     def without_labels(self) -> "PairSet":
@@ -110,7 +111,7 @@ class PairSet:
                 raise ValueError("cannot concat pair sets over different schemas")
         return PairSet(self.table_a, self.table_b, self.pairs + other.pairs)
 
-    def shuffled(self, rng) -> "PairSet":
+    def shuffled(self, rng: np.random.Generator) -> "PairSet":
         order = rng.permutation(len(self.pairs))
         return self[order]
 

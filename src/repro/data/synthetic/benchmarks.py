@@ -11,14 +11,19 @@ negatives.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from . import vocab
 from .corruption import CorruptionProfile
 from .generator import Benchmark, DatasetSpec, generate_benchmark
 
+#: One synthetic entity: attribute name -> raw value.
+Entity = dict[str, object]
 
-def _pick(rng: np.random.Generator, options) -> str:
+
+def _pick(rng: np.random.Generator, options: "Sequence[str]") -> str:
     return options[int(rng.integers(len(options)))]
 
 
@@ -60,7 +65,7 @@ class RestaurantFactory:
 
     attributes = ("name", "address", "city", "phone", "type", "class")
 
-    def make_base(self, rng):
+    def make_base(self, rng: np.random.Generator) -> Entity:
         n_words = int(rng.integers(1, 4))
         name = " ".join(_pick(rng, vocab.RESTAURANT_WORDS)
                         for _ in range(n_words))
@@ -76,7 +81,8 @@ class RestaurantFactory:
             "class": float(rng.integers(0, 800)),
         }
 
-    def make_sibling(self, rng, base):
+    def make_sibling(self, rng: np.random.Generator,
+                     base: Entity) -> Entity:
         # A different branch of the same restaurant "chain": shares the
         # name's head tokens, differs in location and phone.
         sibling = self.make_base(rng)
@@ -91,7 +97,7 @@ class BeerFactory:
 
     attributes = ("beer_name", "brew_factory_name", "style", "abv")
 
-    def make_base(self, rng):
+    def make_base(self, rng: np.random.Generator) -> Entity:
         name = (f"{_pick(rng, vocab.BEER_ADJECTIVES)} "
                 f"{_pick(rng, vocab.BEER_NOUNS)}")
         if rng.random() < 0.4:
@@ -105,7 +111,8 @@ class BeerFactory:
             "abv": round(float(rng.uniform(3.5, 13.0)), 1),
         }
 
-    def make_sibling(self, rng, base):
+    def make_sibling(self, rng: np.random.Generator,
+                     base: Entity) -> Entity:
         # Same brewery, different beer in the same series.
         sibling = self.make_base(rng)
         sibling["brew_factory_name"] = base["brew_factory_name"]
@@ -120,7 +127,7 @@ class MusicFactory:
     attributes = ("song_name", "artist_name", "album_name", "genre",
                   "price", "copyright", "time", "released")
 
-    def make_base(self, rng):
+    def make_base(self, rng: np.random.Generator) -> Entity:
         n_words = int(rng.integers(1, 4))
         song = " ".join(_pick(rng, vocab.SONG_WORDS) for _ in range(n_words))
         album = (f"{_pick(rng, vocab.SONG_WORDS)} "
@@ -141,7 +148,8 @@ class MusicFactory:
             "released": f"{_pick(rng, ['january', 'march', 'june', 'september', 'november'])} {year}",
         }
 
-    def make_sibling(self, rng, base):
+    def make_sibling(self, rng: np.random.Generator,
+                     base: Entity) -> Entity:
         # Another track on the same album — the classic hard negative.
         sibling = self.make_base(rng)
         sibling["artist_name"] = base["artist_name"]
@@ -157,7 +165,7 @@ class CitationFactory:
 
     attributes = ("title", "authors", "venue", "year")
 
-    def make_base(self, rng):
+    def make_base(self, rng: np.random.Generator) -> Entity:
         pattern = _pick(rng, vocab.PAPER_PATTERNS)
         words = rng.choice(len(vocab.PAPER_TOPIC_WORDS), size=3, replace=False)
         title = pattern.format(a=vocab.PAPER_TOPIC_WORDS[words[0]],
@@ -172,7 +180,8 @@ class CitationFactory:
             "year": float(rng.integers(1995, 2021)),
         }
 
-    def make_sibling(self, rng, base):
+    def make_sibling(self, rng: np.random.Generator,
+                     base: Entity) -> Entity:
         # Follow-up paper by the same group: shared topic words and venue.
         sibling = self.make_base(rng)
         sibling["authors"] = base["authors"]
@@ -193,7 +202,8 @@ class SoftwareFactory:
 
     attributes = ("title", "manufacturer", "price")
 
-    def restyle(self, rng, entity):
+    def restyle(self, rng: np.random.Generator,
+                entity: Entity) -> Entity:
         """Source B's catalog style: version/edition often omitted,
         platform phrased differently — matching Google's terse listings
         against Amazon's verbose ones."""
@@ -211,7 +221,7 @@ class SoftwareFactory:
                 "manufacturer": entity["manufacturer"],
                 "price": entity["price"]}
 
-    def make_base(self, rng):
+    def make_base(self, rng: np.random.Generator) -> Entity:
         brand = _pick(rng, vocab.BRANDS)
         software = _pick(rng, vocab.SOFTWARE_TYPES)
         edition = _pick(rng, vocab.SOFTWARE_EDITIONS)
@@ -224,7 +234,8 @@ class SoftwareFactory:
             "price": _price(rng, 9.0, 600.0),
         }
 
-    def make_sibling(self, rng, base):
+    def make_sibling(self, rng: np.random.Generator,
+                     base: Entity) -> Entity:
         # Same product line, different edition or version — everything
         # else (manufacturer, price band) stays close to the base, which
         # is what makes these negatives hard.
@@ -251,7 +262,8 @@ class ElectronicsFactory:
 
     attributes = ("title", "category", "brand", "modelno", "price")
 
-    def restyle(self, rng, entity):
+    def restyle(self, rng: np.random.Generator,
+                entity: Entity) -> Entity:
         """Source B's listing style: model number often missing from the
         title and reformatted in the modelno field."""
         out = dict(entity)
@@ -265,7 +277,7 @@ class ElectronicsFactory:
             out["modelno"] = f"{head.lower()}-{digits}"
         return out
 
-    def make_base(self, rng):
+    def make_base(self, rng: np.random.Generator) -> Entity:
         brand = _pick(rng, vocab.BRANDS)
         qualifier = _pick(rng, vocab.PRODUCT_QUALIFIERS)
         ptype = _pick(rng, vocab.PRODUCT_TYPES)
@@ -281,7 +293,8 @@ class ElectronicsFactory:
             "price": _price(rng),
         }
 
-    def make_sibling(self, rng, base):
+    def make_sibling(self, rng: np.random.Generator,
+                     base: Entity) -> Entity:
         # Adjacent model in the same product family: title and price
         # nearly identical, only the model number differs.
         sibling = dict(base)
@@ -307,7 +320,8 @@ class ProductFactory:
 
     attributes = ("name", "description", "price")
 
-    def restyle(self, rng, entity):
+    def restyle(self, rng: np.random.Generator,
+                entity: Entity) -> Entity:
         """Source B's listing conventions: reordered name tokens, model
         number frequently omitted, description re-punctuated.
 
@@ -330,7 +344,7 @@ class ProductFactory:
         return {"name": name, "description": description,
                 "price": entity["price"]}
 
-    def make_base(self, rng):
+    def make_base(self, rng: np.random.Generator) -> Entity:
         brand = _pick(rng, vocab.BRANDS)
         qualifier = _pick(rng, vocab.PRODUCT_QUALIFIERS)
         ptype = _pick(rng, vocab.PRODUCT_TYPES)
@@ -343,7 +357,8 @@ class ProductFactory:
         return {"name": name, "description": description,
                 "price": _price(rng)}
 
-    def make_sibling(self, rng, base):
+    def make_sibling(self, rng: np.random.Generator,
+                     base: Entity) -> Entity:
         # Same product family: identical marketing copy, adjacent model
         # number, nearby price — only the model token tells them apart.
         old_model = base["name"].split()[-1]

@@ -217,6 +217,6 @@ class BenchmarkGenerator:
 def generate_benchmark(spec: DatasetSpec, seed: int = 0,
                        scale: float = 1.0) -> Benchmark:
     """One-call convenience: (optionally scaled) spec → benchmark."""
-    if scale != 1.0:
+    if scale != 1.0:  # repro-lint: disable=REP005 - default-sentinel check, no arithmetic
         spec = spec.scaled(scale)
     return BenchmarkGenerator(spec, seed=seed).generate()

@@ -10,6 +10,10 @@ from __future__ import annotations
 
 import hashlib
 from collections.abc import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    import numpy as np
 
 Value = str | float | bool | None
 
@@ -54,7 +58,7 @@ class Record:
     def as_dict(self) -> dict[str, Value]:
         return dict(zip(self._columns, self._values))
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return (isinstance(other, Record)
                 and self.record_id == other.record_id
                 and self._values == other._values
@@ -148,7 +152,7 @@ class Table:
         return Table(self.name, columns, rows,
                      ids=[r.record_id for r in self._records])
 
-    def sample(self, n: int, rng) -> "Table":
+    def sample(self, n: int, rng: "np.random.Generator") -> "Table":
         """A new table with ``n`` rows drawn without replacement."""
         if n > self.num_rows:
             raise ValueError(f"cannot sample {n} rows from {self.num_rows}")

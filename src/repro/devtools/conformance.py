@@ -1,0 +1,362 @@
+"""REP007: static conformance of registered components.
+
+Everything the AutoML search can place in a pipeline is named in
+``repro.automl.components`` (classifier / rescaler / preprocessor
+factories over ``repro.ml`` classes), and every similarity measure is
+registered in ``repro.similarity.registry``.  This module checks those
+registries *statically* — parsing the source, never importing it — so a
+rename, a dropped ``random_state`` or a registry entry pointing at a
+function that no longer exists fails ``repro lint`` instead of a
+search run hours in.
+
+Checks on ``components.py``:
+
+* every ``ml.X`` reference resolves to a class defined in ``repro.ml``;
+* classifier classes expose ``fit`` / ``predict`` / ``predict_proba``,
+  transformer classes ``fit`` / ``transform`` (resolved through
+  project-internal inheritance), and all inherit the
+  ``get_params``/``set_params`` introspection surface the search
+  relies on;
+* keyword arguments passed at the construction site exist in the
+  class's ``__init__``;
+* a classifier whose ``__init__`` accepts ``random_state`` must be
+  *passed* ``random_state`` — otherwise trials are irreproducible;
+* every name in ``ALL_MODELS`` is handled by ``_make_classifier``.
+
+Checks on ``registry.py``: every ``SimilarityMeasure`` entry references
+a function that exists (in the sibling module it names, at call arity
+two), and measure names are unique.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .base import Violation
+
+CODE = "REP007"
+
+#: Methods required of a component, by the role its factory implies.
+_REQUIRED_METHODS = {
+    "classifier": ("fit", "predict", "predict_proba"),
+    "transformer": ("fit", "transform"),
+    "component": (),
+}
+
+#: Methods every registered component needs for param introspection
+#: (``build_pipeline`` re-instantiates components from configurations).
+_INTROSPECTION = ("get_params", "set_params")
+
+#: components.py factory function → role of the classes it constructs.
+_FACTORY_ROLES = {
+    "_make_classifier": "classifier",
+    "_make_rescaler": "transformer",
+    "_make_preprocessor": "transformer",
+}
+
+
+@dataclass
+class ClassInfo:
+    """The statically-visible surface of one project class."""
+
+    name: str
+    rel: str
+    methods: set[str] = field(default_factory=set)
+    bases: list[str] = field(default_factory=list)
+    init_params: set[str] = field(default_factory=set)
+    init_has_kwargs: bool = False
+
+
+def _class_table(package_dir: Path) -> dict[str, ClassInfo]:
+    """Top-level classes of every module in ``package_dir``."""
+    table: dict[str, ClassInfo] = {}
+    for path in sorted(package_dir.glob("*.py")):
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except SyntaxError:
+            continue  # surfaced separately as REP000 when linted
+        for node in tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            info = ClassInfo(name=node.name, rel=path.name)
+            for base in node.bases:
+                if isinstance(base, ast.Name):
+                    info.bases.append(base.id)
+                elif isinstance(base, ast.Attribute):
+                    info.bases.append(base.attr)
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info.methods.add(item.name)
+                    if item.name == "__init__":
+                        args = item.args
+                        for arg in (args.posonlyargs + args.args
+                                    + args.kwonlyargs):
+                            if arg.arg != "self":
+                                info.init_params.add(arg.arg)
+                        info.init_has_kwargs = args.kwarg is not None
+            table[node.name] = info
+    return table
+
+
+def _resolve_init(table: dict[str, ClassInfo],
+                  name: str) -> tuple[set[str], bool]:
+    """``(init_params, has_kwargs)`` of the nearest ``__init__`` on
+    class ``name`` or its resolvable bases (MRO-ish breadth first)."""
+    seen: set[str] = set()
+    stack = [name]
+    while stack:
+        current = stack.pop(0)
+        if current in seen:
+            continue
+        seen.add(current)
+        info = table.get(current)
+        if info is None:
+            continue
+        if "__init__" in info.methods:
+            return info.init_params, info.init_has_kwargs
+        stack.extend(info.bases)
+    # No visible __init__ anywhere: accept any kwargs rather than
+    # reporting false positives against object.__init__.
+    return set(), True
+
+
+def _resolve_method(table: dict[str, ClassInfo], name: str,
+                    method: str) -> bool:
+    """Is ``method`` defined on class ``name`` or any resolvable base?"""
+    seen: set[str] = set()
+    stack = [name]
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        info = table.get(current)
+        if info is None:
+            continue  # base outside the package (e.g. object)
+        if method in info.methods:
+            return True
+        stack.extend(info.bases)
+    return False
+
+
+@dataclass
+class _ComponentRef:
+    """One ``ml.X`` reference inside a components.py factory."""
+
+    cls: str
+    lineno: int
+    col: int
+    role: str
+    kwargs: tuple[str, ...] | None  # None when not a direct call site
+
+
+def _collect_refs(tree: ast.Module) -> list[_ComponentRef]:
+    refs: list[_ComponentRef] = []
+
+    def scan(body: list[ast.stmt], role: str) -> None:
+        direct_calls: set[int] = set()
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id == "ml"):
+                    kwargs = tuple(kw.arg for kw in node.keywords
+                                   if kw.arg is not None)
+                    refs.append(_ComponentRef(
+                        node.func.attr, node.lineno, node.col_offset,
+                        role, kwargs))
+                    direct_calls.add(id(node.func))
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if (isinstance(node, ast.Attribute)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id == "ml"
+                        and id(node) not in direct_calls):
+                    # Bare reference (``cls = ml.A if ... else ml.B``):
+                    # existence and surface are checkable, kwargs not.
+                    refs.append(_ComponentRef(
+                        node.attr, node.lineno, node.col_offset, role, None))
+        return None
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            role = _FACTORY_ROLES.get(node.name)
+            if role is not None:
+                scan(node.body, role)
+            elif node.name == "__init__":
+                scan(node.body, "transformer")
+            elif node.name == "fit":
+                scan(node.body, "component")
+    return refs
+
+
+def _all_models(tree: ast.Module) -> tuple[list[str], int]:
+    """The ``ALL_MODELS`` tuple's entries and its line number."""
+    for node in ast.walk(tree):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "ALL_MODELS":
+                names = [elt.value for elt in ast.walk(value)
+                         if isinstance(elt, ast.Constant)
+                         and isinstance(elt.value, str)]
+                return names, node.lineno
+    return [], 1
+
+
+def _handled_models(tree: ast.Module) -> set[str]:
+    """Every string constant ``_make_classifier`` dispatches on."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and \
+                node.name == "_make_classifier":
+            return {n.value for n in ast.walk(node)
+                    if isinstance(n, ast.Constant)
+                    and isinstance(n.value, str)}
+    return set()
+
+
+def check_components(path: Path, rel: str | None = None) -> list[Violation]:
+    """REP007 findings for an ``automl/components.py`` file.
+
+    The ``repro.ml`` class table is parsed from the sibling ``ml``
+    package (``path.parent.parent / "ml"``).
+    """
+    rel = rel or path.as_posix()
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    table = _class_table(path.parent.parent / "ml")
+    violations: list[Violation] = []
+
+    def report(lineno: int, col: int, message: str, hint: str) -> None:
+        violations.append(Violation(
+            code=CODE, path=rel, line=lineno, col=col, message=message,
+            hint=hint, line_text=""))
+
+    for ref in _collect_refs(tree):
+        info = table.get(ref.cls)
+        if info is None:
+            report(ref.lineno, ref.col,
+                   f"ml.{ref.cls} is not defined in repro.ml",
+                   "register only classes that exist in the ml package")
+            continue
+        for method in _REQUIRED_METHODS[ref.role]:
+            if not _resolve_method(table, ref.cls, method):
+                report(ref.lineno, ref.col,
+                       f"ml.{ref.cls} is used as a {ref.role} but defines "
+                       f"no {method}()",
+                       f"implement {method}() or inherit it")
+        for method in _INTROSPECTION:
+            if not _resolve_method(table, ref.cls, method):
+                report(ref.lineno, ref.col,
+                       f"ml.{ref.cls} lacks {method}() — the search cannot "
+                       f"re-instantiate it from a configuration",
+                       "inherit repro.ml.base.BaseEstimator")
+        if ref.kwargs is None:
+            continue
+        init_params, init_has_kwargs = _resolve_init(table, ref.cls)
+        for kwarg in ref.kwargs:
+            if kwarg not in init_params and not init_has_kwargs:
+                report(ref.lineno, ref.col,
+                       f"ml.{ref.cls} is constructed with {kwarg}= but its "
+                       f"__init__ has no such parameter",
+                       "match construction keywords to the __init__ "
+                       "signature")
+        if (ref.role == "classifier"
+                and "random_state" in init_params
+                and "random_state" not in ref.kwargs):
+            report(ref.lineno, ref.col,
+                   f"ml.{ref.cls} accepts random_state but the factory "
+                   f"does not pass it — trials would be irreproducible",
+                   "thread the trial's random_state into the constructor")
+
+    declared, lineno = _all_models(tree)
+    handled = _handled_models(tree)
+    for name in declared:
+        if name not in handled:
+            report(lineno, 0,
+                   f"ALL_MODELS entry {name!r} is not handled by "
+                   f"_make_classifier",
+                   "add a construction branch or drop the entry")
+    return violations
+
+
+def _module_functions(path: Path) -> set[str]:
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError):
+        return set()
+    return {node.name for node in tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))}
+
+
+def check_similarity_registry(path: Path,
+                              rel: str | None = None) -> list[Violation]:
+    """REP007 findings for a ``similarity/registry.py`` file."""
+    rel = rel or path.as_posix()
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    violations: list[Violation] = []
+
+    def report(lineno: int, col: int, message: str, hint: str) -> None:
+        violations.append(Violation(
+            code=CODE, path=rel, line=lineno, col=col, message=message,
+            hint=hint, line_text=""))
+
+    # ``from . import numeric as num`` → alias num backed by numeric.py.
+    sibling_modules: dict[str, str] = {}
+    local_functions = {node.name for node in tree.body
+                       if isinstance(node, ast.FunctionDef)}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.level >= 1 \
+                and node.module is None:
+            for alias in node.names:
+                sibling_modules[alias.asname or alias.name] = alias.name
+
+    seen_names: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "SimilarityMeasure"):
+            continue
+        if not node.args:
+            continue
+        name_arg = node.args[0]
+        if isinstance(name_arg, ast.Constant) and \
+                isinstance(name_arg.value, str):
+            name = name_arg.value
+            if name in seen_names:
+                report(node.lineno, node.col_offset,
+                       f"duplicate measure name {name!r} (first registered "
+                       f"on line {seen_names[name]})",
+                       "measure names must be unique registry keys")
+            else:
+                seen_names[name] = node.lineno
+        if len(node.args) < 2:
+            continue
+        func_arg = node.args[1]
+        if isinstance(func_arg, ast.Attribute) and \
+                isinstance(func_arg.value, ast.Name):
+            alias = func_arg.value.id
+            module = sibling_modules.get(alias)
+            if module is None:
+                continue
+            functions = _module_functions(path.parent / f"{module}.py")
+            if functions and func_arg.attr not in functions:
+                report(node.lineno, node.col_offset,
+                       f"measure function {alias}.{func_arg.attr} does not "
+                       f"exist in repro.similarity.{module}",
+                       "point the registry entry at a real function")
+        elif isinstance(func_arg, ast.Name):
+            if func_arg.id not in local_functions:
+                report(node.lineno, node.col_offset,
+                       f"measure function {func_arg.id} is not defined at "
+                       f"module level in the registry",
+                       "registry entries must reference module-level "
+                       "functions (picklable, importable)")
+    return violations

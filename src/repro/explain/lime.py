@@ -76,7 +76,7 @@ class LimeExplainer:
         self.seed = seed
         scale = np.nanstd(self.X_background, axis=0)
         scale[~np.isfinite(scale)] = 1.0
-        scale[scale == 0.0] = 1.0
+        scale[scale == 0.0] = 1.0  # repro-lint: disable=REP005 - exact-zero std guard
         self._scale = scale
 
     def explain(self, x: np.ndarray, flip_probability: float = 0.4

@@ -19,11 +19,17 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+if TYPE_CHECKING:
+    from ..data.pairs import PairSet
 
-def plan_fingerprint(plan, sequence_max_chars: int | None = None) -> str:
+
+def plan_fingerprint(plan: Iterable[tuple[str, str]],
+                     sequence_max_chars: int | None = None) -> str:
     """Digest of a feature plan's slots (and the sequence cap in force)."""
     digest = hashlib.sha1()
     for attribute, measure in plan:
@@ -35,7 +41,7 @@ def plan_fingerprint(plan, sequence_max_chars: int | None = None) -> str:
     return digest.hexdigest()
 
 
-def pairs_fingerprint(pairs) -> str:
+def pairs_fingerprint(pairs: "PairSet") -> str:
     """Digest of a :class:`~repro.data.pairs.PairSet`'s feature-relevant
     identity: both tables' contents and the ordered record-id pairs."""
     digest = hashlib.sha1()
@@ -65,14 +71,14 @@ class FeatureMatrixCache:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
-        self._entries: OrderedDict = OrderedDict()
+        self._entries: OrderedDict[object, np.ndarray] = OrderedDict()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    def lookup(self, key) -> np.ndarray | None:
+    def lookup(self, key: object) -> np.ndarray | None:
         """The cached matrix for ``key`` (a copy), or ``None``."""
         matrix = self._entries.get(key)
         if matrix is None:
@@ -82,7 +88,7 @@ class FeatureMatrixCache:
         self.hits += 1
         return matrix.copy()
 
-    def store(self, key, matrix: np.ndarray) -> None:
+    def store(self, key: object, matrix: np.ndarray) -> None:
         self._entries[key] = np.array(matrix, dtype=np.float64, copy=True)
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
@@ -94,7 +100,7 @@ class FeatureMatrixCache:
         self.misses = 0
 
     @property
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, int]:
         return {"entries": len(self._entries), "hits": self.hits,
                 "misses": self.misses}
 

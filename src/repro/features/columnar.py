@@ -32,8 +32,16 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from ..similarity.registry import SimilarityMeasure
+
+#: Raw attribute value as stored in a record: the engine scores whatever
+#: the tables hold (strings, numbers, bools, ``None``).
+Value = object
 
 #: Below this many unique value pairs per transform the process pool is
 #: not worth its startup cost and the sequential path runs instead.
@@ -52,13 +60,13 @@ class TokenCache(dict):
     an occasional cold restart beats per-entry LRU bookkeeping.
     """
 
-    def __init__(self, max_entries: int = 200_000):
+    def __init__(self, max_entries: int = 200_000) -> None:
         super().__init__()
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
 
-    def __setitem__(self, key, value):
+    def __setitem__(self, key: object, value: object) -> None:
         if len(self) >= self.max_entries:
             self.clear()
         super().__setitem__(key, value)
@@ -77,7 +85,9 @@ def resolve_n_jobs(n_jobs: int | None) -> int:
     return n_jobs
 
 
-def score_value_pairs(measures, value_pairs, token_cache=None,
+def score_value_pairs(measures: Sequence["SimilarityMeasure"],
+                      value_pairs: Sequence[tuple[Value, Value]],
+                      token_cache: TokenCache | None = None,
                       sequence_max_chars: int | None = None) -> np.ndarray:
     """Score ``measures`` over raw ``(v1, v2)`` tuples.
 
@@ -96,20 +106,24 @@ def score_value_pairs(measures, value_pairs, token_cache=None,
     return out
 
 
-def _score_chunk(measures, value_pairs, sequence_max_chars):
+def _score_chunk(measures: Sequence["SimilarityMeasure"],
+                 value_pairs: Sequence[tuple[Value, Value]],
+                 sequence_max_chars: int | None) -> np.ndarray:
     """Worker task: score one chunk of unique value pairs (picklable)."""
     return score_value_pairs(measures, value_pairs,
                              sequence_max_chars=sequence_max_chars)
 
 
-def _unique_value_pairs(pairs, attribute):
+def _unique_value_pairs(pairs: Sequence,
+                        attribute: str
+                        ) -> tuple[list[tuple[Value, Value]], np.ndarray]:
     """One attribute's deduplicated value pairs and the scatter index.
 
     Keys are type-tagged — ``True``/``1.0`` hash equal but render to
     different strings, so they must not collapse into one entry.
     """
-    index_of: dict = {}
-    unique: list = []
+    index_of: dict[tuple, int] = {}
+    unique: list[tuple[Value, Value]] = []
     inverse = np.empty(len(pairs), dtype=np.intp)
     for i, pair in enumerate(pairs):
         v1 = pair.left.get(attribute)
@@ -124,8 +138,9 @@ def _unique_value_pairs(pairs, attribute):
     return unique, inverse
 
 
-def columnar_transform(measures, pairs, *, n_jobs: int | None = 1,
-                       token_cache=None,
+def columnar_transform(measures: Sequence[tuple[str, "SimilarityMeasure"]],
+                       pairs: Sequence, *, n_jobs: int | None = 1,
+                       token_cache: TokenCache | None = None,
                        sequence_max_chars: int | None = None,
                        parallel_threshold: int = PARALLEL_MIN_UNIQUE_PAIRS
                        ) -> np.ndarray:
@@ -159,8 +174,9 @@ def columnar_transform(measures, pairs, *, n_jobs: int | None = 1,
     return matrix
 
 
-def _transform_parallel(matrix, per_attribute, n_jobs,
-                        sequence_max_chars) -> None:
+def _transform_parallel(matrix: np.ndarray, per_attribute: list,
+                        n_jobs: int,
+                        sequence_max_chars: int | None) -> None:
     """Chunk unique pairs across a process pool and scatter the results.
 
     Chunking is per attribute so a worker scores every measure of its

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 import math
+from typing import Iterable
 
 from ..data.table import Table
 
@@ -31,7 +32,7 @@ class DataType(enum.Enum):
                         DataType.WORDS_5_10, DataType.LONG_TEXT)
 
 
-def _non_missing(values) -> list:
+def _non_missing(values: Iterable[object]) -> list[object]:
     return [v for v in values if v is not None]
 
 
@@ -60,7 +61,7 @@ def infer_column_type(values_a: list, values_b: list) -> DataType:
     return DataType.LONG_TEXT
 
 
-def _is_numeric(value) -> bool:
+def _is_numeric(value: object) -> bool:
     if isinstance(value, bool):
         return False
     if isinstance(value, (int, float)):

@@ -17,9 +17,11 @@ the equivalence tests and the featuregen benchmark compare against.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
-from ..data.pairs import PairSet
+from ..data.pairs import PairSet, RecordPair
 from ..data.table import Table
 from ..similarity import get_measure
 from .autoem import autoem_feature_plan
@@ -138,7 +140,7 @@ class FeatureGenerator:
         np.copyto(matrix, np.nan, where=np.isinf(matrix))
         return matrix
 
-    def transform_pair(self, pair) -> np.ndarray:
+    def transform_pair(self, pair: "RecordPair") -> np.ndarray:
         """Feature vector for a single pair.
 
         Uses the same per-generator tokenization cache as
@@ -166,7 +168,7 @@ class FeatureGenerator:
 def make_magellan_features(table_a: Table, table_b: Table,
                            types: dict[str, DataType] | None = None,
                            exclude_attributes: tuple[str, ...] = (),
-                           **kwargs) -> FeatureGenerator:
+                           **kwargs: Any) -> FeatureGenerator:
     """Table I generator for a table pair (types inferred if omitted).
 
     Extra keyword arguments (``n_jobs``, ``cache``,
@@ -182,7 +184,7 @@ def make_magellan_features(table_a: Table, table_b: Table,
 def make_autoem_features(table_a: Table, table_b: Table,
                          types: dict[str, DataType] | None = None,
                          exclude_attributes: tuple[str, ...] = (),
-                         **kwargs) -> FeatureGenerator:
+                         **kwargs: Any) -> FeatureGenerator:
     """Table II generator for a table pair (types inferred if omitted).
 
     Extra keyword arguments (``n_jobs``, ``cache``,

@@ -80,7 +80,7 @@ class FeatureAgglomeration(BaseEstimator):
         target = min(self.n_clusters, n_features)
         centered = X - X.mean(axis=0)
         norms = np.linalg.norm(centered, axis=0)
-        norms[norms == 0.0] = 1.0
+        norms[norms == 0.0] = 1.0  # repro-lint: disable=REP005 - exact-zero norm guard
         normalized = centered / norms
         correlation = normalized.T @ normalized
         distance = 1.0 - np.abs(correlation)

@@ -42,7 +42,7 @@ def f1_score(y_true, y_pred, pos_label=1) -> float:
     """Harmonic mean of precision and recall — the paper's metric."""
     precision = precision_score(y_true, y_pred, pos_label)
     recall = recall_score(y_true, y_pred, pos_label)
-    if precision + recall == 0.0:
+    if precision + recall == 0.0:  # repro-lint: disable=REP005 - exact-zero denominator guard
         return 0.0
     return 2.0 * precision * recall / (precision + recall)
 

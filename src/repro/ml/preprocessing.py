@@ -153,7 +153,7 @@ class Normalizer(BaseEstimator):
     def transform(self, X) -> np.ndarray:
         X = check_X(X)
         norms = np.linalg.norm(X, axis=1, keepdims=True)
-        norms[norms == 0.0] = 1.0
+        norms[norms == 0.0] = 1.0  # repro-lint: disable=REP005 - exact-zero norm guard
         return X / norms
 
     def fit_transform(self, X, y=None) -> np.ndarray:
@@ -217,7 +217,7 @@ def balanced_sample_weight(y) -> np.ndarray:
     return np.asarray([weight_by_class[label] for label in y.tolist()])
 
 
-class RandomOverSampler:
+class RandomOverSampler(BaseEstimator):
     """Duplicate minority-class rows until classes are balanced."""
 
     def __init__(self, random_state: int = 0):

@@ -31,7 +31,9 @@ import os
 import pickle
 import shutil
 import tempfile
+from collections.abc import Iterable
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -95,7 +97,9 @@ class ModelBundle:
         winning configuration, search settings, timestamps.
     """
 
-    def __init__(self, predictor, plan, schema: dict[str, str],
+    def __init__(self, predictor: Any,
+                 plan: Iterable[tuple[str, str]],
+                 schema: dict[str, str],
                  threshold: float | None = None,
                  sequence_max_chars: int | None = None,
                  metadata: dict | None = None):
@@ -140,7 +144,7 @@ class ModelBundle:
 
     # -- serving --------------------------------------------------------
 
-    def feature_generator(self, **kwargs) -> FeatureGenerator:
+    def feature_generator(self, **kwargs: Any) -> FeatureGenerator:
         """A :class:`FeatureGenerator` reproducing the training features.
 
         Keyword arguments (``n_jobs``, ``cache``, ...) pass through; the
@@ -149,11 +153,11 @@ class ModelBundle:
         kwargs.setdefault("sequence_max_chars", self.sequence_max_chars)
         return FeatureGenerator(list(self.plan), **kwargs)
 
-    def predict_proba(self, X) -> np.ndarray:
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """P(match) per row of a feature matrix."""
         return np.asarray(self.predictor.predict_proba(X))[:, 1]
 
-    def predict(self, X) -> np.ndarray:
+    def predict(self, X: np.ndarray) -> np.ndarray:
         """Match/non-match decisions at the bundle's operating point."""
         if self.threshold is None:
             return np.asarray(self.predictor.predict(X))
@@ -174,7 +178,7 @@ class ModelBundle:
 
     # -- persistence ----------------------------------------------------
 
-    def save(self, path, overwrite: bool = False) -> Path:
+    def save(self, path: str | Path, overwrite: bool = False) -> Path:
         """Write the bundle directory atomically; returns its path.
 
         The directory is assembled under a temporary name next to the
@@ -211,7 +215,7 @@ class ModelBundle:
         return path
 
     @classmethod
-    def load(cls, path) -> "ModelBundle":
+    def load(cls, path: str | Path) -> "ModelBundle":
         """Read a bundle directory, verifying integrity end to end."""
         path = Path(path)
         manifest_path = path / MANIFEST_NAME

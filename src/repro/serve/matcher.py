@@ -19,16 +19,27 @@ optionally appended to a JSONL
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass
+from pathlib import Path
+from types import TracebackType
+from typing import Protocol
 
 import numpy as np
 
 from ..data.pairs import PairSet
 from ..data.table import Table
+from ..features.cache import FeatureMatrixCache
 from ..ml.metrics import precision_recall_f1
 from .bundle import ModelBundle
 from .telemetry import RequestLog, ServeMetrics
+
+
+class Blocker(Protocol):
+    """Anything that can produce candidate pairs for two tables."""
+
+    def block(self, table_a: Table, table_b: Table) -> PairSet: ...
 
 
 @dataclass
@@ -53,7 +64,7 @@ class MatchResult:
         """The subset of candidate pairs predicted to match."""
         return self.pairs[np.flatnonzero(self.predictions == 1)]
 
-    def metrics(self) -> dict:
+    def metrics(self) -> dict[str, float]:
         """Precision / recall / F1 against the pairs' gold labels."""
         precision, recall, f1 = precision_recall_f1(self.pairs.labels,
                                                     self.predictions)
@@ -64,12 +75,14 @@ class _MatcherBase:
     """Shared bundle/featurizer/telemetry plumbing of the two matchers."""
 
     def __init__(self, bundle: ModelBundle, *, n_jobs: int = 1,
-                 cache=None, request_log=None):
+                 cache: FeatureMatrixCache | bool | None = None,
+                 request_log: RequestLog | str | Path | None = None):
         self.bundle = bundle
         self.generator = bundle.feature_generator(n_jobs=n_jobs, cache=cache)
         self.metrics = ServeMetrics()
         self._own_log = not isinstance(request_log, RequestLog)
         self.request_log = RequestLog.ensure(request_log)
+        self._request_ids = itertools.count(1)
 
     def _score_pairs(self, pairs: PairSet, batch_size: int | None
                      ) -> MatchResult:
@@ -95,22 +108,31 @@ class _MatcherBase:
 
     def _serve(self, pairs: PairSet, batch_size: int | None,
                kind: str) -> MatchResult:
+        request_id = f"{kind}-{next(self._request_ids):06d}"
         started = time.monotonic()
         try:
             result = self._score_pairs(pairs, batch_size)
         except Exception as exc:
-            self.metrics.observe_error()
+            self.metrics.observe_error(error_type=type(exc).__name__)
             if self.request_log is not None:
                 self.request_log.request(
-                    kind=kind, n_pairs=len(pairs), error=f"{type(exc).__name__}: {exc}",
+                    request_id=request_id, kind=kind, n_pairs=len(pairs),
+                    error=f"{type(exc).__name__}: {exc}",
                     latency=time.monotonic() - started)
+            # Keep the failing request identifiable downstream: tag the
+            # exception so callers (and, on 3.11+, the traceback itself)
+            # can correlate it with the request log.
+            exc.request_id = request_id  # type: ignore[attr-defined]
+            if hasattr(exc, "add_note"):
+                exc.add_note(f"while serving request {request_id} "
+                             f"({len(pairs)} candidate pairs)")
             raise
         latency = time.monotonic() - started
         self.metrics.observe(len(result), result.n_matches, latency,
                              max_batch_rows=result.max_batch_rows)
         if self.request_log is not None:
             self.request_log.request(
-                kind=kind, n_pairs=len(result),
+                request_id=request_id, kind=kind, n_pairs=len(result),
                 n_matches=result.n_matches, n_batches=result.n_batches,
                 max_batch_rows=result.max_batch_rows, latency=latency,
                 error=None)
@@ -123,10 +145,12 @@ class _MatcherBase:
             if self._own_log:
                 self.request_log.close()
 
-    def __enter__(self):
+    def __enter__(self) -> "_MatcherBase":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> None:
         self.close()
 
 
@@ -151,9 +175,10 @@ class BatchMatcher(_MatcherBase):
         Optional JSONL telemetry path (or open :class:`RequestLog`).
     """
 
-    def __init__(self, bundle: ModelBundle, blocker=None, *,
-                 batch_size: int = 4096, n_jobs: int = 1, cache=None,
-                 request_log=None):
+    def __init__(self, bundle: ModelBundle, blocker: Blocker | None = None,
+                 *, batch_size: int = 4096, n_jobs: int = 1,
+                 cache: FeatureMatrixCache | bool | None = None,
+                 request_log: RequestLog | str | Path | None = None):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         super().__init__(bundle, n_jobs=n_jobs, cache=cache,
@@ -190,8 +215,10 @@ class StreamMatcher(_MatcherBase):
     ...     print(matcher.metrics.snapshot())
     """
 
-    def __init__(self, bundle: ModelBundle, *, max_batch_rows: int | None
-                 = None, n_jobs: int = 1, cache=None, request_log=None):
+    def __init__(self, bundle: ModelBundle, *,
+                 max_batch_rows: int | None = None, n_jobs: int = 1,
+                 cache: FeatureMatrixCache | bool | None = None,
+                 request_log: RequestLog | str | Path | None = None):
         super().__init__(bundle, n_jobs=n_jobs, cache=cache,
                          request_log=request_log)
         if max_batch_rows is not None and max_batch_rows < 1:

@@ -38,7 +38,7 @@ class ModelRegistry:
     >>> matcher_bundle = registry.get("fodors_zagats")   # latest
     """
 
-    def __init__(self, root):
+    def __init__(self, root: str | Path):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
 

@@ -19,10 +19,11 @@ from ..automl.runner import RunLog
 class ServeMetrics:
     """Thread-safe counters for one matcher's request stream."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._lock = threading.Lock()
         self.requests = 0
         self.errors = 0
+        self.errors_by_type: dict[str, int] = {}
         self.pairs = 0
         self.matches = 0
         self.total_latency = 0.0
@@ -42,10 +43,14 @@ class ServeMetrics:
                 self.max_batch_rows = max(self.max_batch_rows,
                                           int(max_batch_rows))
 
-    def observe_error(self) -> None:
+    def observe_error(self, error_type: str | None = None) -> None:
+        """Record one failed request (optionally by exception type)."""
         with self._lock:
             self.requests += 1
             self.errors += 1
+            if error_type is not None:
+                self.errors_by_type[error_type] = \
+                    self.errors_by_type.get(error_type, 0) + 1
 
     def snapshot(self) -> dict:
         """Current counters plus derived mean latency and throughput."""
@@ -54,6 +59,7 @@ class ServeMetrics:
             return {
                 "requests": self.requests,
                 "errors": self.errors,
+                "errors_by_type": dict(self.errors_by_type),
                 "pairs": self.pairs,
                 "matches": self.matches,
                 "total_latency": self.total_latency,
@@ -80,5 +86,5 @@ class RequestLog(RunLog):
     :meth:`ServeMetrics.snapshot`).
     """
 
-    def request(self, **fields) -> None:
+    def request(self, **fields: object) -> None:
         self.write({"type": "request", **fields})

@@ -35,7 +35,7 @@ def absolute_norm(v1: float, v2: float) -> float:
     if math.isnan(v1) or math.isnan(v2):
         return float("nan")
     denom = max(abs(v1), abs(v2))
-    if denom == 0.0:
+    if denom == 0.0:  # repro-lint: disable=REP005 - exact-zero denominator guard
         return 1.0
     return max(0.0, 1.0 - abs(v1 - v2) / denom)
 

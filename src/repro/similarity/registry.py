@@ -13,6 +13,8 @@ imputation component later fills.
 from __future__ import annotations
 
 import math
+from collections.abc import Callable, MutableMapping
+from typing import Any
 
 from . import numeric as num
 from . import sequence as seq
@@ -44,7 +46,8 @@ class SimilarityMeasure:
     tokenization, returning a float (possibly ``nan``).
     """
 
-    def __init__(self, name: str, func, tokenizer: Tokenizer | None = None,
+    def __init__(self, name: str, func: Callable[..., float],
+                 tokenizer: Tokenizer | None = None,
                  kind: str = "string"):
         self.name = name
         self.kind = kind  # "string" | "numeric" | "boolean"
@@ -52,7 +55,8 @@ class SimilarityMeasure:
         self.tokenizer = tokenizer
         self._capped = name in _CAPPED_SEQUENCE_MEASURES
 
-    def __call__(self, v1, v2, sequence_max_chars: int | None = None) -> float:
+    def __call__(self, v1: object, v2: object,
+                 sequence_max_chars: int | None = None) -> float:
         if v1 is None or v2 is None:
             return float("nan")
         if self.kind == "numeric":
@@ -73,7 +77,9 @@ class SimilarityMeasure:
             s2 = s2[:cap]
         return self._func(s1, s2)
 
-    def scorer(self, token_cache=None, sequence_max_chars: int | None = None):
+    def scorer(self, token_cache: MutableMapping[Any, Any] | None = None,
+               sequence_max_chars: int | None = None
+               ) -> Callable[[object, object], float]:
         """A plain ``f(v1, v2) -> float`` equivalent to calling the measure.
 
         The returned callable hoists the per-call dispatch (kind checks,
@@ -88,7 +94,7 @@ class SimilarityMeasure:
         nan = float("nan")
         func = self._func
         if self.kind == "numeric":
-            def score_numeric(v1, v2):
+            def score_numeric(v1: object, v2: object) -> float:
                 if v1 is None or v2 is None:
                     return nan
                 try:
@@ -98,7 +104,7 @@ class SimilarityMeasure:
                 return func(f1, f2)
             return score_numeric
         if self.kind == "boolean":
-            def score_boolean(v1, v2):
+            def score_boolean(v1: object, v2: object) -> float:
                 if v1 is None or v2 is None:
                     return nan
                 return func(v1, v2)
@@ -107,7 +113,7 @@ class SimilarityMeasure:
         if tokenizer is not None:
             cache = {} if token_cache is None else token_cache
             tok_name = tokenizer.name
-            def score_tokens(v1, v2):
+            def score_tokens(v1: object, v2: object) -> float:
                 if v1 is None or v2 is None:
                     return nan
                 s1, s2 = str(v1), str(v2)
@@ -122,7 +128,7 @@ class SimilarityMeasure:
                 return func(tokens1, tokens2)
             return score_tokens
         if self._capped:
-            def score_capped(v1, v2):
+            def score_capped(v1: object, v2: object) -> float:
                 if v1 is None or v2 is None:
                     return nan
                 # Resolved at call time so the module-level default stays
@@ -131,7 +137,7 @@ class SimilarityMeasure:
                        else sequence_max_chars)
                 return func(str(v1)[:cap], str(v2)[:cap])
             return score_capped
-        def score_sequence(v1, v2):
+        def score_sequence(v1: object, v2: object) -> float:
             if v1 is None or v2 is None:
                 return nan
             return func(str(v1), str(v2))
@@ -210,7 +216,7 @@ def get_measure(name: str) -> SimilarityMeasure:
             from None
 
 
-def score(name: str, v1, v2) -> float:
+def score(name: str, v1: object, v2: object) -> float:
     """Convenience: apply measure ``name`` to a value pair."""
     result = get_measure(name)(v1, v2)
     if isinstance(result, float) and math.isinf(result):

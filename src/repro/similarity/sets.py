@@ -8,7 +8,7 @@ Monge-Elkan which averages best per-token secondary similarities.
 from __future__ import annotations
 
 import math
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 
 from .sequence import jaro_winkler_similarity
 
@@ -66,7 +66,8 @@ MONGE_ELKAN_MAX_TOKENS = 24
 
 
 def monge_elkan(tokens1: list[str], tokens2: list[str],
-                secondary=jaro_winkler_similarity) -> float:
+                secondary: "Callable[[str, str], float]"
+                = jaro_winkler_similarity) -> float:
     """Monge-Elkan: mean over tokens of T1 of the best match in T2.
 
     ``secondary`` is the inner character-level similarity (Jaro-Winkler by

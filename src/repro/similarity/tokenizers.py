@@ -9,6 +9,7 @@ alphanumeric tokenizer used by the blocking substrate.
 from __future__ import annotations
 
 import re
+from typing import Callable
 
 _ALNUM_RE = re.compile(r"[a-z0-9]+")
 
@@ -58,7 +59,8 @@ class Tokenizer:
     pairs, so tokenizers need stable names and equality.
     """
 
-    def __init__(self, name: str, func, **kwargs):
+    def __init__(self, name: str, func: Callable[..., list[str]],
+                 **kwargs: object):
         self.name = name
         self._func = func
         self._kwargs = kwargs
@@ -66,7 +68,7 @@ class Tokenizer:
     def __call__(self, text: str) -> list[str]:
         return self._func(text, **self._kwargs)
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, Tokenizer) and self.name == other.name
 
     def __hash__(self) -> int:

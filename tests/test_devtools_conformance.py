@@ -1,0 +1,232 @@
+"""REP007 conformance: the static registry checks against synthetic
+trees and the real repo, plus a dynamic cross-check that every model in
+``repro.automl.components.ALL_MODELS`` builds a pipeline with the full
+estimator surface the search relies on."""
+
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.automl.components import ALL_MODELS, build_config_space, build_pipeline
+from repro.devtools.conformance import (
+    check_components,
+    check_similarity_registry,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: A minimal, fully-conformant ml package: one classifier, one
+#: transformer, both inheriting the introspection surface from a base.
+GOOD_ML = """
+class BaseEstimator:
+    def get_params(self, deep=True):
+        return {}
+    def set_params(self, **params):
+        return self
+
+class GoodClassifier(BaseEstimator):
+    def __init__(self, n_estimators=10, random_state=None):
+        pass
+    def fit(self, X, y):
+        return self
+    def predict(self, X):
+        return X
+    def predict_proba(self, X):
+        return X
+
+class GoodScaler(BaseEstimator):
+    def __init__(self, with_mean=True):
+        pass
+    def fit(self, X, y=None):
+        return self
+    def transform(self, X):
+        return X
+"""
+
+
+def make_tree(tmp_path, components_src, ml_src=GOOD_ML):
+    """Lay out ``pkg/ml/estimators.py`` + ``pkg/automl/components.py``."""
+    ml_dir = tmp_path / "pkg/ml"
+    automl_dir = tmp_path / "pkg/automl"
+    ml_dir.mkdir(parents=True)
+    automl_dir.mkdir(parents=True)
+    (ml_dir / "estimators.py").write_text(textwrap.dedent(ml_src))
+    components = automl_dir / "components.py"
+    components.write_text(textwrap.dedent(components_src))
+    return components
+
+
+def test_conformant_components_produce_no_findings(tmp_path):
+    components = make_tree(tmp_path, """
+        from .. import ml
+
+        ALL_MODELS = ("good",)
+
+        def _make_classifier(config, random_state):
+            if config["classifier:__choice__"] == "good":
+                return ml.GoodClassifier(n_estimators=5,
+                                         random_state=random_state)
+
+        def _make_rescaler(config):
+            return ml.GoodScaler(with_mean=False)
+        """)
+    assert check_components(components) == []
+
+
+def test_missing_class_is_reported(tmp_path):
+    components = make_tree(tmp_path, """
+        from .. import ml
+
+        def _make_classifier(config, random_state):
+            return ml.Vanished(random_state=random_state)
+        """)
+    findings = check_components(components)
+    assert len(findings) == 1
+    assert "ml.Vanished is not defined" in findings[0].message
+
+
+def test_classifier_missing_predict_proba_is_reported(tmp_path):
+    components = make_tree(tmp_path, """
+        from .. import ml
+
+        def _make_classifier(config, random_state):
+            return ml.HalfClassifier(random_state=random_state)
+        """, ml_src="""
+        class HalfClassifier:
+            def __init__(self, random_state=None):
+                pass
+            def fit(self, X, y):
+                return self
+            def predict(self, X):
+                return X
+        """)
+    messages = [f.message for f in check_components(components)]
+    assert any("no predict_proba()" in m for m in messages)
+    # It also lacks the get_params/set_params introspection surface.
+    assert any("lacks get_params()" in m for m in messages)
+
+
+def test_method_resolution_follows_project_inheritance(tmp_path):
+    components = make_tree(tmp_path, """
+        from .. import ml
+
+        def _make_classifier(config, random_state):
+            return ml.Derived(random_state=random_state)
+        """, ml_src=GOOD_ML + """
+class Derived(GoodClassifier):
+    pass
+""")
+    assert check_components(components) == []
+
+
+def test_unknown_constructor_kwarg_is_reported(tmp_path):
+    components = make_tree(tmp_path, """
+        from .. import ml
+
+        def _make_classifier(config, random_state):
+            return ml.GoodClassifier(n_trees=5, random_state=random_state)
+        """)
+    findings = check_components(components)
+    assert len(findings) == 1
+    assert "n_trees=" in findings[0].message
+
+
+def test_unthreaded_random_state_is_reported(tmp_path):
+    components = make_tree(tmp_path, """
+        from .. import ml
+
+        def _make_classifier(config, random_state):
+            return ml.GoodClassifier(n_estimators=5)
+        """)
+    findings = check_components(components)
+    assert len(findings) == 1
+    assert "random_state" in findings[0].message
+    assert "irreproducible" in findings[0].message
+
+
+def test_unhandled_all_models_entry_is_reported(tmp_path):
+    components = make_tree(tmp_path, """
+        from .. import ml
+
+        ALL_MODELS = ("good", "phantom")
+
+        def _make_classifier(config, random_state):
+            if config["classifier:__choice__"] == "good":
+                return ml.GoodClassifier(random_state=random_state)
+        """)
+    findings = check_components(components)
+    assert len(findings) == 1
+    assert "'phantom'" in findings[0].message
+
+
+def test_registry_duplicate_and_missing_function_are_reported(tmp_path):
+    pkg = tmp_path / "similarity"
+    pkg.mkdir()
+    (pkg / "sequence.py").write_text("def jaro(a, b):\n    return 0.0\n")
+    registry = pkg / "registry.py"
+    registry.write_text(textwrap.dedent("""
+        from . import sequence as seq
+
+        class SimilarityMeasure:
+            def __init__(self, name, func):
+                pass
+
+        MEASURES = [
+            SimilarityMeasure("jaro", seq.jaro),
+            SimilarityMeasure("jaro", seq.jaro),
+            SimilarityMeasure("ghost", seq.not_there),
+        ]
+        """))
+    messages = [f.message for f in check_similarity_registry(registry)]
+    assert any("duplicate measure name 'jaro'" in m for m in messages)
+    assert any("seq.not_there does not exist" in m for m in messages)
+
+
+def test_registry_bare_name_must_be_module_level(tmp_path):
+    registry = tmp_path / "registry.py"
+    registry.write_text(textwrap.dedent("""
+        class SimilarityMeasure:
+            def __init__(self, name, func):
+                pass
+
+        def real(a, b):
+            return 1.0
+
+        OK = SimilarityMeasure("real", real)
+        BAD = SimilarityMeasure("fake", imaginary)
+        """))
+    messages = [f.message for f in check_similarity_registry(registry)]
+    assert len(messages) == 1
+    assert "imaginary" in messages[0]
+
+
+# -- the real repo ------------------------------------------------------
+
+
+def test_repo_components_conform():
+    path = REPO_ROOT / "src/repro/automl/components.py"
+    assert check_components(path) == []
+
+
+def test_repo_similarity_registry_conforms():
+    path = REPO_ROOT / "src/repro/similarity/registry.py"
+    assert check_similarity_registry(path) == []
+
+
+@pytest.mark.parametrize("model", ALL_MODELS)
+def test_every_model_builds_a_full_estimator_surface(model):
+    """Dynamic cross-check of what REP007 verifies statically: each
+    registered model yields a pipeline whose steps all expose the
+    search's required surface."""
+    space = build_config_space(models=(model,), forest_size=4)
+    config = space.sample(np.random.default_rng(0))
+    pipeline = build_pipeline(config, random_state=0)
+    for method in ("fit", "predict", "predict_proba"):
+        assert callable(getattr(pipeline, method))
+    for name, step in pipeline.pipeline.steps:
+        assert callable(getattr(step, "get_params")), name
+        assert callable(getattr(step, "set_params")), name
+        params = step.get_params()
+        assert isinstance(params, dict), name
