@@ -1,0 +1,26 @@
+"""Opt-in perf regression check for the indexed blockers.
+
+Skipped unless pytest is invoked with ``--perf`` (see conftest) so the
+tier-1 suite stays fast:
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_blocking.py --perf
+"""
+
+import json
+
+import pytest
+
+from bench_blocking import check_report, run_bench
+
+pytestmark = pytest.mark.perf
+
+
+def test_full_scale_gates_hold(tmp_path):
+    report = run_bench(n_records=2000, seed=0, naive_slice=300)
+    (tmp_path / "bench_blocking.json").write_text(
+        json.dumps(report, indent=2), encoding="utf-8")
+    assert check_report(report) == 0, report["blockers"]
+    for result in report["blockers"].values():
+        assert result["pair_completeness"] >= 0.98
+        assert result["reduction_ratio"] >= 0.95
+        assert result["speedup_vs_naive"] >= 10.0

@@ -11,6 +11,9 @@ Seven subcommands cover the common workflows without writing Python:
 * ``predict`` — score a pairs CSV with a saved bundle;
 * ``serve-batch`` — run the full blocking → featurize → predict path
   over two tables with a saved bundle;
+* ``block`` — run one blocker over two tables, report pair
+  completeness / reduction ratio, and optionally persist the standing
+  block index for reuse (see :mod:`repro.blocking`);
 * ``lint`` — run the AST-based reproducibility linter (REP rules)
   over source trees (see :mod:`repro.devtools`).
 """
@@ -112,6 +115,10 @@ _EXPERIMENTS = {
     "serving": "run_serving_study",
 }
 
+#: Experiments with their own (non ``config=``) signatures, dispatched
+#: by hand in :func:`_cmd_experiment`.
+_SPECIAL_EXPERIMENTS = ("fig3", "blocking")
+
 
 def _cmd_experiment(args) -> int:
     from . import experiments
@@ -120,6 +127,9 @@ def _cmd_experiment(args) -> int:
         tables = experiments.run_fig3(config=experiments.FAST)
         for table in tables.values():
             table.show()
+        return 0
+    if args.name == "blocking":
+        experiments.run_blocking_study().show()
         return 0
     runner = getattr(experiments, _EXPERIMENTS[args.name])
     table = runner(config=experiments.FAST)
@@ -244,6 +254,88 @@ def _cmd_serve_batch(args) -> int:
     return 0
 
 
+def _make_blocker(args):
+    """Construct the blocker the ``block`` command asked for."""
+    from .blocking import (
+        AttributeEquivalenceBlocker,
+        MinHashLSHBlocker,
+        OverlapBlocker,
+        QGramBlocker,
+    )
+
+    if args.blocker == "qgram":
+        return QGramBlocker(args.block_on, q=args.q,
+                            min_overlap=args.min_overlap,
+                            n_jobs=args.n_jobs)
+    if args.blocker == "minhash":
+        return MinHashLSHBlocker(args.block_on, num_perm=args.num_perm,
+                                 bands=args.bands,
+                                 random_state=args.random_state,
+                                 n_jobs=args.n_jobs)
+    if args.blocker == "overlap":
+        return OverlapBlocker(args.block_on, min_overlap=args.min_overlap)
+    return AttributeEquivalenceBlocker(args.block_on,
+                                       normalize=args.normalize)
+
+
+def _cmd_block(args) -> int:
+    from .blocking import evaluate_blocking, gold_pair_keys
+    from .blocking.indexed import IndexedBlocker
+
+    gold = None
+    if args.data_dir:
+        from .data.io import read_table
+
+        data = Path(args.data_dir)
+        table_a = read_table(data / "tableA.csv")
+        table_b = read_table(data / "tableB.csv")
+    else:
+        from .data.synthetic import load_benchmark
+
+        benchmark = load_benchmark(args.dataset, seed=args.seed,
+                                   scale=args.scale)
+        table_a, table_b = benchmark.table_a, benchmark.table_b
+        gold = gold_pair_keys(benchmark.pairs)
+    blocker = _make_blocker(args)
+    index = None
+    if isinstance(blocker, IndexedBlocker):
+        if args.index_path:
+            index = blocker.load_index_if_valid(args.index_path, table_b)
+            if index is not None:
+                print(f"reusing persisted index {args.index_path} "
+                      f"({index.num_records} records)")
+            else:
+                index = blocker.index(table_b)
+                index.save(args.index_path)
+                print(f"built and saved index {args.index_path} "
+                      f"({index.num_records} records)")
+        else:
+            index = blocker.index(table_b)
+    report = evaluate_blocking(blocker, table_a, table_b, gold,
+                               index=index, run_log=args.run_log,
+                               dataset=None if args.data_dir
+                               else args.dataset)
+    if args.output:
+        candidates = (index.probe(table_a) if index is not None
+                      else blocker.block(table_a, table_b))
+        from .data.io import write_pairs
+
+        write_pairs(candidates, args.output)
+        print(f"wrote {len(candidates)} candidate pairs to {args.output}")
+    completeness = (f"completeness={report.pair_completeness:.4f}  "
+                    if gold is not None else "")
+    print(f"{report.blocker}: "
+          f"{table_a.num_rows}x{table_b.num_rows} rows -> "
+          f"{report.num_candidates} candidates  "
+          f"reduction={report.reduction_ratio:.4f}  "
+          f"{completeness}elapsed={report.elapsed:.3f}s")
+    if report.block_sizes:
+        sizes = " ".join(f"{bucket}:{count}" for bucket, count
+                         in report.block_sizes.items())
+        print(f"block sizes: {sizes}")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     import sys
 
@@ -344,7 +436,8 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = commands.add_parser(
         "experiment", help="run one paper table/figure runner")
     experiment.add_argument("name",
-                            choices=("fig3", *sorted(_EXPERIMENTS)))
+                            choices=(*_SPECIAL_EXPERIMENTS,
+                                     *sorted(_EXPERIMENTS)))
 
     export = commands.add_parser(
         "export", help="train AutoML-EM and save a deployable bundle")
@@ -394,6 +487,44 @@ def build_parser() -> argparse.ArgumentParser:
                              help="attribute for the overlap blocker")
     serve_batch.add_argument("--min-overlap", type=int, default=1)
 
+    block = commands.add_parser(
+        "block",
+        help="run a blocker over two tables and report its quality")
+    block.add_argument("--blocker", default="qgram",
+                       choices=("qgram", "minhash", "overlap",
+                                "equivalence"))
+    block.add_argument("--data-dir", default=None,
+                       help="CSV directory with tableA.csv and tableB.csv "
+                            "(no gold pairs: completeness not reported)")
+    block.add_argument("--dataset", default="fodors_zagats",
+                       help="generated benchmark key (when no --data-dir)")
+    block.add_argument("--seed", type=int, default=0)
+    block.add_argument("--scale", type=float, default=1.0)
+    block.add_argument("--block-on", default="name",
+                       help="blocking attribute")
+    block.add_argument("--min-overlap", type=int, default=2,
+                       help="token overlap threshold (qgram / overlap)")
+    block.add_argument("--q", type=int, default=3,
+                       help="q-gram size (qgram)")
+    block.add_argument("--num-perm", type=int, default=128,
+                       help="minhash signature size (minhash)")
+    block.add_argument("--bands", type=int, default=32,
+                       help="LSH bands; bands x rows = num-perm (minhash)")
+    block.add_argument("--random-state", type=int, default=0,
+                       help="minhash permutation seed (minhash)")
+    block.add_argument("--normalize", action="store_true",
+                       help="case/whitespace-normalized comparison "
+                            "(equivalence)")
+    block.add_argument("--n-jobs", type=int, default=1,
+                       help="index-build workers (-1 = all cores)")
+    block.add_argument("--index-path", default=None,
+                       help="persist / reuse the standing block index at "
+                            "this path (qgram / minhash)")
+    block.add_argument("--run-log", default=None,
+                       help="append one JSONL blocking record here")
+    block.add_argument("--output", default=None,
+                       help="write the candidate pairs CSV here")
+
     lint = commands.add_parser(
         "lint", help="run the AST-based reproducibility linter")
     lint.add_argument("paths", nargs="*",
@@ -423,6 +554,7 @@ def main(argv: list[str] | None = None) -> int:
         "export": _cmd_export,
         "predict": _cmd_predict,
         "serve-batch": _cmd_serve_batch,
+        "block": _cmd_block,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

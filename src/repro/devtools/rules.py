@@ -32,12 +32,23 @@ class UnseededRandomness(Rule):
     reuse stop being deterministic the moment one sneaks in.  Methods
     on an injected ``np.random.Generator`` (``rng.choice(...)``) are
     fine and are not flagged.
+
+    Constructing a generator *without a seed* is flagged too:
+    ``np.random.default_rng()`` / ``RandomState()`` / ``random.Random()``
+    with no arguments seed from OS entropy, so everything derived from
+    them — minhash permutations, LSH buckets, sampled trials — changes
+    every run while looking injected.
     """
 
     code = "REP001"
     summary = "unseeded global randomness"
     hint = ("thread a seeded np.random.Generator through instead "
             "(np.random.default_rng(seed) / a random_state parameter)")
+
+    @staticmethod
+    def _is_unseeded_construction(node: ast.Call) -> bool:
+        """A generator construction with no seed material at all."""
+        return not node.args and not node.keywords
 
     def check(self, ctx: ModuleContext) -> Iterator[Violation]:
         imports = ImportMap.of(ctx.tree)
@@ -48,18 +59,28 @@ class UnseededRandomness(Rule):
             if dotted is None:
                 continue
             parts = dotted.split(".")
-            if (parts[:2] == ["numpy", "random"] and len(parts) > 2
-                    and parts[2] not in _SEEDED_CONSTRUCTORS):
-                yield self.violation(
-                    ctx, node,
-                    f"call to {dotted} draws from numpy's hidden global "
-                    f"random state")
-            elif (parts[0] == "random" and len(parts) > 1
-                    and parts[1] not in _SEEDED_RANDOM_CLASSES):
-                yield self.violation(
-                    ctx, node,
-                    f"call to {dotted} draws from the stdlib's hidden "
-                    f"global random state")
+            if parts[:2] == ["numpy", "random"] and len(parts) > 2:
+                if parts[2] not in _SEEDED_CONSTRUCTORS:
+                    yield self.violation(
+                        ctx, node,
+                        f"call to {dotted} draws from numpy's hidden "
+                        f"global random state")
+                elif self._is_unseeded_construction(node):
+                    yield self.violation(
+                        ctx, node,
+                        f"{dotted}() without a seed draws its state from "
+                        f"OS entropy; pass an explicit seed")
+            elif parts[0] == "random" and len(parts) > 1:
+                if parts[1] not in _SEEDED_RANDOM_CLASSES:
+                    yield self.violation(
+                        ctx, node,
+                        f"call to {dotted} draws from the stdlib's hidden "
+                        f"global random state")
+                elif self._is_unseeded_construction(node):
+                    yield self.violation(
+                        ctx, node,
+                        f"{dotted}() without a seed draws its state from "
+                        f"OS entropy; pass an explicit seed")
 
 
 #: Canonical call targets whose result depends on the wall clock, the

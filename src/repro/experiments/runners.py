@@ -79,6 +79,16 @@ def _next_run_log() -> Path | None:
     return RUN_LOG_DIR / f"automl-run-{next(_RUN_LOG_COUNT):04d}.jsonl"
 
 
+_BLOCKING_LOG_COUNT = count()
+
+
+def _next_blocking_log() -> Path | None:
+    if RUN_LOG_DIR is None:
+        return None
+    return RUN_LOG_DIR / (f"blocking-run-"
+                          f"{next(_BLOCKING_LOG_COUNT):04d}.jsonl")
+
+
 def load_bundle(name: str, config: ExperimentConfig = FAST,
                 generator_seed: int = 1, n_jobs: int = 1) -> DatasetBundle:
     """Load (or reuse) a generated benchmark bundle.

@@ -71,6 +71,14 @@ class TokenCache(dict):
             self.clear()
         super().__setitem__(key, value)
 
+    def __reduce__(self) -> tuple:
+        # The default dict-subclass pickling restores items through
+        # __setitem__ *before* __init__ runs, when max_entries does not
+        # exist yet; reconstruct through the constructor instead.  Cached
+        # entries are deliberately dropped — a memo is cheap to refill
+        # and only bloats pickled blockers and persisted block indexes.
+        return (type(self), (self.max_entries,))
+
 
 def resolve_n_jobs(n_jobs: int | None) -> int:
     """Normalize an ``n_jobs`` knob: ``None``->1, negatives count from

@@ -14,22 +14,29 @@ serving session.
 candidate-pair batches as they arrive; every request is timed and
 counted in a :class:`~repro.serve.telemetry.ServeMetrics`, and
 optionally appended to a JSONL
-:class:`~repro.serve.telemetry.RequestLog`.
+:class:`~repro.serve.telemetry.RequestLog`.  Given a standing
+:class:`~repro.blocking.index.BlockIndex`, a stream can also accept raw
+*records* (:meth:`StreamMatcher.submit_records`): each batch is blocked
+against the index — no per-batch re-indexing of the catalog table — and
+the index itself can grow between batches via
+:meth:`StreamMatcher.extend_index`.
 """
 
 from __future__ import annotations
 
 import itertools
 import time
+from collections.abc import Iterable
 from dataclasses import dataclass
 from pathlib import Path
 from types import TracebackType
-from typing import Protocol
+from typing import Protocol, Union
 
 import numpy as np
 
+from ..blocking.index import BlockIndex
 from ..data.pairs import PairSet
-from ..data.table import Table
+from ..data.table import Record, Table
 from ..features.cache import FeatureMatrixCache
 from ..ml.metrics import precision_recall_f1
 from .bundle import ModelBundle
@@ -209,6 +216,15 @@ class StreamMatcher(_MatcherBase):
     cache persists across requests, so a hot stream stops re-tokenizing
     recurring values.
 
+    With a standing ``index`` (a :class:`~repro.blocking.index.BlockIndex`
+    over the catalog table, built once or loaded from disk), the stream
+    also accepts raw record batches: :meth:`submit_records` blocks each
+    batch against the index and scores the candidates, and
+    :meth:`extend_index` folds newly arrived catalog records into the
+    live index.  Because the index is incremental, blocking a batch this
+    way returns exactly the pairs a from-scratch ``blocker.block(batch,
+    catalog)`` would.
+
     >>> with StreamMatcher(bundle, request_log="serve.jsonl") as matcher:
     ...     for batch in incoming_batches:
     ...         result = matcher.submit(batch)
@@ -216,6 +232,7 @@ class StreamMatcher(_MatcherBase):
     """
 
     def __init__(self, bundle: ModelBundle, *,
+                 index: BlockIndex | None = None,
                  max_batch_rows: int | None = None, n_jobs: int = 1,
                  cache: FeatureMatrixCache | bool | None = None,
                  request_log: RequestLog | str | Path | None = None):
@@ -225,7 +242,47 @@ class StreamMatcher(_MatcherBase):
             raise ValueError(
                 f"max_batch_rows must be >= 1, got {max_batch_rows}")
         self.max_batch_rows = max_batch_rows
+        self.index = index
 
     def submit(self, pairs: PairSet) -> MatchResult:
         """Score one incoming batch of candidate pairs."""
         return self._serve(pairs, self.max_batch_rows, kind="stream")
+
+    def _as_table(self, records: Union[Table, Iterable[Record]]) -> Table:
+        """Coerce an incoming record batch to a probe-side Table."""
+        if isinstance(records, Table):
+            return records
+        batch = list(records)
+        if not batch:
+            raise ValueError("submit_records needs at least one record")
+        return Table("stream-batch", batch[0].columns,
+                     [list(record.values) for record in batch],
+                     ids=[record.record_id for record in batch])
+
+    def submit_records(self, records: Union[Table, Iterable[Record]]
+                       ) -> MatchResult:
+        """Block one incoming record batch against the standing index
+        and score the resulting candidate pairs.
+
+        Requires the matcher to have been constructed with ``index=``.
+        Probing reuses the index as-is — the catalog table is never
+        re-indexed — so a hot stream's per-batch blocking cost is
+        proportional to the batch, not the catalog.
+        """
+        if self.index is None:
+            raise ValueError(
+                "StreamMatcher.submit_records needs a standing block "
+                "index; construct with index=blocker.index(catalog) or "
+                "index=BlockIndex.load(path)")
+        candidates = self.index.probe(self._as_table(records))
+        return self._serve(candidates, self.max_batch_rows, kind="stream")
+
+    def extend_index(self, records: Union[Table, Iterable[Record]]) -> int:
+        """Fold newly arrived catalog records into the standing index;
+        returns how many were added.  Subsequent :meth:`submit_records`
+        batches see the new records immediately."""
+        if self.index is None:
+            raise ValueError(
+                "StreamMatcher.extend_index needs a standing block "
+                "index; construct with index=...")
+        return self.index.add_records(records)

@@ -8,10 +8,22 @@ alphanumeric tokenizer used by the blocking substrate.
 
 from __future__ import annotations
 
+import hashlib
 import re
 from typing import Callable
 
 _ALNUM_RE = re.compile(r"[a-z0-9]+")
+
+
+def stable_token_hash(token: str) -> int:
+    """A 64-bit hash of ``token`` that is stable across processes.
+
+    The builtin ``hash(str)`` is salted per process (PYTHONHASHSEED),
+    so anything persisted or compared across runs — minhash signatures,
+    LSH bucket keys — must hash tokens through this instead.
+    """
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
 
 
 def whitespace_tokenize(text: str) -> list[str]:
@@ -81,3 +93,16 @@ class Tokenizer:
 SPACE = Tokenizer("space", whitespace_tokenize)
 QGRAM3 = Tokenizer("3gram", qgram_tokenize, q=3)
 ALNUM = Tokenizer("alnum", alphanumeric_tokenize)
+
+
+def qgram_tokenizer(q: int) -> Tokenizer:
+    """The named q-gram :class:`Tokenizer` for any ``q >= 1``.
+
+    Returns the shared :data:`QGRAM3` instance for ``q == 3`` so token
+    caches keyed by tokenizer name collapse onto one entry family.
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    if q == 3:
+        return QGRAM3
+    return Tokenizer(f"{q}gram", qgram_tokenize, q=q)

@@ -1,0 +1,39 @@
+"""Tier-1 smoke of ``benchmarks/bench_blocking.py --check``.
+
+Runs the bench end to end at small scale: workload generation, the
+naive-vs-indexed parity assertion, quality gates and report writing all
+execute on every test run.  The 10x speedup gate only applies at full
+scale (see ``FULL_SCALE`` in the bench), so this stays fast and
+machine-independent; the strict check is the opt-in perf marker in
+``benchmarks/test_bench_blocking.py``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "benchmarks"))
+
+from bench_blocking import FULL_SCALE, build_workload, main  # noqa: E402
+
+
+def test_check_mode_passes_at_smoke_scale(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    assert main(["--records", "300", "--naive-slice", "120",
+                 "--output", str(out), "--check"]) == 0
+    report = json.loads(out.read_text())
+    assert report["workload"]["n_records"] == 300 < FULL_SCALE
+    for name in ("qgram", "minhash_lsh"):
+        result = report["blockers"][name]
+        assert result["pair_completeness"] >= 0.98
+        assert result["reduction_ratio"] >= 0.95
+        assert not {"index_seconds", "probe_seconds"} - \
+            result["indexed"].keys()
+
+
+def test_workload_is_deterministic():
+    a1, b1, gold1 = build_workload(50, seed=3)
+    a2, b2, gold2 = build_workload(50, seed=3)
+    assert [r["name"] for r in a1] == [r["name"] for r in a2]
+    assert [r["name"] for r in b1] == [r["name"] for r in b2]
+    assert gold1 == gold2 == {(i, i) for i in range(50)}

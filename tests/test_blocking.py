@@ -167,3 +167,99 @@ class TestBlockingRecall:
                                              small_benchmark.table_b)
         # most true matches share at least one name token
         assert blocking_recall(pairs, gold) > 0.8
+
+
+class TestNormalizedEquivalence:
+    """Satellite: optional case/whitespace normalization (PR 5)."""
+
+    @pytest.fixture()
+    def messy_tables(self):
+        a = Table("A", ["name", "city"], [
+            ["x", "New  York"],
+            ["y", "Los Angeles"],
+            ["z", None],
+        ])
+        b = Table("B", ["name", "city"], [
+            ["p", "new york"],
+            ["q", "los  angeles "],
+            ["r", "New  York"],
+        ])
+        return a, b
+
+    def test_default_is_bit_exact(self, messy_tables):
+        a, b = messy_tables
+        pairs = AttributeEquivalenceBlocker("city").block(a, b)
+        assert {p.key for p in pairs} == {(0, 2)}
+
+    def test_normalize_folds_case_and_whitespace(self, messy_tables):
+        a, b = messy_tables
+        blocker = AttributeEquivalenceBlocker("city", normalize=True)
+        pairs = blocker.block(a, b)
+        assert {p.key for p in pairs} == {(0, 0), (0, 2), (1, 1)}
+
+    def test_missing_values_never_pair(self, messy_tables):
+        a, b = messy_tables
+        blocker = AttributeEquivalenceBlocker("city", normalize=True)
+        assert all(p.left.record_id != 2 for p in blocker.block(a, b))
+
+    def test_admits_matches_block(self, messy_tables):
+        a, b = messy_tables
+        for normalize in (False, True):
+            blocker = AttributeEquivalenceBlocker("city",
+                                                  normalize=normalize)
+            blocked = {p.key for p in blocker.block(a, b)}
+            admitted = {(left.record_id, right.record_id)
+                        for left in a for right in b
+                        if blocker.admits(left, right)}
+            assert blocked == admitted
+
+
+class TestConstructorValidation:
+    """Satellite: clear ValueErrors for bad blocker arguments (PR 5)."""
+
+    def test_empty_attribute_rejected(self):
+        from repro.blocking import MinHashLSHBlocker, QGramBlocker
+
+        for factory in (AttributeEquivalenceBlocker, OverlapBlocker,
+                        QGramBlocker, MinHashLSHBlocker):
+            with pytest.raises(ValueError, match="attribute"):
+                factory("")
+
+    def test_qgram_validation(self):
+        from repro.blocking import QGramBlocker
+
+        with pytest.raises(ValueError, match="q must be >= 2"):
+            QGramBlocker("name", q=1)
+        with pytest.raises(ValueError, match="min_overlap"):
+            QGramBlocker("name", min_overlap=0)
+
+    def test_minhash_band_validation(self):
+        from repro.blocking import MinHashLSHBlocker
+
+        with pytest.raises(ValueError, match="bands must divide"):
+            MinHashLSHBlocker("name", num_perm=100, bands=32)
+        with pytest.raises(ValueError, match="bands x rows"):
+            MinHashLSHBlocker("name", num_perm=128, bands=32, rows=5)
+        with pytest.raises(ValueError, match="num_perm"):
+            MinHashLSHBlocker("name", num_perm=0)
+        with pytest.raises(ValueError, match="bands"):
+            MinHashLSHBlocker("name", bands=0)
+
+    def test_minhash_explicit_rows_accepted(self):
+        from repro.blocking import MinHashLSHBlocker
+
+        blocker = MinHashLSHBlocker("name", num_perm=128, bands=32, rows=4)
+        assert blocker.rows == 4
+
+
+class TestFilterPairs:
+    def test_filter_keeps_labels(self, tables):
+        a, b = tables
+        loose = OverlapBlocker("name", min_overlap=1).block(a, b)
+        labeled = type(loose)(loose.table_a, loose.table_b,
+                              [p.with_label(1) for p in loose])
+        strict = OverlapBlocker("name", min_overlap=2)
+        kept = strict.filter_pairs(labeled)
+        assert {p.key for p in kept} <= {p.key for p in labeled}
+        assert all(p.label == 1 for p in kept)
+        assert all(strict.admits(p.left, p.right) for p in kept)

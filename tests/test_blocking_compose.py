@@ -1,0 +1,173 @@
+"""Composition algebra: union, intersection, cascade and the operators."""
+
+import pytest
+
+from repro.blocking import (
+    AttributeEquivalenceBlocker,
+    CascadeBlocker,
+    IntersectionBlocker,
+    MinHashLSHBlocker,
+    OverlapBlocker,
+    QGramBlocker,
+    UnionBlocker,
+)
+from repro.data import Table
+
+
+@pytest.fixture()
+def tables():
+    a = Table("A", ["name", "city"], [
+        ["arnie mortons", "los angeles"],
+        ["arts deli", "studio city"],
+        ["cafe bizou", "sherman oaks"],
+        ["spago", "los angeles"],
+        [None, "pasadena"],
+    ])
+    b = Table("B", ["name", "city"], [
+        ["arnie mortons of chicago", "los angeles"],
+        ["arts delicatessen", "studio city"],
+        ["cafe bizou", "sherman oaks"],
+        ["spago la", "los angeles"],
+        ["granita", "malibu"],
+    ])
+    return a, b
+
+
+def keys(pairs):
+    return [p.key for p in pairs]
+
+
+class TestSetAlgebra:
+    def test_union_is_set_union(self, tables):
+        a, b = tables
+        name = QGramBlocker("name", min_overlap=2)
+        city = AttributeEquivalenceBlocker("city")
+        union = UnionBlocker(name, city)
+        assert set(keys(union.block(a, b))) == (
+            set(keys(name.block(a, b))) | set(keys(city.block(a, b))))
+
+    def test_intersection_is_set_intersection(self, tables):
+        a, b = tables
+        name = QGramBlocker("name", min_overlap=2)
+        city = AttributeEquivalenceBlocker("city")
+        inter = IntersectionBlocker(name, city)
+        assert set(keys(inter.block(a, b))) == (
+            set(keys(name.block(a, b))) & set(keys(city.block(a, b))))
+
+    def test_cascade_equals_intersection_pairs(self, tables):
+        """A cascade admits exactly what the intersection admits — the
+        difference is cost, not result."""
+        a, b = tables
+        cheap = OverlapBlocker("name", min_overlap=1)
+        strict = QGramBlocker("name", min_overlap=4)
+        cascade = CascadeBlocker(cheap, strict)
+        inter = IntersectionBlocker(cheap, strict)
+        assert set(keys(cascade.block(a, b))) == set(keys(inter.block(a, b)))
+
+    def test_union_no_duplicates_first_occurrence_order(self, tables):
+        a, b = tables
+        name = QGramBlocker("name", min_overlap=1)
+        union = UnionBlocker(name, AttributeEquivalenceBlocker("city"))
+        got = keys(union.block(a, b))
+        assert len(got) == len(set(got))
+        # Keys from the first member come first, in its own order.
+        first = keys(name.block(a, b))
+        assert got[:len(first)] == first
+
+    def test_composite_block_matches_admits(self, tables):
+        a, b = tables
+        composites = [
+            UnionBlocker(QGramBlocker("name", min_overlap=2),
+                         AttributeEquivalenceBlocker("city")),
+            IntersectionBlocker(QGramBlocker("name", min_overlap=2),
+                                AttributeEquivalenceBlocker("city")),
+            CascadeBlocker(OverlapBlocker("name", min_overlap=1),
+                           QGramBlocker("name", min_overlap=3)),
+        ]
+        for composite in composites:
+            expected = {(left.record_id, right.record_id)
+                        for left in a for right in b
+                        if composite.admits(left, right)}
+            assert set(keys(composite.block(a, b))) == expected
+
+
+class TestOperators:
+    def test_or_builds_union(self):
+        combined = QGramBlocker("name") | AttributeEquivalenceBlocker("city")
+        assert isinstance(combined, UnionBlocker)
+        assert len(combined.blockers) == 2
+
+    def test_and_builds_intersection(self):
+        combined = QGramBlocker("name") & AttributeEquivalenceBlocker("city")
+        assert isinstance(combined, IntersectionBlocker)
+
+    def test_rshift_builds_cascade(self):
+        combined = OverlapBlocker("name") >> QGramBlocker("name",
+                                                          min_overlap=3)
+        assert isinstance(combined, CascadeBlocker)
+
+    def test_chained_union_flattens(self):
+        three = (QGramBlocker("name")
+                 | AttributeEquivalenceBlocker("city")
+                 | OverlapBlocker("name"))
+        assert isinstance(three, UnionBlocker)
+        assert len(three.blockers) == 3
+
+    def test_chained_cascade_flattens(self):
+        three = (OverlapBlocker("name")
+                 >> QGramBlocker("name", min_overlap=2)
+                 >> QGramBlocker("name", min_overlap=4))
+        assert isinstance(three, CascadeBlocker)
+        assert len(three.blockers) == 3
+        assert isinstance(three.first, OverlapBlocker)
+
+    def test_mixed_kinds_nest_instead_of_flattening(self):
+        union = QGramBlocker("name") | AttributeEquivalenceBlocker("city")
+        nested = union & OverlapBlocker("name")
+        assert isinstance(nested, IntersectionBlocker)
+        assert len(nested.blockers) == 2
+        assert isinstance(nested.blockers[0], UnionBlocker)
+
+    def test_operator_with_non_blocker_raises(self):
+        with pytest.raises(TypeError):
+            QGramBlocker("name") | "city"  # noqa: B018
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kind", (UnionBlocker, IntersectionBlocker))
+    def test_fewer_than_two_blockers_rejected(self, kind):
+        with pytest.raises(ValueError, match="at least 2"):
+            kind(QGramBlocker("name"))
+
+    @pytest.mark.parametrize("kind", (UnionBlocker, IntersectionBlocker))
+    def test_non_blocker_operand_rejected(self, kind):
+        with pytest.raises(TypeError, match="must be blockers"):
+            kind(QGramBlocker("name"), "not a blocker")
+
+    def test_cascade_requires_a_filter_stage(self):
+        with pytest.raises(ValueError, match="at least one filter"):
+            CascadeBlocker(QGramBlocker("name"))
+
+    def test_cascade_rejects_non_blocker_stage(self):
+        with pytest.raises(TypeError, match="must be blockers"):
+            CascadeBlocker(QGramBlocker("name"), object())
+
+
+class TestParallel:
+    def test_parallel_union_equals_sequential(self, tables):
+        a, b = tables
+        members = (QGramBlocker("name", min_overlap=2),
+                   MinHashLSHBlocker("name", num_perm=16, bands=4,
+                                     random_state=0),
+                   AttributeEquivalenceBlocker("city"))
+        sequential = UnionBlocker(*members, n_jobs=1)
+        parallel = UnionBlocker(*members, n_jobs=2)
+        assert keys(parallel.block(a, b)) == keys(sequential.block(a, b))
+
+    def test_parallel_intersection_equals_sequential(self, tables):
+        a, b = tables
+        members = (QGramBlocker("name", min_overlap=1),
+                   AttributeEquivalenceBlocker("city"))
+        sequential = IntersectionBlocker(*members, n_jobs=1)
+        parallel = IntersectionBlocker(*members, n_jobs=2)
+        assert keys(parallel.block(a, b)) == keys(sequential.block(a, b))

@@ -1,0 +1,229 @@
+"""BlockIndex: persistence, invalidation, incremental growth, parallel."""
+
+import pickle
+
+import pytest
+
+from repro.blocking import (
+    BlockIndex,
+    BlockIndexError,
+    MinHashLSHBlocker,
+    QGramBlocker,
+    table_chain_fingerprint,
+)
+from repro.data import Table
+
+
+@pytest.fixture()
+def catalog():
+    return Table("B", ["name", "city"], [
+        ["arnie mortons of chicago", "los angeles"],
+        ["arts delicatessen", "studio city"],
+        ["cafe bizou", "sherman oaks"],
+        ["spago la", "los angeles"],
+        [None, "glendale"],
+    ])
+
+
+@pytest.fixture()
+def probes():
+    return Table("A", ["name", "city"], [
+        ["arnie mortons", "los angeles"],
+        ["arts deli", "studio city"],
+        ["cafe bizou", "sherman oaks"],
+        ["spago", "los angeles"],
+    ])
+
+
+def probe_keys(index, probes):
+    return [p.key for p in index.probe(probes)]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("make_blocker", (
+        lambda: QGramBlocker("name", q=3, min_overlap=2),
+        lambda: MinHashLSHBlocker("name", num_perm=32, bands=8,
+                                  random_state=4),
+    ))
+    def test_save_load_probe_parity(self, tmp_path, catalog, probes,
+                                    make_blocker):
+        blocker = make_blocker()
+        index = blocker.index(catalog)
+        path = tmp_path / "standing.idx"
+        index.save(path)
+        loaded = BlockIndex.load(path)
+        assert probe_keys(loaded, probes) == probe_keys(index, probes)
+        assert loaded.fingerprint == index.fingerprint
+        assert loaded.num_records == index.num_records
+
+    def test_loaded_index_is_self_contained(self, tmp_path, catalog,
+                                            probes):
+        """The blocker travels with the index: a loaded index keeps
+        serving probes and growing without reconstructing config."""
+        index = QGramBlocker("name", min_overlap=2).index(catalog)
+        path = tmp_path / "standing.idx"
+        index.save(path)
+        loaded = BlockIndex.load(path)
+        assert loaded.blocker.min_overlap == 2
+        extra = Table("B", ["name", "city"],
+                      [["spago beverly hills", "beverly hills"]], ids=[99])
+        loaded.add_records(extra)
+        assert any(right == 99 for _, right in probe_keys(loaded, probes))
+
+
+class TestIncrementalParity:
+    def test_add_records_in_batches_equals_one_pass(self, catalog, probes):
+        blocker = QGramBlocker("name", min_overlap=2)
+        one_pass = blocker.index(catalog)
+        grown = BlockIndex(blocker, table_name=catalog.name,
+                           columns=catalog.columns)
+        records = list(catalog)
+        grown.add_records(records[:2])
+        grown.add_records(records[2:])
+        assert grown.fingerprint == one_pass.fingerprint
+        assert probe_keys(grown, probes) == probe_keys(one_pass, probes)
+
+    def test_incremental_fingerprint_matches_table_chain(self, catalog):
+        index = MinHashLSHBlocker("name", num_perm=16, bands=4,
+                                  random_state=0).index(catalog)
+        assert index.fingerprint == table_chain_fingerprint(catalog)
+
+    def test_save_after_growth_still_validates(self, tmp_path, catalog,
+                                               probes):
+        """An index grown incrementally then saved must be reusable for
+        the concatenated table (the from-scratch fingerprint)."""
+        blocker = QGramBlocker("name", min_overlap=2)
+        index = BlockIndex(blocker, table_name=catalog.name,
+                           columns=catalog.columns)
+        records = list(catalog)
+        index.add_records(records[:3])
+        index.add_records(records[3:])
+        path = tmp_path / "grown.idx"
+        index.save(path)
+        reused = blocker.load_index_if_valid(path, catalog)
+        assert reused is not None
+        assert probe_keys(reused, probes) == probe_keys(index, probes)
+
+    def test_as_table_snapshot_tracks_growth(self, catalog):
+        index = QGramBlocker("name").index(catalog)
+        before = index.as_table()
+        assert before.fingerprint == catalog.fingerprint
+        index.add_records(Table("B", ["name", "city"],
+                                [["granita", "malibu"]], ids=[77]))
+        after = index.as_table()
+        assert after.num_rows == before.num_rows + 1
+        assert after.fingerprint != before.fingerprint
+
+
+class TestInvalidation:
+    def test_param_change_invalidates(self, tmp_path, catalog):
+        QGramBlocker("name", min_overlap=2).index(catalog).save(
+            tmp_path / "i.idx")
+        other = QGramBlocker("name", min_overlap=3)
+        assert other.load_index_if_valid(tmp_path / "i.idx", catalog) is None
+
+    def test_table_change_invalidates(self, tmp_path, catalog):
+        blocker = QGramBlocker("name", min_overlap=2)
+        blocker.index(catalog).save(tmp_path / "i.idx")
+        changed = Table("B", catalog.columns,
+                        [list(r.values) for r in list(catalog)[:-1]],
+                        ids=[r.record_id for r in list(catalog)[:-1]])
+        assert blocker.load_index_if_valid(tmp_path / "i.idx",
+                                           changed) is None
+
+    def test_build_or_load_reuses_then_rebuilds(self, tmp_path, catalog):
+        path = tmp_path / "i.idx"
+        blocker = QGramBlocker("name", min_overlap=2)
+        first = blocker.build_or_load(catalog, path)
+        reloaded = blocker.build_or_load(catalog, path)
+        assert reloaded.fingerprint == first.fingerprint
+        stricter = QGramBlocker("name", min_overlap=3)
+        rebuilt = stricter.build_or_load(catalog, path)
+        assert rebuilt.blocker.min_overlap == 3
+        # The rebuild overwrote the file for the new configuration.
+        assert stricter.load_index_if_valid(path, catalog) is not None
+
+    def test_minhash_seed_is_part_of_the_fingerprint(self, tmp_path,
+                                                     catalog):
+        path = tmp_path / "m.idx"
+        MinHashLSHBlocker("name", num_perm=16, bands=4,
+                          random_state=0).index(catalog).save(path)
+        reseeded = MinHashLSHBlocker("name", num_perm=16, bands=4,
+                                     random_state=1)
+        assert reseeded.load_index_if_valid(path, catalog) is None
+
+    def test_missing_file_is_not_valid(self, tmp_path, catalog):
+        blocker = QGramBlocker("name")
+        assert blocker.load_index_if_valid(tmp_path / "nope.idx",
+                                           catalog) is None
+
+
+class TestCorruption:
+    def test_garbage_file_raises(self, tmp_path):
+        path = tmp_path / "garbage.idx"
+        path.write_bytes(b"not a pickle")
+        with pytest.raises(BlockIndexError):
+            BlockIndex.load(path)
+
+    def test_wrong_payload_type_raises(self, tmp_path):
+        path = tmp_path / "list.idx"
+        path.write_bytes(pickle.dumps([1, 2, 3]))
+        with pytest.raises(BlockIndexError, match="block index"):
+            BlockIndex.load(path)
+
+    def test_format_version_mismatch_raises(self, tmp_path, catalog):
+        index = QGramBlocker("name").index(catalog)
+        path = tmp_path / "v0.idx"
+        index.save(path)
+        payload = pickle.loads(path.read_bytes())
+        payload["format_version"] = 0
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(BlockIndexError, match="format"):
+            BlockIndex.load(path)
+
+    def test_tampered_fingerprint_raises(self, tmp_path, catalog):
+        index = QGramBlocker("name").index(catalog)
+        path = tmp_path / "tampered.idx"
+        index.save(path)
+        payload = pickle.loads(path.read_bytes())
+        payload["content_fingerprint"] = "0" * 40
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(BlockIndexError, match="fingerprint"):
+            BlockIndex.load(path)
+
+
+class TestRegistration:
+    def test_duplicate_id_rejected(self, catalog):
+        index = QGramBlocker("name").index(catalog)
+        with pytest.raises(ValueError, match="already indexed"):
+            index.add_records(Table("B", ["name", "city"],
+                                    [["dup", "dup"]], ids=[0]))
+
+    def test_schema_mismatch_rejected(self, catalog):
+        index = QGramBlocker("name").index(catalog)
+        with pytest.raises(ValueError, match="schema"):
+            index.add_records(Table("B", ["name"], [["solo"]], ids=[50]))
+
+    def test_block_sizes_nonempty(self, catalog):
+        index = QGramBlocker("name").index(catalog)
+        sizes = index.block_sizes()
+        assert sizes and all(s >= 1 for s in sizes)
+
+
+class TestParallelBuild:
+    def test_parallel_build_equals_sequential(self, small_benchmark,
+                                              monkeypatch):
+        import repro.blocking.indexed as indexed
+
+        monkeypatch.setattr(indexed, "PARALLEL_MIN_INDEX_RECORDS", 1)
+        monkeypatch.setattr(indexed, "_MIN_INDEX_CHUNK", 8)
+        a, b = small_benchmark.table_a, small_benchmark.table_b
+        for make in (lambda n: QGramBlocker("name", min_overlap=2,
+                                            n_jobs=n),
+                     lambda n: MinHashLSHBlocker("name", num_perm=16,
+                                                 bands=4, random_state=0,
+                                                 n_jobs=n)):
+            sequential = make(1).index(b)
+            parallel = make(2).index(b)
+            assert parallel.fingerprint == sequential.fingerprint
+            assert probe_keys(parallel, a) == probe_keys(sequential, a)

@@ -1,0 +1,184 @@
+"""Indexed blockers: exact equivalence to naive filters + determinism."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.blocking import MinHashLSHBlocker, QGramBlocker
+from repro.data import MATCH, Table
+from repro.similarity.tokenizers import qgram_tokenize
+
+
+@pytest.fixture()
+def tables():
+    a = Table("A", ["name", "city"], [
+        ["arnie mortons", "los angeles"],
+        ["arts deli", "studio city"],
+        ["fenix at the argyle", "hollywood"],
+        ["cafe bizou", "sherman oaks"],
+        [None, "pasadena"],
+        ["spago", "los angeles"],
+    ])
+    b = Table("B", ["name", "city"], [
+        ["arnie mortons of chicago", "los angeles"],
+        ["arts delicatessen", "studio city"],
+        ["fenix", "hollywood"],
+        ["cafe bizou", "sherman oaks"],
+        ["spago la", "los angeles"],
+        [None, "glendale"],
+        ["granita", "malibu"],
+    ])
+    return a, b
+
+
+def naive_pairs(blocker, table_a, table_b):
+    """The O(n*m) reference: every pair the blocker's predicate admits."""
+    return {(left.record_id, right.record_id)
+            for left in table_a for right in table_b
+            if blocker.admits(left, right)}
+
+
+class TestQGramEquivalence:
+    """The prefix-filter index returns exactly the naive filter's pairs."""
+
+    @pytest.mark.parametrize("q", (2, 3))
+    @pytest.mark.parametrize("min_overlap", (1, 2, 3, 6))
+    def test_matches_naive_reference(self, tables, q, min_overlap):
+        a, b = tables
+        blocker = QGramBlocker("name", q=q, min_overlap=min_overlap)
+        got = {p.key for p in blocker.block(a, b)}
+        assert got == naive_pairs(blocker, a, b)
+
+    def test_naive_reference_is_qgram_overlap(self, tables):
+        """admits() itself is the plain q-gram set-overlap definition."""
+        a, b = tables
+        blocker = QGramBlocker("name", q=3, min_overlap=2)
+        for left in a:
+            for right in b:
+                lv, rv = left["name"], right["name"]
+                expected = (lv is not None and rv is not None
+                            and len(set(qgram_tokenize(str(lv), q=3))
+                                    & set(qgram_tokenize(str(rv), q=3)))
+                            >= 2)
+                assert blocker.admits(left, right) == expected
+
+    def test_no_duplicate_pairs(self, tables):
+        a, b = tables
+        keys = [p.key for p in QGramBlocker("name").block(a, b)]
+        assert len(keys) == len(set(keys))
+
+    def test_output_order_deterministic(self, tables):
+        a, b = tables
+        first = [p.key for p in QGramBlocker("name", min_overlap=2)
+                 .block(a, b)]
+        second = [p.key for p in QGramBlocker("name", min_overlap=2)
+                  .block(a, b)]
+        assert first == second
+
+    def test_strict_threshold_prunes(self, tables):
+        a, b = tables
+        loose = {p.key for p in QGramBlocker("name", min_overlap=1)
+                 .block(a, b)}
+        strict = {p.key for p in QGramBlocker("name", min_overlap=4)
+                  .block(a, b)}
+        assert strict < loose
+
+    def test_benchmark_equivalence(self, small_benchmark):
+        a, b = small_benchmark.table_a, small_benchmark.table_b
+        blocker = QGramBlocker("name", q=3, min_overlap=4)
+        got = {p.key for p in blocker.block(a, b)}
+        assert got == naive_pairs(blocker, a, b)
+
+
+class TestMinHashEquivalence:
+    """LSH banding block() == its own admits() predicate, exactly."""
+
+    def test_matches_naive_reference(self, tables):
+        a, b = tables
+        blocker = MinHashLSHBlocker("name", num_perm=32, bands=8,
+                                    random_state=5)
+        got = {p.key for p in blocker.block(a, b)}
+        assert got == naive_pairs(blocker, a, b)
+
+    def test_identical_values_always_pair(self, tables):
+        a, b = tables
+        blocker = MinHashLSHBlocker("name", num_perm=16, bands=4,
+                                    random_state=0)
+        keys = {p.key for p in blocker.block(a, b)}
+        assert (3, 3) in keys  # "cafe bizou" on both sides
+
+    def test_missing_values_never_pair(self, tables):
+        a, b = tables
+        pairs = MinHashLSHBlocker("name", random_state=1).block(a, b)
+        assert all(p.left.record_id != 4 and p.right.record_id != 5
+                   for p in pairs)
+
+
+class TestMinHashDeterminism:
+    def test_same_seed_same_pairs(self, tables):
+        a, b = tables
+        runs = [
+            [p.key for p in MinHashLSHBlocker(
+                "name", num_perm=64, bands=16, random_state=9).block(a, b)]
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_different_seeds_differ_somewhere(self, small_benchmark):
+        a = small_benchmark.table_a
+        b = small_benchmark.table_b
+        by_seed = [
+            {p.key for p in MinHashLSHBlocker(
+                "name", num_perm=16, bands=8, random_state=seed).block(a, b)}
+            for seed in (0, 1)
+        ]
+        assert by_seed[0] != by_seed[1]
+
+    def test_stable_across_hash_randomization(self, tables, tmp_path):
+        """Signatures must not depend on PYTHONHASHSEED (the builtin
+        ``hash(str)`` is salted per process; stable_token_hash is not)."""
+        script = tmp_path / "probe.py"
+        script.write_text(
+            "from repro.blocking import MinHashLSHBlocker\n"
+            "from repro.data import Table\n"
+            "a = Table('A', ['name'], [['arnie mortons'], ['arts deli'],\n"
+            "                          ['cafe bizou']])\n"
+            "b = Table('B', ['name'], [['arnie mortons of chicago'],\n"
+            "                          ['arts delicatessen'],\n"
+            "                          ['cafe bizou']])\n"
+            "blocker = MinHashLSHBlocker('name', num_perm=32, bands=8,\n"
+            "                            random_state=2)\n"
+            "print(sorted(p.key for p in blocker.block(a, b)))\n",
+            encoding="utf-8")
+        src = Path(__file__).resolve().parents[1] / "src"
+        outputs = set()
+        for hash_seed in ("0", "12345"):
+            env = dict(os.environ,
+                       PYTHONHASHSEED=hash_seed, PYTHONPATH=str(src))
+            result = subprocess.run(
+                [sys.executable, str(script)], capture_output=True,
+                text=True, check=True, env=env)
+            outputs.add(result.stdout.strip())
+        assert len(outputs) == 1, outputs
+
+
+class TestRecallOnBenchmark:
+    def test_qgram_recall(self, small_benchmark):
+        gold = {p.key for p in small_benchmark.pairs if p.label == MATCH}
+        pairs = QGramBlocker("name", q=3, min_overlap=2).block(
+            small_benchmark.table_a, small_benchmark.table_b)
+        found = {p.key for p in pairs}
+        assert len(found & gold) / len(gold) > 0.9
+
+    def test_minhash_recall_and_reduction(self, small_benchmark):
+        a = small_benchmark.table_a
+        b = small_benchmark.table_b
+        gold = {p.key for p in small_benchmark.pairs if p.label == MATCH}
+        pairs = MinHashLSHBlocker("name", num_perm=128, bands=32,
+                                  random_state=0).block(a, b)
+        found = {p.key for p in pairs}
+        assert len(found & gold) / len(gold) > 0.8
+        assert len(pairs) < 0.2 * a.num_rows * b.num_rows

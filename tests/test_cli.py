@@ -176,3 +176,72 @@ class TestServeCommands:
 
         bundle = ModelBundle.load(tmp_path / "bundle")
         assert bundle.threshold is not None
+
+
+class TestBlockCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["block"])
+        assert args.blocker == "qgram"
+        assert args.block_on == "name"
+        assert args.min_overlap == 2 and args.q == 3
+        assert args.num_perm == 128 and args.bands == 32
+        assert args.index_path is None
+
+    def test_invalid_blocker_choice(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["block", "--blocker", "sorted-nbhd"])
+
+    def test_block_on_benchmark_reports_quality(self, capsys):
+        code = main(["block", "--dataset", "fodors_zagats",
+                     "--scale", "0.3", "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "QGramBlocker" in out
+        assert "reduction=" in out
+        assert "completeness=" in out
+        assert "block sizes:" in out
+
+    def test_block_minhash_and_run_log(self, tmp_path, capsys):
+        log = tmp_path / "blocking.jsonl"
+        code = main(["block", "--blocker", "minhash", "--dataset",
+                     "fodors_zagats", "--scale", "0.3",
+                     "--num-perm", "32", "--bands", "8",
+                     "--run-log", str(log)])
+        assert code == 0
+        assert "MinHashLSHBlocker" in capsys.readouterr().out
+        import json
+
+        records = [json.loads(line)
+                   for line in log.read_text().splitlines()]
+        assert any(r["type"] == "blocking" and r["dataset"] ==
+                   "fodors_zagats" for r in records)
+
+    def test_index_path_persists_and_reuses(self, tmp_path, capsys):
+        idx = tmp_path / "standing.idx"
+        argv = ["block", "--dataset", "fodors_zagats", "--scale", "0.3",
+                "--index-path", str(idx)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "built and saved index" in first
+        assert idx.exists()
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "reusing persisted index" in second
+
+    def test_data_dir_mode_writes_candidates(self, tmp_path, capsys):
+        main(["generate", "fodors_zagats", str(tmp_path / "d"),
+              "--scale", "0.3", "--seed", "1"])
+        out_csv = tmp_path / "candidates.csv"
+        code = main(["block", "--data-dir", str(tmp_path / "d"),
+                     "--output", str(out_csv)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "candidate pairs" in out
+        assert "completeness=" not in out  # no gold pairs in CSV mode
+        assert out_csv.exists()
+
+    def test_blocking_experiment_runs(self, capsys):
+        assert main(["experiment", "blocking"]) == 0
+        out = capsys.readouterr().out
+        assert "qgram" in out and "minhash_lsh" in out
+        assert "recall_pct" in out

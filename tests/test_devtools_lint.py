@@ -86,6 +86,25 @@ def test_rep001_resolves_from_import_aliases(tmp_path):
     assert codes(found) == ["REP001"]
 
 
+def test_rep001_flags_seedless_generator_construction(tmp_path):
+    found = lint_source(tmp_path, (
+        "import random\n"
+        "import numpy as np\n"
+        "rng = np.random.default_rng()\n"
+        "legacy = np.random.RandomState()\n"
+        "r = random.Random()\n"), select="REP001")
+    assert codes(found) == ["REP001", "REP001", "REP001"]
+    assert all("OS entropy" in v.message for v in found)
+
+
+def test_rep001_allows_keyword_seed_material(tmp_path):
+    found = lint_source(tmp_path, (
+        "import numpy as np\n"
+        "rng = np.random.default_rng(seed=7)\n"
+        "seq = np.random.SeedSequence(entropy=1)\n"), select="REP001")
+    assert found == []
+
+
 # -- REP002: wall clock / environment in hashed paths -------------------
 
 
@@ -400,7 +419,7 @@ def test_seeding_a_violation_is_caught(tmp_path):
 # -- typed public API ---------------------------------------------------
 
 #: Packages pinned to mypy's disallow_untyped_defs in pyproject.toml.
-STRICT_PACKAGES = ("data", "features", "similarity", "serve")
+STRICT_PACKAGES = ("blocking", "data", "features", "similarity", "serve")
 
 
 def _unannotated_defs(tree):

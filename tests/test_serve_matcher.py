@@ -159,6 +159,80 @@ class TestStreamMatcher:
         assert records[-1]["errors"] == 1
 
 
+class TestStandingIndex:
+    """submit_records against a persisted index == re-blocking from
+    scratch (the streaming-blocking parity guarantee)."""
+
+    @pytest.fixture()
+    def blocker(self):
+        from repro.blocking import QGramBlocker
+
+        return QGramBlocker("name", q=3, min_overlap=2)
+
+    def test_streamed_batches_equal_from_scratch(self, small_benchmark,
+                                                 bundle, blocker, tmp_path):
+        from repro.blocking import BlockIndex
+
+        a, b = small_benchmark.table_a, small_benchmark.table_b
+        blocker.index(b).save(tmp_path / "catalog.idx")
+        scratch = BatchMatcher(bundle, blocker=blocker).match(a, b)
+        scratch_scores = {pair.key: prob for pair, prob in
+                         zip(scratch.pairs, scratch.probabilities)}
+
+        index = BlockIndex.load(tmp_path / "catalog.idx")
+        streamed_scores = {}
+        with StreamMatcher(bundle, index=index) as stream:
+            records = list(a)
+            step = 25
+            for start in range(0, len(records), step):
+                result = stream.submit_records(records[start:start + step])
+                for pair, prob in zip(result.pairs, result.probabilities):
+                    streamed_scores[pair.key] = prob
+        assert streamed_scores.keys() == scratch_scores.keys()
+        for key, prob in streamed_scores.items():
+            assert prob == scratch_scores[key]
+
+    def test_submit_records_accepts_a_table(self, small_benchmark, bundle,
+                                            blocker):
+        a, b = small_benchmark.table_a, small_benchmark.table_b
+        stream = StreamMatcher(bundle, index=blocker.index(b))
+        result = stream.submit_records(a)
+        expected = blocker.block(a, b)
+        assert [p.key for p in result.pairs] == [p.key for p in expected]
+
+    def test_extend_index_makes_new_records_visible(self, small_benchmark,
+                                                    bundle, blocker):
+        a, b = small_benchmark.table_a, small_benchmark.table_b
+        from repro.blocking import BlockIndex
+
+        catalog = list(b)
+        index = BlockIndex(blocker, table_name=b.name, columns=b.columns)
+        index.add_records(catalog[:-10])
+        stream = StreamMatcher(bundle, index=index)
+        before = {p.key for p in stream.submit_records(a).pairs}
+        added = stream.extend_index(catalog[-10:])
+        assert added == 10
+        after = {p.key for p in stream.submit_records(a).pairs}
+        full = {p.key for p in blocker.block(a, b)}
+        assert before <= after
+        assert after == full
+
+    def test_record_methods_require_an_index(self, small_benchmark, bundle):
+        a = small_benchmark.table_a
+        stream = StreamMatcher(bundle)
+        with pytest.raises(ValueError, match="standing block"):
+            stream.submit_records(list(a)[:2])
+        with pytest.raises(ValueError, match="standing block"):
+            stream.extend_index(list(a)[:2])
+
+    def test_empty_record_batch_rejected(self, small_benchmark, bundle,
+                                         blocker):
+        b = small_benchmark.table_b
+        stream = StreamMatcher(bundle, index=blocker.index(b))
+        with pytest.raises(ValueError, match="at least one record"):
+            stream.submit_records([])
+
+
 class TestServeMetrics:
     def test_counters_and_derived_rates(self):
         metrics = ServeMetrics()
