@@ -256,11 +256,20 @@ class RunLog:
       "best_config", "search", "seed", "wall_time", "trial_time",
       "trial_timeout", "isolation", ...}`` — once at the end, plus any
       caller-supplied context (e.g. feature-cache hit/miss stats).
+
+    Writes are serialized by an internal lock so concurrent writers
+    (e.g. :class:`~repro.serve.telemetry.RequestLog` fed by a
+    :class:`~repro.serve.service.MatchService` worker pool) always emit
+    whole, non-interleaved lines, and :meth:`close` is idempotent even
+    when several threads race it.  The lock is private by design: all
+    file access must go through :meth:`write`/:meth:`close` — the
+    ``REP008`` lint rule rejects any other ``._fh`` access.
     """
 
     def __init__(self, path, append: bool = False):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
         self._fh = self.path.open("a" if append else "w",
                                   encoding="utf-8")
 
@@ -272,8 +281,14 @@ class RunLog:
         return cls(target)
 
     def write(self, record: dict) -> None:
-        self._fh.write(json.dumps(record, default=_json_default) + "\n")
-        self._fh.flush()
+        # Serialize the line outside the lock (it can be slow for large
+        # configs), then write-and-flush atomically under it.
+        line = json.dumps(record, default=_json_default) + "\n"
+        with self._lock:
+            if self._fh.closed:
+                raise ValueError(f"RunLog {self.path} is closed")
+            self._fh.write(line)
+            self._fh.flush()
 
     def trial(self, index: int, config: dict, score: float, elapsed: float,
               error: str | None, random_state: int | None,
@@ -287,8 +302,9 @@ class RunLog:
         self.write({"type": "summary", **fields})
 
     def close(self) -> None:
-        if not self._fh.closed:
-            self._fh.close()
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
 
     def __enter__(self) -> "RunLog":
         return self

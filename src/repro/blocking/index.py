@@ -33,6 +33,7 @@ from collections.abc import Iterable, Iterator
 from pathlib import Path
 from typing import TYPE_CHECKING, Union
 
+from ..concurrency import ReadWriteLock
 from ..data.pairs import PairSet, RecordPair
 from ..data.table import Record, Table
 from ..features.cache import (
@@ -74,6 +75,14 @@ class BlockIndex:
     built the index travels with it, so a loaded index is self-contained:
     it can keep growing and keep serving probes without reconstructing
     the blocker configuration.
+
+    A :class:`~repro.concurrency.ReadWriteLock` imposes reader–writer
+    discipline: :meth:`probe` / :meth:`block_sizes` / :meth:`as_table`
+    share the read side, :meth:`add_records` takes the exclusive write
+    side.  A probe therefore always sees a whole index state — never a
+    half-applied batch of new records — and concurrent extends serialize
+    into a clean chain of states.  The lock is dropped on pickling
+    (:meth:`save`) and recreated on load.
     """
 
     def __init__(self, blocker: "IndexedBlocker",
@@ -87,6 +96,7 @@ class BlockIndex:
         self._records: dict[object, Record] = {}
         self._fingerprint = empty_chain_fingerprint()
         self._table: Table | None = None
+        self._rw_lock = ReadWriteLock()
 
     # -- content -------------------------------------------------------
 
@@ -130,15 +140,16 @@ class BlockIndex:
         blocking attribute is missing are stored (they are part of the
         indexed table) but never surface as candidates.
         """
-        added = 0
-        for record in source:
-            self._register(record)
-            value = record.get(self.blocker.attribute)
-            if value is not None:
-                self.blocker._index_record(self.state, record.record_id,
-                                           str(value))
-            added += 1
-        return added
+        with self._rw_lock.write_locked():
+            added = 0
+            for record in source:
+                self._register(record)
+                value = record.get(self.blocker.attribute)
+                if value is not None:
+                    self.blocker._index_record(self.state, record.record_id,
+                                               str(value))
+                added += 1
+            return added
 
     def as_table(self) -> Table:
         """The indexed records as an immutable :class:`Table` snapshot.
@@ -147,13 +158,14 @@ class BlockIndex:
         snapshot a probe's :class:`PairSet` references always matches
         the index content.
         """
-        if self._table is None:
-            records = list(self._records.values())
-            self._table = Table(
-                self.table_name, self.columns or (),
-                [list(record.values) for record in records],
-                ids=[record.record_id for record in records])
-        return self._table
+        with self._rw_lock.read_locked():
+            if self._table is None:
+                records = list(self._records.values())
+                self._table = Table(
+                    self.table_name, self.columns or (),
+                    [list(record.values) for record in records],
+                    ids=[record.record_id for record in records])
+            return self._table
 
     # -- probing -------------------------------------------------------
 
@@ -165,45 +177,65 @@ class BlockIndex:
         resolved once (blocking input repeats values heavily) and each
         probe record's matches come back in sorted-id order, so output
         is deterministic and duplicate-free.
+
+        The whole probe runs under the read lock, so the returned
+        :class:`PairSet` (including its ``table_b`` snapshot) reflects
+        exactly one index state even while :meth:`add_records` calls are
+        in flight on other threads.
         """
-        table_b = self.as_table()
-        attribute = self.blocker.attribute
-        matches_by_text: dict[str, list] = {}
-        pairs: list[RecordPair] = []
-        for record in table_a:
-            value = record.get(attribute)
-            if value is None:
-                continue
-            text = str(value)
-            right_ids = matches_by_text.get(text)
-            if right_ids is None:
-                right_ids = sorted(
-                    self.blocker._probe_value(self.state, text))
-                matches_by_text[text] = right_ids
-            for right_id in right_ids:
-                pairs.append(RecordPair(record, table_b.by_id(right_id)))
-        return PairSet(table_a, table_b, pairs)
+        with self._rw_lock.read_locked():
+            table_b = self.as_table()
+            attribute = self.blocker.attribute
+            matches_by_text: dict[str, list] = {}
+            pairs: list[RecordPair] = []
+            for record in table_a:
+                value = record.get(attribute)
+                if value is None:
+                    continue
+                text = str(value)
+                right_ids = matches_by_text.get(text)
+                if right_ids is None:
+                    right_ids = sorted(
+                        self.blocker._probe_value(self.state, text))
+                    matches_by_text[text] = right_ids
+                for right_id in right_ids:
+                    pairs.append(RecordPair(record, table_b.by_id(right_id)))
+            return PairSet(table_a, table_b, pairs)
 
     def block_sizes(self) -> list[int]:
         """Sizes of the blocker's internal blocks (postings / buckets),
         the input to :func:`repro.blocking.metrics.block_size_histogram`."""
-        return self.blocker._state_block_sizes(self.state)
+        with self._rw_lock.read_locked():
+            return self.blocker._state_block_sizes(self.state)
 
     # -- persistence ---------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_rw_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._rw_lock = ReadWriteLock()
 
     def save(self, path: Union[str, Path]) -> None:
         """Persist the full index (blocker included) atomically."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "format_version": INDEX_FORMAT_VERSION,
-            "blocker_fingerprint": self.blocker.fingerprint,
-            "content_fingerprint": self._fingerprint,
-            "index": self,
-        }
-        staged = path.with_name(path.name + ".tmp")
-        with staged.open("wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        # The read lock keeps add_records out while pickling walks the
+        # live structures, so the payload is one consistent state.
+        with self._rw_lock.read_locked():
+            payload = {
+                "format_version": INDEX_FORMAT_VERSION,
+                "blocker_fingerprint": self.blocker.fingerprint,
+                "content_fingerprint": self._fingerprint,
+                "index": self,
+            }
+            staged = path.with_name(path.name + ".tmp")
+            with staged.open("wb") as handle:
+                pickle.dump(payload, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(staged, path)
 
     @classmethod

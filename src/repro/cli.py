@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven subcommands cover the common workflows without writing Python:
+The subcommands cover the common workflows without writing Python:
 
 * ``list-datasets`` — the available Table III benchmark analogs;
 * ``generate`` — write a benchmark's tables/pairs to CSV files;
@@ -11,6 +11,9 @@ Seven subcommands cover the common workflows without writing Python:
 * ``predict`` — score a pairs CSV with a saved bundle;
 * ``serve-batch`` — run the full blocking → featurize → predict path
   over two tables with a saved bundle;
+* ``serve-stream`` — serve probe-side record batches concurrently
+  through a :class:`~repro.serve.MatchService` worker pool over a
+  standing block index;
 * ``block`` — run one blocker over two tables, report pair
   completeness / reduction ratio, and optionally persist the standing
   block index for reuse (see :mod:`repro.blocking`);
@@ -254,6 +257,73 @@ def _cmd_serve_batch(args) -> int:
     return 0
 
 
+def _cmd_serve_stream(args) -> int:
+    import csv
+
+    from .blocking import QGramBlocker
+    from .serve import MatchService, ServiceOverloaded, StreamMatcher
+
+    bundle = _resolve_bundle(args)
+    if args.data_dir:
+        from .data.io import read_table
+
+        data = Path(args.data_dir)
+        table_a = read_table(data / "tableA.csv")
+        table_b = read_table(data / "tableB.csv")
+    else:
+        from .data.synthetic import load_benchmark
+
+        benchmark = load_benchmark(args.dataset, seed=args.seed,
+                                   scale=args.scale)
+        table_a, table_b = benchmark.table_a, benchmark.table_b
+    blocker = QGramBlocker(args.block_on, q=args.q,
+                           min_overlap=args.min_overlap)
+    index = blocker.index(table_b)
+    records = list(table_a)
+    batches = [records[start:start + args.batch_rows]
+               for start in range(0, len(records), args.batch_rows)]
+    matcher = StreamMatcher(bundle, index=index,
+                            max_batch_rows=args.batch_size,
+                            n_jobs=args.n_jobs,
+                            request_log=args.request_log)
+    with MatchService(matcher, workers=args.workers,
+                      max_queue=args.max_queue,
+                      overflow=args.overflow) as service:
+        futures = []
+        for batch in batches:
+            try:
+                futures.append(service.submit_records(batch))
+            except ServiceOverloaded:
+                # Load shed at the door is the contract of reject mode,
+                # not a crash; the metrics snapshot reports the count.
+                continue
+        results = [future.result() for future in futures]
+    snapshot = matcher.metrics.snapshot()
+    if args.output:
+        with Path(args.output).open("w", newline="",
+                                    encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["ltable_id", "rtable_id", "probability",
+                             "prediction"])
+            for result in results:
+                for pair, probability, prediction in zip(
+                        result.pairs, result.probabilities,
+                        result.predictions):
+                    writer.writerow([pair.left.record_id,
+                                     pair.right.record_id,
+                                     f"{probability:.6f}", int(prediction)])
+        total = sum(len(result) for result in results)
+        print(f"wrote {total} scored candidates to {args.output}")
+    n_pairs = sum(len(result) for result in results)
+    n_matches = sum(result.n_matches for result in results)
+    print(f"{len(batches)} record batches x {args.workers} workers -> "
+          f"{n_pairs} candidates -> {n_matches} matches "
+          f"(max queue depth {snapshot['max_queue_depth']}, "
+          f"{snapshot['rejected']} rejected, "
+          f"{snapshot['pairs_per_second']:.0f} pairs/s)")
+    return 0
+
+
 def _make_blocker(args):
     """Construct the blocker the ``block`` command asked for."""
     from .blocking import (
@@ -487,6 +557,34 @@ def build_parser() -> argparse.ArgumentParser:
                              help="attribute for the overlap blocker")
     serve_batch.add_argument("--min-overlap", type=int, default=1)
 
+    serve_stream = commands.add_parser(
+        "serve-stream",
+        help="serve probe-side record batches concurrently through a "
+             "MatchService worker pool over a standing block index")
+    _add_serve_args(serve_stream)
+    serve_stream.add_argument("--data-dir", default=None,
+                              help="CSV directory with tableA.csv and "
+                                   "tableB.csv")
+    serve_stream.add_argument("--dataset", default="fodors_zagats",
+                              help="generated benchmark key (when no "
+                                   "--data-dir)")
+    serve_stream.add_argument("--seed", type=int, default=0)
+    serve_stream.add_argument("--scale", type=float, default=1.0)
+    serve_stream.add_argument("--block-on", default="name",
+                              help="attribute for the q-gram blocker")
+    serve_stream.add_argument("--min-overlap", type=int, default=2)
+    serve_stream.add_argument("--q", type=int, default=3,
+                              help="q-gram size")
+    serve_stream.add_argument("--workers", type=int, default=4,
+                              help="service worker threads")
+    serve_stream.add_argument("--max-queue", type=int, default=64,
+                              help="bounded request-queue size")
+    serve_stream.add_argument("--overflow", default="block",
+                              choices=("block", "reject"),
+                              help="backpressure when the queue is full")
+    serve_stream.add_argument("--batch-rows", type=int, default=64,
+                              help="probe-side records per request")
+
     block = commands.add_parser(
         "block",
         help="run a blocker over two tables and report its quality")
@@ -554,6 +652,7 @@ def main(argv: list[str] | None = None) -> int:
         "export": _cmd_export,
         "predict": _cmd_predict,
         "serve-batch": _cmd_serve_batch,
+        "serve-stream": _cmd_serve_stream,
         "block": _cmd_block,
         "lint": _cmd_lint,
     }

@@ -1,0 +1,135 @@
+"""Thread-coordination primitives shared across the serving stack.
+
+The serving layer promises that "a streaming matcher may be driven from
+several threads" (:mod:`repro.serve.telemetry`), which makes every
+mutable structure on the serving path a concurrency boundary: the
+standing :class:`~repro.blocking.index.BlockIndex` grows while probes
+are in flight, caches reorder their LRU lists on every hit, and JSONL
+telemetry writers append from every worker.  This module holds the one
+primitive those call sites share that the stdlib does not provide: a
+reader–writer lock.
+
+:class:`ReadWriteLock` semantics:
+
+* Any number of threads may hold the **read** side simultaneously.
+* The **write** side is exclusive: it waits for all readers to drain
+  and blocks new first-time readers while it holds (or waits for) the
+  lock, so writers cannot starve behind a steady read stream.
+* Both sides are **reentrant per thread**: a reader may re-enter
+  ``read_locked`` (needed when a locked operation calls another locked
+  read helper on the same object), and the writing thread may take
+  either side again.  Upgrading — acquiring write while holding only
+  read — deadlocks by construction and raises ``RuntimeError`` instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+
+class ReadWriteLock:
+    """A reentrant reader–writer lock with writer preference.
+
+    >>> lock = ReadWriteLock()
+    >>> with lock.read_locked():
+    ...     pass  # shared with other readers
+    >>> with lock.write_locked():
+    ...     pass  # exclusive
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._waiting_writers = 0
+        self._writer: int | None = None  # ident of the writing thread
+        self._write_depth = 0
+        self._local = threading.local()
+
+    # -- per-thread read-hold bookkeeping ------------------------------
+
+    def _held_reads(self) -> int:
+        return getattr(self._local, "reads", 0)
+
+    def _set_held_reads(self, count: int) -> None:
+        self._local.reads = count
+
+    # -- read side -----------------------------------------------------
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me or self._held_reads() > 0:
+                # Reentrant: this thread already excludes all writers.
+                self._set_held_reads(self._held_reads() + 1)
+                self._active_readers += 1
+                return
+            # First-time readers queue behind waiting writers so a
+            # steady probe stream cannot starve extend_index forever.
+            while self._writer is not None or self._waiting_writers:
+                self._cond.wait()
+            self._set_held_reads(1)
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            held = self._held_reads()
+            if held < 1:
+                raise RuntimeError("release_read without a matching acquire")
+            self._set_held_reads(held - 1)
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # -- write side ----------------------------------------------------
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._write_depth += 1
+                return
+            if self._held_reads() > 0:
+                raise RuntimeError(
+                    "cannot upgrade a read lock to a write lock; release "
+                    "the read side first")
+            self._waiting_writers += 1
+            try:
+                while self._writer is not None or self._active_readers:
+                    self._cond.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._writer = me
+            self._write_depth = 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            if self._writer != threading.get_ident():
+                raise RuntimeError("release_write by a non-owning thread")
+            self._write_depth -= 1
+            if self._write_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:
+        with self._cond:
+            return (f"ReadWriteLock(readers={self._active_readers}, "
+                    f"writer={'held' if self._writer is not None else 'free'}, "
+                    f"waiting_writers={self._waiting_writers})")

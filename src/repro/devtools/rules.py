@@ -315,6 +315,33 @@ class MutableDefaultArgument(Rule):
                         "mutable default argument is shared across calls")
 
 
+class RunLogHandleBypass(Rule):
+    """REP008: direct access to a RunLog's private file handle.
+
+    ``RunLog.write`` serializes writes under a lock so concurrent
+    writers (the serving worker pool, a racing ``close``) emit whole
+    JSONL lines.  Reaching for ``._fh`` from outside the class bypasses
+    that lock and reintroduces interleaved lines — all file access must
+    go through ``write()`` / ``close()``.  Only the defining module
+    (``repro.automl.runner``) may touch the handle.
+    """
+
+    code = "REP008"
+    summary = "RunLog._fh accessed outside repro.automl.runner"
+    hint = ("go through RunLog.write()/close(); they hold the lock that "
+            "keeps JSONL lines whole under concurrent writers")
+    scope = ("repro.",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        if ctx.module == "repro.automl.runner":
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and node.attr == "_fh":
+                yield self.violation(
+                    ctx, node,
+                    "'._fh' access bypasses the RunLog write lock")
+
+
 #: Every per-file rule, in catalog order.
 ALL_RULES: tuple[Rule, ...] = (
     UnseededRandomness(),
@@ -323,4 +350,5 @@ ALL_RULES: tuple[Rule, ...] = (
     PickleUnsafeAttribute(),
     FloatEquality(),
     MutableDefaultArgument(),
+    RunLogHandleBypass(),
 )

@@ -18,6 +18,7 @@ share one cache entry.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from collections.abc import Iterable
 from typing import TYPE_CHECKING
@@ -92,52 +93,84 @@ def pairs_fingerprint(pairs: "PairSet") -> str:
 
 
 class FeatureMatrixCache:
-    """A small LRU cache of feature matrices.
+    """A small, thread-safe LRU cache of feature matrices.
 
     Entries are stored and returned as copies, so neither the producer
     nor any consumer can corrupt a cached matrix by mutating it in
     place.  One cache instance can be shared by several generators (and
     matchers) as long as their keys embed the plan — which
     :meth:`FeatureGenerator._cache_key` does.
+
+    All operations hold one re-entrant lock: the LRU reorder inside
+    :meth:`lookup` and the evict-after-insert inside :meth:`store` are
+    compound read-modify-write sequences, and the hit/miss counters
+    must stay consistent with the lookups that produced them when a
+    :class:`~repro.serve.service.MatchService` drives many scoring
+    threads against one shared cache (``hits + misses == lookups``
+    always holds; ``tests/test_serve_concurrent.py`` stresses it).
     """
 
     def __init__(self, max_entries: int = 16):
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
+        self._lock = threading.RLock()
         self._entries: OrderedDict[object, np.ndarray] = OrderedDict()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def lookup(self, key: object) -> np.ndarray | None:
         """The cached matrix for ``key`` (a copy), or ``None``."""
-        matrix = self._entries.get(key)
-        if matrix is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return matrix.copy()
+        with self._lock:
+            matrix = self._entries.get(key)
+            if matrix is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return matrix.copy()
 
     def store(self, key: object, matrix: np.ndarray) -> None:
-        self._entries[key] = np.array(matrix, dtype=np.float64, copy=True)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        copied = np.array(matrix, dtype=np.float64, copy=True)
+        with self._lock:
+            self._entries[key] = copied
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total :meth:`lookup` calls observed (``hits + misses``)."""
+        with self._lock:
+            return self.hits + self.misses
 
     @property
     def stats(self) -> dict[str, int]:
-        return {"entries": len(self._entries), "hits": self.hits,
-                "misses": self.misses}
+        with self._lock:
+            return {"entries": len(self._entries), "hits": self.hits,
+                    "misses": self.misses}
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     def __repr__(self) -> str:
-        return (f"FeatureMatrixCache({len(self._entries)}/{self.max_entries} "
-                f"entries, {self.hits} hits, {self.misses} misses)")
+        with self._lock:
+            return (f"FeatureMatrixCache({len(self._entries)}/"
+                    f"{self.max_entries} entries, {self.hits} hits, "
+                    f"{self.misses} misses)")

@@ -31,6 +31,7 @@ reference loop — ``tests/test_features_columnar.py`` enforces it.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Sequence
 
@@ -58,6 +59,13 @@ class TokenCache(dict):
     repeated single-pair scoring).  Eviction is wholesale: when the entry
     cap is hit the cache is cleared — tokenization is cheap enough that
     an occasional cold restart beats per-entry LRU bookkeeping.
+
+    The check-then-clear-then-insert in :meth:`__setitem__` is a
+    compound operation, so it holds a lock: a generator-level cache is
+    shared by every scoring thread a
+    :class:`~repro.serve.service.MatchService` runs.  Reads stay
+    lock-free dict reads — a racing wholesale eviction can at worst turn
+    a hit into a recomputation, never corrupt an entry.
     """
 
     def __init__(self, max_entries: int = 200_000) -> None:
@@ -65,11 +73,13 @@ class TokenCache(dict):
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
+        self._lock = threading.Lock()
 
     def __setitem__(self, key: object, value: object) -> None:
-        if len(self) >= self.max_entries:
-            self.clear()
-        super().__setitem__(key, value)
+        with self._lock:
+            if len(self) >= self.max_entries:
+                self.clear()
+            super().__setitem__(key, value)
 
     def __reduce__(self) -> tuple:
         # The default dict-subclass pickling restores items through
@@ -122,21 +132,30 @@ def _score_chunk(measures: Sequence["SimilarityMeasure"],
                              sequence_max_chars=sequence_max_chars)
 
 
+def _value_key(value: Value) -> tuple:
+    """Type-tagged dedup key for one attribute value.
+
+    The class tag keeps ``True``/``1.0`` apart (they hash equal but
+    render to different strings).  Floats additionally key on ``repr``:
+    ``-0.0 == 0.0`` with equal hashes, yet string measures see
+    ``"-0.0"`` vs ``"0.0"``, so they must not collapse into one entry.
+    """
+    if value.__class__ is float:
+        return (float, repr(value))
+    return (value.__class__, value)
+
+
 def _unique_value_pairs(pairs: Sequence,
                         attribute: str
                         ) -> tuple[list[tuple[Value, Value]], np.ndarray]:
-    """One attribute's deduplicated value pairs and the scatter index.
-
-    Keys are type-tagged — ``True``/``1.0`` hash equal but render to
-    different strings, so they must not collapse into one entry.
-    """
+    """One attribute's deduplicated value pairs and the scatter index."""
     index_of: dict[tuple, int] = {}
     unique: list[tuple[Value, Value]] = []
     inverse = np.empty(len(pairs), dtype=np.intp)
     for i, pair in enumerate(pairs):
         v1 = pair.left.get(attribute)
         v2 = pair.right.get(attribute)
-        key = (v1.__class__, v1, v2.__class__, v2)
+        key = (_value_key(v1), _value_key(v2))
         j = index_of.get(key)
         if j is None:
             j = len(unique)

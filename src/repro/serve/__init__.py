@@ -11,7 +11,10 @@ artifact and back into predictions:
 * :class:`BatchMatcher` / :class:`StreamMatcher` — the blocking →
   micro-batched featurization → predict serving path, with
   :class:`ServeMetrics` counters and JSONL :class:`RequestLog`
-  telemetry.
+  telemetry;
+* :class:`MatchService` — a thread-pool front-end over one
+  :class:`StreamMatcher` with a bounded request queue and configurable
+  backpressure (:class:`ServiceOverloaded` on overflow in reject mode).
 """
 
 from .bundle import (
@@ -23,6 +26,7 @@ from .bundle import (
 )
 from .matcher import BatchMatcher, MatchResult, StreamMatcher
 from .registry import ModelRegistry
+from .service import MatchService, ServiceOverloaded
 from .telemetry import RequestLog, ServeMetrics
 
 __all__ = [
@@ -31,10 +35,12 @@ __all__ = [
     "BundleError",
     "BundleIntegrityError",
     "MatchResult",
+    "MatchService",
     "ModelBundle",
     "ModelRegistry",
     "RequestLog",
     "ServeMetrics",
     "SchemaMismatchError",
+    "ServiceOverloaded",
     "StreamMatcher",
 ]

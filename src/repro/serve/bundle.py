@@ -164,6 +164,23 @@ class ModelBundle:
         return apply_threshold(self.predictor.predict_proba(X)[:, 1],
                                self.threshold)
 
+    def decide(self, probabilities: np.ndarray) -> np.ndarray:
+        """Decisions from already-computed P(match) — no second scoring.
+
+        Equivalent to :meth:`predict` on the matrix that produced
+        ``probabilities``: with a tuned ``threshold`` this *is*
+        :func:`~repro.core.thresholding.apply_threshold`; without one it
+        reproduces the predictor's native ``predict``, which for every
+        binary probabilistic classifier in :mod:`repro.ml` selects class
+        1 exactly when ``P(match) > 0.5`` (argmax ties break to class
+        0).  Lets the serving path score each batch once instead of
+        twice.
+        """
+        probabilities = np.asarray(probabilities, dtype=np.float64)
+        if self.threshold is not None:
+            return apply_threshold(probabilities, self.threshold)
+        return (probabilities > 0.5).astype(np.int64)
+
     def check_schema(self, *tables: Table) -> None:
         """Raise :class:`SchemaMismatchError` if any table cannot serve
         this bundle's feature plan (a plan attribute is missing)."""

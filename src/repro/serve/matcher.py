@@ -106,8 +106,12 @@ class _MatcherBase:
             batch = pairs[start:start + batch_size]
             X = self.generator.transform(batch)
             stop = start + len(batch)
-            probabilities[start:stop] = self.bundle.predict_proba(X)
-            predictions[start:stop] = self.bundle.predict(X)
+            # One estimator pass per batch: decisions derive from the
+            # probabilities already in hand (bundle threshold semantics)
+            # instead of a second predict() over the same matrix.
+            batch_probabilities = self.bundle.predict_proba(X)
+            probabilities[start:stop] = batch_probabilities
+            predictions[start:stop] = self.bundle.decide(batch_probabilities)
             n_batches += 1
             max_rows = max(max_rows, len(batch))
         return MatchResult(pairs, probabilities, predictions,
@@ -255,7 +259,15 @@ class StreamMatcher(_MatcherBase):
         batch = list(records)
         if not batch:
             raise ValueError("submit_records needs at least one record")
-        return Table("stream-batch", batch[0].columns,
+        columns = batch[0].columns
+        for record in batch:
+            if record.columns != columns:
+                raise ValueError(
+                    f"heterogeneous record batch: record "
+                    f"{record.record_id!r} has columns "
+                    f"{list(record.columns)}, expected {list(columns)} "
+                    f"(all records of one batch must share a schema)")
+        return Table("stream-batch", columns,
                      [list(record.values) for record in batch],
                      ids=[record.record_id for record in batch])
 

@@ -1,0 +1,233 @@
+"""MatchService: a thread-pool front-end over one StreamMatcher.
+
+A :class:`~repro.serve.matcher.StreamMatcher` scores requests inline on
+the calling thread.  :class:`MatchService` turns that into a concurrent
+front-end: callers from any number of threads enqueue requests onto a
+bounded queue and receive :class:`concurrent.futures.Future` objects; a
+pool of worker threads drains the queue and drives the wrapped matcher.
+Correctness under this concurrency rests on the locking introduced down
+the stack — the RLock-guarded
+:class:`~repro.features.cache.FeatureMatrixCache`, the locked
+:class:`~repro.features.columnar.TokenCache` eviction, the
+reader–writer discipline on :class:`~repro.blocking.index.BlockIndex`
+(probes share the read side, :meth:`MatchService.extend_index` takes
+the exclusive write side) and the serialized
+:class:`~repro.automl.runner.RunLog` writes (see DESIGN.md §12 for the
+full inventory).
+
+Backpressure is explicit and configurable.  The queue is bounded by
+``max_queue``; when it is full:
+
+* ``overflow="block"`` (default) — the submitting thread waits for a
+  slot, so producers are throttled to the service's drain rate;
+* ``overflow="reject"`` — submission raises :class:`ServiceOverloaded`
+  immediately and the shed request is counted in
+  ``ServeMetrics.rejected`` (it never reaches a worker, so it is not a
+  served request and not an error).
+
+The queue-depth gauge (``queue_depth`` / ``max_queue_depth`` in
+:meth:`ServeMetrics.snapshot`) tracks the bounded queue's occupancy.
+
+>>> with MatchService(matcher, workers=8, max_queue=64) as service:
+...     futures = [service.submit(batch) for batch in batches]
+...     results = [f.result() for f in futures]
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections.abc import Callable, Iterable
+from concurrent.futures import Future
+from types import TracebackType
+from typing import Union
+
+from ..data.pairs import PairSet
+from ..data.table import Record, Table
+from .matcher import MatchResult, StreamMatcher
+
+#: Queue sentinel: one per worker, enqueued by close() to stop the pool.
+_SHUTDOWN = object()
+
+
+class ServiceOverloaded(RuntimeError):
+    """The service's bounded request queue is full (overflow="reject").
+
+    Raised at submission time: the request was shed before reaching a
+    worker and is counted in ``ServeMetrics.rejected``.  Callers may
+    retry later or fall back to ``overflow="block"`` semantics by
+    waiting themselves.
+    """
+
+
+class MatchService:
+    """Concurrent serving front-end around one :class:`StreamMatcher`.
+
+    Parameters
+    ----------
+    matcher:
+        The wrapped :class:`StreamMatcher`.  The service drives it from
+        ``workers`` threads; its metrics object doubles as the
+        service's (``service.metrics is matcher.metrics``), so one
+        snapshot covers served requests, errors, rejections and queue
+        depth.
+    workers:
+        Worker-thread count.  ``workers=1`` serializes all requests —
+        results are bit-identical to calling the bare matcher inline.
+    max_queue:
+        Bound on queued (accepted but not yet running) requests.
+    overflow:
+        ``"block"`` or ``"reject"`` — what :meth:`submit` does when the
+        queue is full (see module docstring).
+    """
+
+    def __init__(self, matcher: StreamMatcher, *, workers: int = 4,
+                 max_queue: int = 64, overflow: str = "block"):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if overflow not in ("block", "reject"):
+            raise ValueError(
+                f"overflow must be 'block' or 'reject', got {overflow!r}")
+        self.matcher = matcher
+        self.metrics = matcher.metrics
+        self.overflow = overflow
+        self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        self._closed = threading.Event()
+        self._workers = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"match-service-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    @property
+    def workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests accepted but not yet picked up by a worker."""
+        return self._queue.qsize()
+
+    # -- submission ----------------------------------------------------
+
+    def _enqueue(self, call: Callable[[], object]) -> "Future":
+        if self._closed.is_set():
+            raise RuntimeError("MatchService is closed")
+        future: Future = Future()
+        item = (future, call)
+        if self.overflow == "reject":
+            try:
+                self._queue.put_nowait(item)
+            except queue.Full:
+                self.metrics.observe_rejected()
+                raise ServiceOverloaded(
+                    f"request queue is full "
+                    f"({self._queue.maxsize} pending requests); "
+                    f"retry later or construct the service with "
+                    f"overflow='block'") from None
+        else:
+            self._queue.put(item)
+        self.metrics.observe_queue_depth(self._queue.qsize())
+        return future
+
+    def submit(self, pairs: PairSet) -> "Future[MatchResult]":
+        """Enqueue one candidate-pair batch; resolves to its
+        :class:`MatchResult` (or the scoring exception)."""
+        return self._enqueue(lambda: self.matcher.submit(pairs))
+
+    def submit_records(self, records: Union[Table, Iterable[Record]]
+                       ) -> "Future[MatchResult]":
+        """Enqueue one raw record batch to block against the standing
+        index and score (requires the matcher's ``index=``)."""
+        # Iterables are snapshotted now, not when a worker runs: the
+        # caller may mutate or exhaust the source after submitting.
+        if not isinstance(records, Table):
+            records = list(records)
+        return self._enqueue(lambda: self.matcher.submit_records(records))
+
+    def extend_index(self, records: Union[Table, Iterable[Record]]
+                     ) -> "Future[int]":
+        """Enqueue a catalog extension; resolves to the number of
+        records added.  Runs under the index's exclusive write lock, so
+        it never interleaves with in-flight probes."""
+        if not isinstance(records, Table):
+            records = list(records)
+        return self._enqueue(lambda: self.matcher.extend_index(records))
+
+    # -- worker pool ---------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _SHUTDOWN:
+                    return
+                future, call = item
+                self.metrics.observe_queue_depth(self._queue.qsize())
+                if not future.set_running_or_notify_cancel():
+                    continue  # cancelled while queued
+                try:
+                    future.set_result(call())
+                except BaseException as exc:
+                    future.set_exception(exc)
+            finally:
+                self._queue.task_done()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def join(self) -> None:
+        """Block until every accepted request has been served."""
+        self._queue.join()
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests and shut the pool down.
+
+        With ``wait=True`` (default) all accepted requests drain first,
+        then the wrapped matcher's :meth:`~_MatcherBase.close` writes
+        its final summary.  Idempotent.
+        """
+        if self._closed.is_set():
+            if wait:
+                for thread in self._workers:
+                    thread.join()
+            return
+        self._closed.set()
+        for _ in self._workers:
+            self._queue.put(_SHUTDOWN)
+        if wait:
+            for thread in self._workers:
+                thread.join()
+            # A producer blocked in put() during close can slip an item
+            # in behind the sentinels; fail its future rather than
+            # leaving it forever pending.
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not _SHUTDOWN:
+                    future, _ = item
+                    if future.set_running_or_notify_cancel():
+                        future.set_exception(
+                            RuntimeError("MatchService closed before this "
+                                         "request was served"))
+                self._queue.task_done()
+            self.matcher.close()
+
+    def __enter__(self) -> "MatchService":
+        return self
+
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"MatchService({len(self._workers)} workers, "
+                f"queue {self._queue.qsize()}/{self._queue.maxsize}, "
+                f"overflow={self.overflow!r}, "
+                f"{'closed' if self._closed.is_set() else 'open'})")

@@ -29,6 +29,9 @@ class ServeMetrics:
         self.total_latency = 0.0
         self.max_latency = 0.0
         self.max_batch_rows = 0
+        self.rejected = 0
+        self.queue_depth = 0
+        self.max_queue_depth = 0
 
     def observe(self, n_pairs: int, n_matches: int, latency: float,
                 max_batch_rows: int | None = None) -> None:
@@ -52,6 +55,21 @@ class ServeMetrics:
                 self.errors_by_type[error_type] = \
                     self.errors_by_type.get(error_type, 0) + 1
 
+    def observe_rejected(self) -> None:
+        """Record one request turned away by service backpressure.
+
+        Rejections never reach a worker, so they count neither as
+        ``requests`` nor as ``errors`` — they are load shed at the door.
+        """
+        with self._lock:
+            self.rejected += 1
+
+    def observe_queue_depth(self, depth: int) -> None:
+        """Update the service queue-depth gauge (and its high-water mark)."""
+        with self._lock:
+            self.queue_depth = int(depth)
+            self.max_queue_depth = max(self.max_queue_depth, int(depth))
+
     def snapshot(self) -> dict:
         """Current counters plus derived mean latency and throughput."""
         with self._lock:
@@ -65,6 +83,9 @@ class ServeMetrics:
                 "total_latency": self.total_latency,
                 "max_latency": self.max_latency,
                 "max_batch_rows": self.max_batch_rows,
+                "rejected": self.rejected,
+                "queue_depth": self.queue_depth,
+                "max_queue_depth": self.max_queue_depth,
                 "mean_latency": (self.total_latency / served
                                  if served else 0.0),
                 "pairs_per_second": (self.pairs / self.total_latency

@@ -125,6 +125,22 @@ class TestServeParsers:
         assert args.min_overlap == 2
         assert args.batch_size == 4096
 
+    def test_serve_stream_args(self):
+        args = build_parser().parse_args(
+            ["serve-stream", "/tmp/models", "--name", "prod",
+             "--workers", "8", "--max-queue", "16",
+             "--overflow", "reject", "--batch-rows", "32"])
+        assert args.workers == 8
+        assert args.max_queue == 16
+        assert args.overflow == "reject"
+        assert args.batch_rows == 32
+        assert args.q == 3
+
+    def test_serve_stream_rejects_bad_overflow(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve-stream", "/tmp/models", "--overflow", "drop"])
+
 
 class TestServeCommands:
     def test_export_predict_serve_round_trip(self, tmp_path, capsys):
@@ -162,6 +178,25 @@ class TestServeCommands:
         assert code == 0
         assert "candidates" in capsys.readouterr().out
         assert (tmp_path / "matches.csv").exists()
+
+        code = main(["serve-stream", str(tmp_path / "models"),
+                     "--name", "fz", "--data-dir", str(tmp_path / "d"),
+                     "--workers", "4", "--batch-rows", "16",
+                     "--request-log", str(tmp_path / "stream.jsonl"),
+                     "--output", str(tmp_path / "streamed.csv")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workers" in out
+        assert "rejected" in out
+        header = (tmp_path / "streamed.csv").read_text().splitlines()[0]
+        assert header == "ltable_id,rtable_id,probability,prediction"
+        from repro.automl import read_run_log
+
+        stream_records = read_run_log(tmp_path / "stream.jsonl")
+        kinds = {r["type"] for r in stream_records}
+        assert kinds == {"request", "summary"}
+        assert stream_records[-1]["type"] == "summary"
+        assert stream_records[-1]["errors"] == 0
 
     def test_export_direct_bundle_path(self, tmp_path, capsys):
         main(["generate", "fodors_zagats", str(tmp_path / "d"),

@@ -1,0 +1,120 @@
+"""ReadWriteLock semantics: sharing, exclusion, reentrancy, misuse."""
+
+import threading
+import time
+
+import pytest
+
+from repro.concurrency import ReadWriteLock
+
+
+def _in_thread(fn, timeout=30.0):
+    """Run ``fn`` in a thread; return (finished, result_holder)."""
+    holder = []
+    thread = threading.Thread(target=lambda: holder.append(fn()))
+    thread.start()
+    thread.join(timeout)
+    return not thread.is_alive(), holder
+
+
+class TestReadWriteLock:
+    def test_readers_share(self):
+        lock = ReadWriteLock()
+        entered = threading.Barrier(3, timeout=30)
+
+        def reader():
+            with lock.read_locked():
+                entered.wait()  # all three inside simultaneously
+            return True
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert not any(t.is_alive() for t in threads)
+
+    def test_writer_excludes_readers_and_writers(self):
+        lock = ReadWriteLock()
+        observed = []
+        with lock.write_locked():
+            finished, _ = _in_thread(
+                lambda: lock.acquire_read(), timeout=0.3)
+            assert not finished, "reader entered during a write"
+            observed.append("exclusive")
+        # After release the blocked reader gets in.
+        time.sleep(0.1)
+        assert observed == ["exclusive"]
+
+    def test_write_waits_for_readers_to_drain(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        finished, _ = _in_thread(lambda: lock.acquire_write(), timeout=0.3)
+        assert not finished
+        lock.release_read()
+        # The waiting writer proceeds once readers drain.
+        deadline = time.monotonic() + 30
+        while lock._writer is None and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert lock._writer is not None
+
+    def test_read_reentrancy(self):
+        lock = ReadWriteLock()
+        with lock.read_locked():
+            with lock.read_locked():  # same thread re-enters freely
+                pass
+        # Fully released: a writer can proceed immediately.
+        finished, _ = _in_thread(
+            lambda: (lock.acquire_write(), lock.release_write()))
+        assert finished
+
+    def test_writer_may_reenter_both_sides(self):
+        lock = ReadWriteLock()
+        with lock.write_locked():
+            with lock.write_locked():
+                with lock.read_locked():  # write implies read
+                    pass
+        finished, _ = _in_thread(
+            lambda: (lock.acquire_write(), lock.release_write()))
+        assert finished
+
+    def test_upgrade_raises(self):
+        lock = ReadWriteLock()
+        with lock.read_locked():
+            with pytest.raises(RuntimeError, match="upgrade"):
+                lock.acquire_write()
+
+    def test_unbalanced_releases_raise(self):
+        lock = ReadWriteLock()
+        with pytest.raises(RuntimeError, match="release_read"):
+            lock.release_read()
+        with pytest.raises(RuntimeError, match="non-owning"):
+            lock.release_write()
+
+    def test_stress_counter_consistency(self):
+        """Increments under the write lock are never lost; readers see
+        only fully applied values."""
+        lock = ReadWriteLock()
+        state = {"value": 0}
+        n_threads, per_thread = 8, 300
+        barrier = threading.Barrier(n_threads)
+
+        def worker(thread_index):
+            barrier.wait()
+            for i in range(per_thread):
+                if i % 3 == 0:
+                    with lock.write_locked():
+                        state["value"] += 1
+                else:
+                    with lock.read_locked():
+                        assert state["value"] >= 0
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert not any(t.is_alive() for t in threads)
+        expected = n_threads * len(range(0, per_thread, 3))
+        assert state["value"] == expected

@@ -262,6 +262,42 @@ def test_rep006_allows_immutable_defaults(tmp_path):
     assert found == []
 
 
+# -- REP008: RunLog._fh lock bypass -------------------------------------
+
+
+def test_rep008_flags_fh_access_outside_runner(tmp_path):
+    found = lint_source(tmp_path, (
+        "def tail(log):\n"
+        "    log._fh.write('{}\\n')\n"
+        "    return log._fh\n"), select="REP008")
+    assert codes(found) == ["REP008"] * 2
+    assert "bypasses the RunLog write lock" in found[0].message
+
+
+def test_rep008_exempts_the_defining_module(tmp_path):
+    found = lint_source(tmp_path, (
+        "class RunLog:\n"
+        "    def write(self, record):\n"
+        "        self._fh.write('{}\\n')\n"),
+        rel="src/repro/automl/runner.py", select="REP008")
+    assert found == []
+
+
+def test_rep008_out_of_scope_outside_repro(tmp_path):
+    found = lint_source(tmp_path, (
+        "def tail(log):\n"
+        "    return log._fh\n"), rel=NO_SCOPE, select="REP008")
+    assert found == []
+
+
+def test_rep008_allows_locked_write_calls(tmp_path):
+    found = lint_source(tmp_path, (
+        "def emit(log, record):\n"
+        "    log.write(record)\n"
+        "    log.close()\n"), select="REP008")
+    assert found == []
+
+
 # -- suppressions -------------------------------------------------------
 
 

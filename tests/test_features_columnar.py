@@ -323,3 +323,51 @@ class TestKnobValidation:
         cache[("space", "c")] = ["c"]  # triggers wholesale eviction
         assert len(cache) == 1
         assert ("space", "c") in cache
+
+    def test_token_cache_safe_under_concurrent_writers(self):
+        import threading
+
+        cache = TokenCache(max_entries=64)
+        n_threads, per_thread = 8, 500
+        barrier = threading.Barrier(n_threads)
+
+        def writer(thread_index):
+            barrier.wait()
+            for i in range(per_thread):
+                key = ("space", f"{thread_index}-{i % 100}")
+                cache[key] = [str(thread_index), str(i)]
+                hit = cache.get(key)
+                # A racing wholesale eviction may drop the entry, but a
+                # present entry is always whole.
+                assert hit is None or hit == [str(thread_index), str(i)]
+
+        threads = [threading.Thread(target=writer, args=(i,))
+                   for i in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(cache) <= 64
+
+
+class TestValueDedupKeys:
+    def test_negative_zero_not_collapsed_with_positive_zero(self):
+        """-0.0 == 0.0 (equal hash too) but str() renders them
+        differently, so they must stay distinct dedup entries —
+        regression for the columnar/naive mismatch on [-0.0 vs 0.0]."""
+        rows_a = [[-0.0, None, None], [0.0, None, None]]
+        rows_b = [[None, None, None], [None, None, None]]
+        pairs = make_pairs(rows_a, rows_b, [(0, 0), (1, 1)])
+        plan = [("name", m) for m in ALL_STRING_MEASURES]
+        generator = FeatureGenerator(plan)
+        np.testing.assert_array_equal(generator.transform(pairs),
+                                      generator.transform_naive(pairs))
+
+    def test_bool_and_float_one_stay_distinct(self):
+        rows_a = [[True, None, None], [1.0, None, None]]
+        rows_b = [["True", None, None], ["True", None, None]]
+        pairs = make_pairs(rows_a, rows_b, [(0, 0), (1, 1)])
+        plan = [("name", m) for m in ALL_STRING_MEASURES]
+        generator = FeatureGenerator(plan)
+        np.testing.assert_array_equal(generator.transform(pairs),
+                                      generator.transform_naive(pairs))

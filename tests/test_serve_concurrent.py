@@ -1,0 +1,372 @@
+"""Concurrency stress tests: MatchService and the locks down the stack.
+
+The tentpole guarantee under test: N barrier-started threads driving one
+:class:`MatchService` with hundreds of mixed ``submit`` /
+``submit_records`` / ``extend_index`` requests produce *bit-exact* the
+probabilities a sequential replay of each request produces, a valid
+non-interleaved JSONL request log, and ``ServeMetrics`` totals that sum
+correctly.  Every test runs under a ``faulthandler`` deadline so a
+deadlock dumps all thread stacks and fails fast instead of hanging CI.
+"""
+
+import faulthandler
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.automl.runner import RunLog, read_run_log
+from repro.blocking import BlockIndex, QGramBlocker
+from repro.features.cache import FeatureMatrixCache
+from repro.serve import (
+    MatchService,
+    ServeMetrics,
+    ServiceOverloaded,
+    StreamMatcher,
+)
+
+#: Hard per-test deadline: on expiry faulthandler dumps every thread's
+#: stack and kills the process, so a deadlock is a loud traceback in CI
+#: rather than a hung job.
+DEADLINE_SECONDS = 300.0
+
+
+@pytest.fixture(autouse=True)
+def deadlock_deadline():
+    faulthandler.dump_traceback_later(DEADLINE_SECONDS, exit=True)
+    yield
+    faulthandler.cancel_dump_traceback_later()
+
+
+@pytest.fixture()
+def bundle(trained_em):
+    return trained_em[0].export_bundle()
+
+
+def _run_threads(n_threads, target):
+    """Start ``n_threads`` barrier-synchronized threads and join them.
+
+    ``target(thread_index, barrier)`` must wait on the barrier itself so
+    every thread hits the service at the same instant.
+    """
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def _wrapped(i):
+        try:
+            target(i, barrier)
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=_wrapped, args=(i,))
+               for i in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+class TestMatchServiceStress:
+    N_THREADS = 8
+    REQUESTS_PER_THREAD = 26  # 8 x 26 = 208 >= 200 mixed requests
+
+    def test_stress_bit_exact_parity_log_and_metrics(
+            self, small_benchmark, trained_em, bundle, tmp_path):
+        _, _, _, test = trained_em
+        table_a, table_b = small_benchmark.table_a, small_benchmark.table_b
+        blocker = QGramBlocker("name", q=3, min_overlap=2)
+        catalog = list(table_b)
+        base = catalog[:len(catalog) // 2]
+        extra = catalog[len(catalog) // 2:]
+        # One extension chunk per producer thread, all non-empty.
+        chunk = max(1, len(extra) // self.N_THREADS)
+        extend_chunks = [extra[i * chunk:(i + 1) * chunk]
+                         for i in range(self.N_THREADS)]
+        extend_chunks = [c for c in extend_chunks if c]
+
+        index = BlockIndex(blocker, table_name=table_b.name,
+                           columns=table_b.columns)
+        index.add_records(base)
+
+        pair_slices = [test[start:start + 8]
+                       for start in range(0, min(len(test), 64), 8)]
+        probe_records = list(table_a)
+        record_slices = [probe_records[start:start + 5]
+                         for start in range(0, min(len(probe_records), 80),
+                                            5)]
+
+        log_path = tmp_path / "stress.jsonl"
+        matcher = StreamMatcher(bundle, index=index, request_log=log_path)
+        service = MatchService(matcher, workers=self.N_THREADS,
+                               max_queue=32, overflow="block")
+
+        submit_futures = []       # (slice_index, future)
+        records_futures = []      # (slice_index, future)
+        extend_futures = []
+        collected = threading.Lock()
+
+        def produce(thread_index, barrier):
+            rng = np.random.default_rng(1000 + thread_index)
+            ops = (["submit"] * 13 + ["records"] * 12 + ["extend"])
+            rng.shuffle(ops)
+            assert len(ops) == self.REQUESTS_PER_THREAD
+            barrier.wait()
+            for op_index, op in enumerate(ops):
+                if op == "extend":
+                    if thread_index < len(extend_chunks):
+                        future = service.extend_index(
+                            extend_chunks[thread_index])
+                        with collected:
+                            extend_futures.append(future)
+                elif op == "submit":
+                    j = (thread_index + op_index) % len(pair_slices)
+                    future = service.submit(pair_slices[j])
+                    with collected:
+                        submit_futures.append((j, future))
+                else:
+                    j = (thread_index * 7 + op_index) % len(record_slices)
+                    future = service.submit_records(record_slices[j])
+                    with collected:
+                        records_futures.append((j, future))
+
+        _run_threads(self.N_THREADS, produce)
+        submit_results = [(j, f.result()) for j, f in submit_futures]
+        records_results = [(j, f.result()) for j, f in records_futures]
+        extend_added = [f.result() for f in extend_futures]
+        service.close()
+
+        # -- extends all landed: the index holds the full catalog ------
+        assert sum(extend_added) == sum(len(c) for c in extend_chunks)
+        assert index.num_records == len(base) + sum(extend_added)
+
+        # -- bit-exact parity: pre-blocked submits vs sequential replay
+        replay = StreamMatcher(bundle)
+        expected_by_slice = {
+            j: replay.submit(pair_slices[j])
+            for j in {j for j, _ in submit_results}}
+        for j, result in submit_results:
+            expected = expected_by_slice[j]
+            assert np.array_equal(result.probabilities,
+                                  expected.probabilities)
+            assert np.array_equal(result.predictions, expected.predictions)
+
+        # -- bit-exact parity: record submits vs a sequential replay
+        # against the catalog snapshot each probe actually saw.  Extends
+        # serialize under the index write lock, so the observed states
+        # form one chain and a snapshot's record count identifies it.
+        replay_index_by_size = {}
+        for j, result in records_results:
+            snapshot = result.pairs.table_b
+            size = snapshot.num_rows
+            if size not in replay_index_by_size:
+                rebuilt = BlockIndex(blocker, table_name=snapshot.name,
+                                     columns=snapshot.columns)
+                rebuilt.add_records(snapshot)
+                replay_index_by_size[size] = StreamMatcher(bundle,
+                                                           index=rebuilt)
+            expected = replay_index_by_size[size].submit_records(
+                record_slices[j])
+            assert [p.key for p in result.pairs] == \
+                [p.key for p in expected.pairs]
+            assert np.array_equal(result.probabilities,
+                                  expected.probabilities)
+            assert np.array_equal(result.predictions, expected.predictions)
+        assert len(base) in replay_index_by_size or len(records_results) == 0
+
+        # -- ServeMetrics totals sum over exactly the served requests --
+        snapshot = matcher.metrics.snapshot()
+        scored = submit_results + records_results
+        assert snapshot["requests"] == len(scored)
+        assert snapshot["errors"] == 0
+        assert snapshot["rejected"] == 0
+        assert snapshot["pairs"] == sum(len(r) for _, r in scored)
+        assert snapshot["matches"] == sum(r.n_matches for _, r in scored)
+        assert 0 <= snapshot["max_queue_depth"] <= 32
+        assert service.queue_depth == 0
+
+        # -- the JSONL log is whole lines, one per request + summary ---
+        lines = [line for line in
+                 log_path.read_text(encoding="utf-8").splitlines() if line]
+        parsed = [json.loads(line) for line in lines]  # raises if torn
+        requests = [r for r in parsed if r["type"] == "request"]
+        assert len(requests) == len(scored)
+        request_ids = [r["request_id"] for r in requests]
+        assert len(set(request_ids)) == len(request_ids)
+        assert all(r["error"] is None for r in requests)
+        assert parsed[-1]["type"] == "summary"
+        assert parsed[-1]["requests"] == len(scored)
+
+    def test_single_worker_is_bit_identical_to_bare_matcher(
+            self, trained_em, bundle):
+        _, _, _, test = trained_em
+        slices = [test[start:start + 7] for start in range(0, len(test), 7)]
+
+        bare = StreamMatcher(bundle)
+        expected = [bare.submit(s) for s in slices]
+
+        matcher = StreamMatcher(trained_em[0].export_bundle())
+        with MatchService(matcher, workers=1) as service:
+            futures = [service.submit(s) for s in slices]
+            results = [f.result() for f in futures]
+
+        for result, reference in zip(results, expected):
+            assert np.array_equal(result.probabilities,
+                                  reference.probabilities)
+            assert np.array_equal(result.predictions,
+                                  reference.predictions)
+        assert matcher.metrics.snapshot()["requests"] == \
+            bare.metrics.snapshot()["requests"]
+
+
+class _StallingMatcher:
+    """StreamMatcher stand-in whose submit blocks until released."""
+
+    def __init__(self):
+        self.metrics = ServeMetrics()
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def submit(self, pairs):
+        self.started.set()
+        assert self.release.wait(timeout=60), "stalled request never freed"
+        return pairs
+
+    def close(self):
+        pass
+
+
+class TestBackpressure:
+    def test_reject_overflow_raises_and_counts(self):
+        stalled = _StallingMatcher()
+        service = MatchService(stalled, workers=1, max_queue=1,
+                               overflow="reject")
+        first = service.submit("a")
+        assert stalled.started.wait(timeout=60)
+        second = service.submit("b")  # fills the queue
+        with pytest.raises(ServiceOverloaded, match="queue is full"):
+            service.submit("c")
+        snapshot = stalled.metrics.snapshot()
+        assert snapshot["rejected"] == 1
+        assert snapshot["max_queue_depth"] == 1
+        stalled.release.set()
+        assert first.result(timeout=60) == "a"
+        assert second.result(timeout=60) == "b"
+        service.close()
+        # Shed requests are neither served requests nor errors.
+        final = stalled.metrics.snapshot()
+        assert final["rejected"] == 1
+        assert final["errors"] == 0
+
+    def test_block_overflow_throttles_instead(self):
+        stalled = _StallingMatcher()
+        service = MatchService(stalled, workers=1, max_queue=1,
+                               overflow="block")
+        first = service.submit("a")
+        assert stalled.started.wait(timeout=60)
+        second = service.submit("b")
+
+        blocked_future = []
+
+        def producer():
+            blocked_future.append(service.submit("c"))
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        thread.join(timeout=0.5)
+        assert thread.is_alive(), "third submit should block, not reject"
+        stalled.release.set()
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert first.result(timeout=60) == "a"
+        assert second.result(timeout=60) == "b"
+        assert blocked_future[0].result(timeout=60) == "c"
+        assert stalled.metrics.snapshot()["rejected"] == 0
+        service.close()
+
+    def test_invalid_construction(self):
+        stalled = _StallingMatcher()
+        with pytest.raises(ValueError, match="workers"):
+            MatchService(stalled, workers=0)
+        with pytest.raises(ValueError, match="max_queue"):
+            MatchService(stalled, max_queue=0)
+        with pytest.raises(ValueError, match="overflow"):
+            MatchService(stalled, overflow="drop")
+
+    def test_closed_service_rejects_new_requests(self):
+        stalled = _StallingMatcher()
+        stalled.release.set()
+        service = MatchService(stalled, workers=2)
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit("late")
+
+
+class TestFeatureMatrixCacheConcurrency:
+    def test_counters_and_capacity_under_contention(self):
+        cache = FeatureMatrixCache(max_entries=8)
+        n_threads = 8
+        ops_per_thread = 1500
+        lookups_issued = [0] * n_threads
+
+        def hammer(thread_index, barrier):
+            rng = np.random.default_rng(thread_index)
+            keys = rng.integers(0, 32, size=ops_per_thread)
+            stores = rng.random(ops_per_thread) < 0.3
+            barrier.wait()
+            for key, store in zip(keys, stores):
+                key = int(key)
+                if store:
+                    cache.store(key, np.full((2, 2), float(key)))
+                else:
+                    matrix = cache.lookup(key)
+                    lookups_issued[thread_index] += 1
+                    if matrix is not None:
+                        # Entries are copies: corruption here must never
+                        # reach another thread's lookup.
+                        assert np.all(matrix == float(key))
+                        matrix[:] = -1.0
+
+        _run_threads(n_threads, hammer)
+        assert cache.lookups == cache.hits + cache.misses
+        assert cache.lookups == sum(lookups_issued)
+        assert len(cache) <= 8
+        stats = cache.stats
+        assert stats["hits"] + stats["misses"] == cache.lookups
+
+
+class TestRunLogConcurrency:
+    def test_concurrent_writers_never_interleave_lines(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        log = RunLog(path)
+        n_threads, per_thread = 8, 200
+
+        def writer(thread_index, barrier):
+            barrier.wait()
+            for sequence in range(per_thread):
+                log.write({"type": "trial", "thread": thread_index,
+                           "sequence": sequence,
+                           "payload": "x" * (20 + thread_index)})
+
+        _run_threads(n_threads, writer)
+        log.close()
+        records = read_run_log(path)  # json.loads raises on a torn line
+        assert len(records) == n_threads * per_thread
+        for thread_index in range(n_threads):
+            mine = [r["sequence"] for r in records
+                    if r["thread"] == thread_index]
+            assert sorted(mine) == list(range(per_thread))
+
+    def test_racing_close_is_idempotent(self, tmp_path):
+        log = RunLog(tmp_path / "run.jsonl")
+        log.write({"type": "trial"})
+
+        def closer(thread_index, barrier):
+            barrier.wait()
+            log.close()
+
+        _run_threads(8, closer)
+        with pytest.raises(ValueError):
+            log.write({"type": "trial"})

@@ -233,6 +233,122 @@ class TestStandingIndex:
             stream.submit_records([])
 
 
+class TestSingleScoringPass:
+    """_score_pairs runs the estimator once per batch; decisions derive
+    from the probabilities already in hand (the double-scoring fix)."""
+
+    class _CountingPredictor:
+        def __init__(self, inner):
+            self.inner = inner
+            self.proba_calls = 0
+            self.predict_calls = 0
+
+        def predict_proba(self, X):
+            self.proba_calls += 1
+            return self.inner.predict_proba(X)
+
+        def predict(self, X):
+            self.predict_calls += 1
+            return self.inner.predict(X)
+
+    def test_estimator_runs_once_per_batch(self, trained_em, bundle):
+        _, _, _, test = trained_em
+        counting = self._CountingPredictor(bundle.predictor)
+        bundle.predictor = counting
+        result = BatchMatcher(bundle, batch_size=16).match_pairs(test)
+        assert counting.predict_calls == 0
+        assert counting.proba_calls == result.n_batches
+
+    def test_decide_matches_old_native_predict_path(self, trained_em,
+                                                    bundle):
+        """Parity with the old path: predictions equal what a second
+        ``bundle.predict(X)`` pass over the same features produces."""
+        _, _, _, test = trained_em
+        matcher = BatchMatcher(bundle)
+        result = matcher.match_pairs(test)
+        X = matcher.generator.transform(test)
+        assert np.array_equal(result.predictions, bundle.predict(X))
+        assert np.array_equal(result.probabilities,
+                              bundle.predict_proba(X))
+
+    def test_decide_matches_tuned_threshold_path(self, trained_em):
+        from repro.serve import ModelBundle
+
+        matcher, _, _, test = trained_em
+        native = matcher.export_bundle()
+        tuned = ModelBundle(native.predictor, plan=native.plan,
+                            schema=native.schema, threshold=0.4,
+                            sequence_max_chars=native.sequence_max_chars)
+        serve = BatchMatcher(tuned)
+        result = serve.match_pairs(test)
+        X = serve.generator.transform(test)
+        assert np.array_equal(result.predictions, tuned.predict(X))
+        assert np.array_equal(tuned.decide(result.probabilities),
+                              result.predictions)
+
+
+class TestEmptyCandidatePath:
+    """Zero-pair requests stay NaN- and warning-free end to end."""
+
+    def test_submit_empty_pairset(self, trained_em, bundle):
+        import warnings
+
+        _, _, _, test = trained_em
+        stream = StreamMatcher(bundle)
+        with warnings.catch_warnings(), np.errstate(all="raise"):
+            warnings.simplefilter("error")
+            result = stream.submit(test[:0])
+            scores = result.metrics()
+            snapshot = stream.metrics.snapshot()
+        assert len(result) == 0
+        assert result.n_matches == 0
+        assert len(result.probabilities) == 0
+        assert scores == {"precision": 0.0, "recall": 0.0, "f1": 0.0}
+        assert snapshot["requests"] == 1
+        assert snapshot["pairs"] == 0
+        assert not any(np.isnan(v) for v in snapshot.values()
+                       if isinstance(v, float))
+
+    def test_blocker_returning_no_candidates(self, small_benchmark,
+                                             bundle):
+        import warnings
+
+        from repro.blocking import QGramBlocker
+        from repro.data.table import Record
+
+        a, b = small_benchmark.table_a, small_benchmark.table_b
+        blocker = QGramBlocker("name", q=3, min_overlap=2)
+        stream = StreamMatcher(bundle, index=blocker.index(b))
+        # A probe record whose blocking attribute shares no q-grams
+        # with any catalog value yields zero candidates.
+        alien = Record(10**9, a.columns,
+                       ["\x01\x02\x03\x04" if c == "name" else None
+                        for c in a.columns])
+        with warnings.catch_warnings(), np.errstate(all="raise"):
+            warnings.simplefilter("error")
+            result = stream.submit_records([alien])
+            scores = result.metrics()
+        assert len(result) == 0
+        assert scores == {"precision": 0.0, "recall": 0.0, "f1": 0.0}
+        assert stream.metrics.snapshot()["errors"] == 0
+
+
+class TestHeterogeneousRecordBatch:
+    def test_mixed_schema_batch_rejected(self, small_benchmark, bundle):
+        from repro.blocking import QGramBlocker
+        from repro.data.table import Record
+
+        a, b = small_benchmark.table_a, small_benchmark.table_b
+        stream = StreamMatcher(bundle,
+                               index=QGramBlocker("name", q=3).index(b))
+        stray = Record(10**9, ("name", "unrelated"), ["x", "y"])
+        with pytest.raises(ValueError, match="heterogeneous record batch"):
+            stream.submit_records([a[0], stray])
+        # The good-path coercion is unchanged.
+        result = stream.submit_records([a[0], a[1]])
+        assert result.pairs.table_a.num_rows == 2
+
+
 class TestServeMetrics:
     def test_counters_and_derived_rates(self):
         metrics = ServeMetrics()
