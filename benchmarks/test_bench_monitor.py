@@ -1,0 +1,26 @@
+"""Opt-in perf gate: the drift-monitor tap adds < 10% serving latency.
+
+Skipped unless pytest is invoked with ``--perf`` (see conftest):
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_monitor.py --perf
+"""
+
+import json
+
+import pytest
+
+from bench_monitor import OVERHEAD_LIMIT, check_report, run_bench
+
+pytestmark = pytest.mark.perf
+
+
+def test_monitor_tap_overhead_under_limit(tmp_path):
+    report = run_bench(n_batches=40, batch_pairs=32, repeats=3, seed=0)
+    (tmp_path / "bench_monitor.json").write_text(
+        json.dumps(report, indent=2), encoding="utf-8")
+    assert check_report(report) == 0, report
+    assert report["overhead_fraction"] < OVERHEAD_LIMIT
+    # The cheap tap still did its whole job: every served row landed in
+    # the live state and the verdict had enough data.
+    assert report["monitored_rows"] == 40 * 32
+    assert report["drift_report_sufficient"]

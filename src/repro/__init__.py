@@ -12,6 +12,9 @@ Public API highlights:
 * :mod:`repro.serve` — deployable model bundles, the model registry and
   the batch/streaming matching service
   (``AutoMLEM.export_bundle`` → :class:`repro.serve.BatchMatcher`).
+* :mod:`repro.monitor` — drift detection, shadow champion/challenger
+  evaluation and retrain triggers closing the train → serve → observe →
+  retrain loop.
 """
 
 __version__ = "0.1.0"

@@ -17,6 +17,10 @@ The subcommands cover the common workflows without writing Python:
 * ``block`` — run one blocker over two tables, report pair
   completeness / reduction ratio, and optionally persist the standing
   block index for reuse (see :mod:`repro.blocking`);
+* ``monitor`` — drift detection, shadow champion/challenger
+  evaluation and retrain triggers over a serving bundle
+  (``watch`` / ``shadow`` / ``promote`` / ``report``; see
+  :mod:`repro.monitor`);
 * ``lint`` — run the AST-based reproducibility linter (REP rules)
   over source trees (see :mod:`repro.devtools`).
 """
@@ -164,6 +168,8 @@ def _write_predictions(result, path) -> None:
 
 
 def _cmd_export(args) -> int:
+    import time
+
     from .core import AutoMLEM, tune_threshold
 
     train, valid, test = _load_splits(args)
@@ -183,7 +189,11 @@ def _cmd_export(args) -> int:
         threshold = tuned.threshold
         print(f"tuned threshold={threshold:.4f} "
               f"(valid F1 {tuned.default_score:.4f} -> {tuned.score:.4f})")
-    bundle = matcher.export_bundle(threshold=threshold, metrics=result)
+    # exported_at feeds the monitor's staleness trigger (bundle age);
+    # cli.py is outside REP002's content-purity scope, so the wall
+    # clock is read here, not inside the export path.
+    bundle = matcher.export_bundle(threshold=threshold, metrics=result,
+                                   metadata={"exported_at": time.time()})
     if args.name:
         from .serve import ModelRegistry
 
@@ -406,6 +416,12 @@ def _cmd_block(args) -> int:
     return 0
 
 
+def _cmd_monitor(args) -> int:
+    from .monitor.cli import run
+
+    return run(args)
+
+
 def _cmd_lint(args) -> int:
     import sys
 
@@ -623,6 +639,10 @@ def build_parser() -> argparse.ArgumentParser:
     block.add_argument("--output", default=None,
                        help="write the candidate pairs CSV here")
 
+    from .monitor.cli import add_monitor_parser
+
+    add_monitor_parser(commands)
+
     lint = commands.add_parser(
         "lint", help="run the AST-based reproducibility linter")
     lint.add_argument("paths", nargs="*",
@@ -654,6 +674,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve-batch": _cmd_serve_batch,
         "serve-stream": _cmd_serve_stream,
         "block": _cmd_block,
+        "monitor": _cmd_monitor,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

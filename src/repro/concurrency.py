@@ -5,9 +5,11 @@ several threads" (:mod:`repro.serve.telemetry`), which makes every
 mutable structure on the serving path a concurrency boundary: the
 standing :class:`~repro.blocking.index.BlockIndex` grows while probes
 are in flight, caches reorder their LRU lists on every hit, and JSONL
-telemetry writers append from every worker.  This module holds the one
-primitive those call sites share that the stdlib does not provide: a
-reader–writer lock.
+telemetry writers append from every worker.  This module holds the
+primitives those call sites share that the stdlib does not provide: a
+reader–writer lock, and an every-Nth-event gate used by the monitoring
+layer to emit periodic drift records from concurrent workers without
+double-firing.
 
 :class:`ReadWriteLock` semantics:
 
@@ -133,3 +135,49 @@ class ReadWriteLock:
             return (f"ReadWriteLock(readers={self._active_readers}, "
                     f"writer={'held' if self._writer is not None else 'free'}, "
                     f"waiting_writers={self._waiting_writers})")
+
+
+class EventGate:
+    """A thread-safe "every Nth event" gate.
+
+    Many threads call :meth:`tick`; exactly one call out of every
+    ``interval`` returns ``True`` — the caller that crossed the
+    boundary — no matter how the calls interleave.  The monitoring
+    layer uses this to emit one drift record per N served requests
+    from a :class:`~repro.serve.service.MatchService` worker pool:
+    every worker ticks, one worker writes.
+
+    >>> gate = EventGate(100)
+    >>> if gate.tick():            # in any worker thread
+    ...     log.drift(monitor.report().as_dict())
+    """
+
+    def __init__(self, interval: int):
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self.interval = int(interval)
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def tick(self, n: int = 1) -> bool:
+        """Count ``n`` events; True iff this call crossed a boundary."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        with self._lock:
+            before = self._count
+            self._count += n
+            return self._count // self.interval > before // self.interval
+
+    @property
+    def count(self) -> int:
+        """Total events ticked so far."""
+        with self._lock:
+            return self._count
+
+    def reset(self) -> None:
+        """Zero the event counter (e.g. after a promotion)."""
+        with self._lock:
+            self._count = 0
+
+    def __repr__(self) -> str:
+        return f"EventGate(interval={self.interval}, count={self.count})"

@@ -59,6 +59,13 @@ class AutoMLEM:
         Optional JSONL telemetry path (or open
         :class:`~repro.automl.runner.RunLog`): one record per trial
         plus a run summary that includes feature-cache hit/miss stats.
+    capture_reference_profile:
+        When True (default), :meth:`fit` records a streaming
+        :class:`~repro.features.profile.ReferenceProfile` of the
+        training-time feature and score distributions
+        (``reference_profile_``), which :meth:`export_bundle` embeds in
+        the bundle manifest so the serving side can run drift
+        monitoring (:mod:`repro.monitor`) against it.
     resume_from:
         Optional prior run log / saved history to resume the search
         from (see :class:`repro.automl.optimizer.AutoML`).
@@ -79,6 +86,7 @@ class AutoMLEM:
                  trial_timeout: float | None = None,
                  trial_isolation: str = "auto",
                  run_log=None, resume_from=None,
+                 capture_reference_profile: bool = True,
                  seed: int = 0, verbose: bool = False):
         if feature_plan not in ("autoem", "magellan"):
             raise ValueError(
@@ -101,6 +109,7 @@ class AutoMLEM:
         self.trial_isolation = trial_isolation
         self.run_log = run_log
         self.resume_from = resume_from
+        self.capture_reference_profile = capture_reference_profile
         self.seed = seed
         self.verbose = verbose
 
@@ -133,7 +142,13 @@ class AutoMLEM:
             infer_schema_types(train.table_a, train.table_b).items()}
         X_train = self.feature_generator_.transform(train)
         X_valid = self.feature_generator_.transform(valid)
-        return self.fit_matrices(X_train, train.labels, X_valid, valid.labels)
+        self.fit_matrices(X_train, train.labels, X_valid, valid.labels)
+        if self.capture_reference_profile:
+            # Profile the matrices already in hand (train + valid —
+            # the distribution the winning model actually saw), scored
+            # once by the fitted model for the score/match-rate side.
+            self._capture_reference_profile(np.vstack([X_train, X_valid]))
+        return self
 
     def fit_matrices(self, X_train, y_train, X_valid, y_valid) -> "AutoMLEM":
         """Fit from precomputed feature matrices (the fast path)."""
@@ -154,6 +169,20 @@ class AutoMLEM:
         self.automl_.fit(X_train, y_train, X_valid, y_valid,
                          run_context=self._run_context())
         return self
+
+    def _capture_reference_profile(self, X: np.ndarray) -> None:
+        """Accumulate the training-time feature/score distributions."""
+        from ..features.profile import ProfileAccumulator
+
+        generator = self.feature_generator_
+        names = [f"{attribute}__{measure}"
+                 for attribute, measure in generator.plan]
+        accumulator = ProfileAccumulator(names, seed=self.seed)
+        probabilities = self.automl_.predict_proba(X)[:, 1]
+        predictions = self.automl_.predict(X)
+        accumulator.update(X, probabilities=probabilities,
+                           predictions=predictions)
+        self.reference_profile_ = accumulator.finalize()
 
     def _run_context(self) -> dict:
         """Run-summary telemetry context: feature plan + cache stats."""
@@ -240,6 +269,7 @@ class AutoMLEM:
         if metrics is not None:
             info["metrics"] = dict(metrics)
         info.update(metadata or {})
+        reference = getattr(self, "reference_profile_", None)
         bundle = ModelBundle(
             predictor, plan=list(generator.plan),
             schema=getattr(self, "schema_", None)
@@ -247,7 +277,9 @@ class AutoMLEM:
                 for attribute, _ in generator.plan},
             threshold=threshold,
             sequence_max_chars=generator.sequence_max_chars,
-            metadata=info)
+            metadata=info,
+            reference_profile=(None if reference is None
+                               else reference.as_dict()))
         if path is not None:
             bundle.save(path, overwrite=overwrite)
         return bundle

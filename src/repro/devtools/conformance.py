@@ -26,6 +26,13 @@ Checks on ``components.py``:
 Checks on ``registry.py``: every ``SimilarityMeasure`` entry references
 a function that exists (in the sibling module it names, at call arity
 two), and measure names are unique.
+
+Checks on ``monitor/triggers.py``: every ``ALL_POLICIES`` entry is a
+class defined in the module that subclasses ``TriggerPolicy``, carries
+a unique class-level string ``name``, and defines (or inherits a
+non-abstract) ``evaluate`` — the same conventions the similarity
+registry follows, so policy plug-ins fail ``repro lint`` instead of a
+monitoring run.
 """
 
 from __future__ import annotations
@@ -359,4 +366,146 @@ def check_similarity_registry(path: Path,
                        f"module level in the registry",
                        "registry entries must reference module-level "
                        "functions (picklable, importable)")
+    return violations
+
+
+def _class_str_attr(node: ast.ClassDef, attr: str) -> str | None:
+    """A class-level string assignment ``attr = "..."``, or None."""
+    for item in node.body:
+        targets: list[ast.expr] = []
+        if isinstance(item, ast.Assign):
+            targets, value = item.targets, item.value
+        elif isinstance(item, ast.AnnAssign) and item.value is not None:
+            targets, value = [item.target], item.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == attr \
+                    and isinstance(value, ast.Constant) \
+                    and isinstance(value.value, str):
+                return value.value
+    return None
+
+
+def _only_raises_not_implemented(func: ast.FunctionDef) -> bool:
+    """Is the function body just an abstract ``raise NotImplementedError``?"""
+    statements = [stmt for stmt in func.body
+                  if not (isinstance(stmt, ast.Expr)
+                          and isinstance(stmt.value, ast.Constant))]
+    if len(statements) != 1 or not isinstance(statements[0], ast.Raise):
+        return False
+    exc = statements[0].exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    return isinstance(exc, ast.Name) and exc.id == "NotImplementedError"
+
+
+def check_trigger_registry(path: Path,
+                           rel: str | None = None) -> list[Violation]:
+    """REP007 findings for a ``monitor/triggers.py`` file.
+
+    Mirrors the similarity-registry conventions: ``ALL_POLICIES``
+    entries must be classes defined in the module, subclass
+    ``TriggerPolicy``, expose a unique class-level string ``name`` and
+    a concrete ``evaluate`` (own or inherited, not the abstract base
+    stub).
+    """
+    rel = rel or path.as_posix()
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    violations: list[Violation] = []
+
+    def report(lineno: int, col: int, message: str, hint: str) -> None:
+        violations.append(Violation(
+            code=CODE, path=rel, line=lineno, col=col, message=message,
+            hint=hint, line_text=""))
+
+    classes = {node.name: node for node in tree.body
+               if isinstance(node, ast.ClassDef)}
+
+    def subclasses_policy(name: str, seen: set[str] | None = None) -> bool:
+        if name == "TriggerPolicy":
+            return True
+        seen = seen or set()
+        if name in seen or name not in classes:
+            return False
+        seen.add(name)
+        return any(subclasses_policy(base.id, seen)
+                   for base in classes[name].bases
+                   if isinstance(base, ast.Name))
+
+    def concrete_evaluate(name: str) -> bool:
+        current: str | None = name
+        while current is not None and current in classes:
+            node = classes[current]
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef) \
+                        and item.name == "evaluate":
+                    return not _only_raises_not_implemented(item)
+            bases = [base.id for base in node.bases
+                     if isinstance(base, ast.Name)]
+            current = bases[0] if bases else None
+        return False
+
+    entries: list[tuple[str, int, int]] = []
+    found_registry = False
+    for node in ast.walk(tree):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == "ALL_POLICIES"
+                   for t in targets):
+            continue
+        found_registry = True
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            report(node.lineno, node.col_offset,
+                   "ALL_POLICIES must be a literal tuple of policy classes",
+                   "list every TriggerPolicy subclass explicitly")
+            continue
+        for elt in value.elts:
+            if isinstance(elt, ast.Name):
+                entries.append((elt.id, elt.lineno, elt.col_offset))
+            else:
+                report(elt.lineno, elt.col_offset,
+                       "ALL_POLICIES entry is not a bare class name",
+                       "register classes, not instances or expressions")
+
+    if not found_registry:
+        report(1, 0, "no ALL_POLICIES registry found",
+               "export the policy catalog as ALL_POLICIES")
+
+    seen_names: dict[str, str] = {}
+    for cls_name, lineno, col in entries:
+        node = classes.get(cls_name)
+        if node is None:
+            report(lineno, col,
+                   f"ALL_POLICIES entry {cls_name} is not a class defined "
+                   f"in the module",
+                   "register only classes defined in monitor/triggers.py")
+            continue
+        if not subclasses_policy(cls_name):
+            report(node.lineno, node.col_offset,
+                   f"{cls_name} does not subclass TriggerPolicy",
+                   "derive registered policies from TriggerPolicy")
+        policy_name = _class_str_attr(node, "name")
+        if policy_name is None or policy_name == "base":
+            report(node.lineno, node.col_offset,
+                   f"{cls_name} lacks its own class-level string `name`",
+                   "give every registered policy a distinct name attribute")
+        elif policy_name in seen_names:
+            report(node.lineno, node.col_offset,
+                   f"duplicate policy name {policy_name!r} (also on "
+                   f"{seen_names[policy_name]})",
+                   "policy names must be unique registry keys")
+        else:
+            seen_names[policy_name] = cls_name
+        if not concrete_evaluate(cls_name):
+            report(node.lineno, node.col_offset,
+                   f"{cls_name} neither defines nor inherits a concrete "
+                   f"evaluate()",
+                   "implement evaluate(status) returning a RetrainPlan "
+                   "or None")
     return violations

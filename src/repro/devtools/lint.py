@@ -39,6 +39,7 @@ DEFAULT_TARGETS = ("src", "tests", "benchmarks")
 #: File-name suffixes that anchor the project-level REP007 checks.
 _COMPONENTS_ANCHOR = "repro/automl/components.py"
 _REGISTRY_ANCHOR = "repro/similarity/registry.py"
+_TRIGGERS_ANCHOR = "repro/monitor/triggers.py"
 
 
 def iter_python_files(paths: Iterable[Path]) -> list[Path]:
@@ -94,6 +95,8 @@ def lint_paths(paths: Sequence[Path | str], *,
                 found.extend(conformance.check_components(path, rel))
             elif rel.endswith(_REGISTRY_ANCHOR):
                 found.extend(conformance.check_similarity_registry(path, rel))
+            elif rel.endswith(_TRIGGERS_ANCHOR):
+                found.extend(conformance.check_trigger_registry(path, rel))
         violations.extend(_apply_suppressions(ctx, found))
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return violations
@@ -162,9 +165,11 @@ def _print_rule_catalog(out) -> None:
                  else "scope: " + ", ".join(rule.scope))
         print(f"          {scope}; hint: {rule.hint}", file=out)
     print(f"  {conformance.CODE}  registry/component conformance "
-          f"(automl components + similarity registry)", file=out)
-    print("          anchored on repro/automl/components.py and "
-          "repro/similarity/registry.py", file=out)
+          f"(automl components + similarity and trigger registries)",
+          file=out)
+    print("          anchored on repro/automl/components.py, "
+          "repro/similarity/registry.py and repro/monitor/triggers.py",
+          file=out)
 
 
 def run_lint(paths: Sequence[str], *, baseline: str = DEFAULT_BASELINE,

@@ -106,6 +106,10 @@ class WallClockInHashedPath(Rule):
     distinct fingerprints).  Scoped to the packages whose outputs are
     hashed; telemetry and latency measurement elsewhere may use clocks
     freely (``time.monotonic``/``perf_counter`` are never flagged).
+
+    :mod:`repro.monitor` is the one deliberate carve-out: staleness
+    triggers compare ``exported_at`` against the wall clock by design,
+    and nothing in the monitoring layer feeds a fingerprint.
     """
 
     code = "REP002"
@@ -113,7 +117,8 @@ class WallClockInHashedPath(Rule):
     hint = ("keep fingerprint/cache/feature code content-pure; take "
             "timestamps in telemetry layers and pass them in as values")
     scope = ("repro.features", "repro.data", "repro.similarity",
-             "repro.serve.bundle", "repro.serve.registry")
+             "repro.serve", "repro.monitor")
+    exclude = ("repro.monitor",)
 
     def check(self, ctx: ModuleContext) -> Iterator[Violation]:
         imports = ImportMap.of(ctx.tree)

@@ -4,6 +4,12 @@ from .autoem import TABLE_II, autoem_feature_plan, autoem_measures_for
 from .cache import FeatureMatrixCache, pairs_fingerprint, plan_fingerprint
 from .columnar import TokenCache, columnar_transform
 from .magellan import TABLE_I, magellan_feature_plan, magellan_measures_for
+from .profile import (
+    FeatureProfile,
+    ProfileAccumulator,
+    ReferenceProfile,
+    Reservoir,
+)
 from .types import DataType, infer_column_type, infer_schema_types
 from .vectorize import (
     FeatureGenerator,
@@ -15,6 +21,10 @@ __all__ = [
     "DataType",
     "FeatureGenerator",
     "FeatureMatrixCache",
+    "FeatureProfile",
+    "ProfileAccumulator",
+    "ReferenceProfile",
+    "Reservoir",
     "TABLE_I",
     "TABLE_II",
     "TokenCache",

@@ -1,0 +1,327 @@
+"""Streaming feature-distribution profiles — the reference side of drift
+detection.
+
+A deployed matcher degrades when the traffic it scores stops looking
+like the data it was trained on.  Detecting that requires a *reference*
+description of the training-time feature distribution that is (a) cheap
+to compare against live traffic and (b) small enough to travel inside a
+:class:`~repro.serve.bundle.ModelBundle` manifest.  This module builds
+that description:
+
+* :class:`Reservoir` — a seeded fixed-size reservoir sampler (Algorithm
+  R, vectorized per batch) so arbitrarily long streams reduce to a
+  bounded, deterministic sample;
+* :class:`FeatureProfile` — one feature column's summary: quantile bin
+  edges + occupancy fractions (for PSI), null rate, moments, and a
+  bounded sorted sample (for two-sample KS);
+* :class:`ReferenceProfile` — the per-feature profiles plus the model's
+  score distribution and match rate, JSON round-trippable;
+* :class:`ProfileAccumulator` — streaming accumulation over feature
+  matrices: ``update(X, ...)`` per batch, ``finalize()`` once.  The
+  serving path feeds it the matrices it already computes, so profiling
+  adds no second featurization pass.
+
+Everything here is content-pure: given the same batches and seed, the
+profile is bit-identical — no clocks, no environment reads (REP002
+holds for this module; the wall-clock side of monitoring lives in
+:mod:`repro.monitor`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+#: Default number of quantile bins per feature (PSI granularity).
+DEFAULT_BINS = 10
+#: Default reservoir capacity feeding bin edges and moments.
+DEFAULT_RESERVOIR = 1024
+#: Default stored-sample cap per feature (KS granularity; manifest size).
+DEFAULT_SAMPLE = 256
+
+
+class Reservoir:
+    """Seeded fixed-size reservoir sample of a float stream.
+
+    Classic Algorithm R with the acceptance draws vectorized per batch:
+    the first ``size`` values fill the reservoir, every later value at
+    stream position ``n`` replaces a uniformly-chosen slot with
+    probability ``size / (n + 1)``.  Deterministic given the seed and
+    the update sequence, so profiles built from the same stream twice
+    are identical.
+    """
+
+    def __init__(self, size: int, seed: int = 0):
+        if size < 1:
+            raise ValueError(f"reservoir size must be >= 1, got {size}")
+        self.size = size
+        self.n_seen = 0
+        self._rng = np.random.default_rng(seed)
+        self._values = np.empty(size, dtype=np.float64)
+
+    def update(self, values: np.ndarray) -> None:
+        """Fold a batch of finite values into the reservoir."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        start = 0
+        if self.n_seen < self.size:
+            take = min(self.size - self.n_seen, len(values))
+            self._values[self.n_seen:self.n_seen + take] = values[:take]
+            self.n_seen += take
+            start = take
+        rest = values[start:]
+        if len(rest) == 0:
+            return
+        # Vectorized Algorithm R: value at stream position n lands in a
+        # uniformly drawn slot j of [0, n]; it is kept iff j < size.
+        # Fancy assignment applies in order, so a later value winning
+        # the same slot overwrites an earlier one — exactly the
+        # sequential semantics.
+        positions = self.n_seen + np.arange(len(rest), dtype=np.float64)
+        slots = (self._rng.random(len(rest)) * (positions + 1.0)).astype(
+            np.int64)
+        accepted = slots < self.size
+        self._values[slots[accepted]] = rest[accepted]
+        self.n_seen += len(rest)
+
+    def sample(self) -> np.ndarray:
+        """The current sample (a copy, in reservoir-slot order)."""
+        return self._values[:min(self.n_seen, self.size)].copy()
+
+    def __len__(self) -> int:
+        return min(self.n_seen, self.size)
+
+
+def _subsample_sorted(values: np.ndarray, cap: int) -> np.ndarray:
+    """At most ``cap`` order statistics of ``values`` (deterministic)."""
+    ordered = np.sort(values)
+    if len(ordered) <= cap:
+        return ordered
+    picks = np.linspace(0, len(ordered) - 1, cap).round().astype(np.int64)
+    return ordered[picks]
+
+
+@dataclass
+class FeatureProfile:
+    """Distribution summary of one feature column.
+
+    ``bin_edges`` are ``len(bin_fractions) + 1`` monotonically
+    increasing quantile edges over the *non-null* values;
+    ``bin_fractions`` sum to 1 over the non-null mass.  Live traffic is
+    binned against the same edges with the outermost bins open-ended,
+    so out-of-range drift lands in the edge bins.  ``sample`` is a
+    bounded sorted subsample for two-sample KS.
+    """
+
+    name: str
+    bin_edges: list[float]
+    bin_fractions: list[float]
+    null_rate: float
+    mean: float
+    std: float
+    n: int
+    sample: list[float] = field(default_factory=list)
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.bin_fractions)
+
+    def bin_counts(self, values: np.ndarray) -> np.ndarray:
+        """Histogram ``values`` (finite only) against this profile's
+        edges; the first/last bins absorb out-of-range values."""
+        interior = np.asarray(self.bin_edges[1:-1], dtype=np.float64)
+        return np.bincount(
+            np.searchsorted(interior, values, side="right"),
+            minlength=self.n_bins).astype(np.int64)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "bin_edges": [float(v) for v in self.bin_edges],
+            "bin_fractions": [float(v) for v in self.bin_fractions],
+            "null_rate": float(self.null_rate),
+            "mean": float(self.mean),
+            "std": float(self.std),
+            "n": int(self.n),
+            "sample": [float(v) for v in self.sample],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FeatureProfile":
+        return cls(name=str(payload["name"]),
+                   bin_edges=[float(v) for v in payload["bin_edges"]],
+                   bin_fractions=[float(v) for v in payload["bin_fractions"]],
+                   null_rate=float(payload["null_rate"]),
+                   mean=float(payload["mean"]),
+                   std=float(payload["std"]),
+                   n=int(payload["n"]),
+                   sample=[float(v) for v in payload.get("sample", [])])
+
+
+@dataclass
+class ReferenceProfile:
+    """The training-time distribution contract a monitor compares against.
+
+    ``features`` follow the bundle's feature-plan order; ``score`` is
+    the distribution of the trained model's P(match) over the reference
+    rows (named ``__score__``) and ``match_rate`` its decision rate.
+    Serialized into the bundle ``MANIFEST.json`` via :meth:`as_dict`.
+    """
+
+    features: list[FeatureProfile]
+    score: FeatureProfile | None
+    match_rate: float
+    n_rows: int
+
+    @property
+    def feature_names(self) -> list[str]:
+        return [profile.name for profile in self.features]
+
+    def feature(self, name: str) -> FeatureProfile:
+        for profile in self.features:
+            if profile.name == name:
+                return profile
+        raise KeyError(f"no feature named {name!r} in the profile "
+                       f"(features: {self.feature_names})")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "features": [profile.as_dict() for profile in self.features],
+            "score": None if self.score is None else self.score.as_dict(),
+            "match_rate": float(self.match_rate),
+            "n_rows": int(self.n_rows),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ReferenceProfile":
+        score = payload.get("score")
+        return cls(
+            features=[FeatureProfile.from_dict(item)
+                      for item in payload["features"]],
+            score=None if score is None else FeatureProfile.from_dict(score),
+            match_rate=float(payload["match_rate"]),
+            n_rows=int(payload["n_rows"]))
+
+
+class _ColumnAccumulator:
+    """Streaming state of one feature column (reservoir + exact moments)."""
+
+    def __init__(self, name: str, seed_key: tuple[int, int],
+                 reservoir_size: int):
+        self.name = name
+        self.reservoir = Reservoir(reservoir_size,
+                                   seed=np.random.SeedSequence(
+                                       seed_key).generate_state(1)[0])
+        self.n = 0
+        self.n_null = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+
+    def update(self, column: np.ndarray) -> None:
+        finite = column[np.isfinite(column)]
+        self.n += len(column)
+        self.n_null += len(column) - len(finite)
+        if len(finite):
+            self.total += float(finite.sum())
+            self.total_sq += float(np.square(finite).sum())
+            self.reservoir.update(finite)
+
+    def finalize(self, n_bins: int, sample_size: int) -> FeatureProfile:
+        values = self.reservoir.sample()
+        n_finite = self.n - self.n_null
+        if n_finite > 0:
+            mean = self.total / n_finite
+            variance = max(0.0, self.total_sq / n_finite - mean * mean)
+            std = float(np.sqrt(variance))
+        else:
+            mean = std = 0.0
+        if len(values) == 0:
+            # All-null column: a single degenerate bin keeps the profile
+            # well-formed; PSI over it is 0 and drift shows as null shift.
+            return FeatureProfile(self.name, [0.0, 0.0], [1.0],
+                                  null_rate=1.0 if self.n else 0.0,
+                                  mean=mean, std=std, n=self.n, sample=[])
+        edges = np.unique(np.quantile(
+            values, np.linspace(0.0, 1.0, n_bins + 1)))
+        if len(edges) < 2:  # constant column
+            edges = np.array([edges[0], edges[0]])
+        profile = FeatureProfile(
+            self.name, [float(v) for v in edges], [], 0.0, mean, std, self.n)
+        counts = profile.bin_counts(values)
+        profile.bin_fractions = [float(v) for v in counts / counts.sum()]
+        profile.null_rate = self.n_null / self.n if self.n else 0.0
+        profile.sample = [float(v)
+                          for v in _subsample_sorted(values, sample_size)]
+        return profile
+
+
+class ProfileAccumulator:
+    """Streaming builder of a :class:`ReferenceProfile`.
+
+    Feed it the feature matrices (and model outputs) the training or
+    serving path already produces::
+
+        acc = ProfileAccumulator(generator.feature_names, seed=0)
+        for X, probs, preds in batches:
+            acc.update(X, probabilities=probs, predictions=preds)
+        profile = acc.finalize()
+
+    Per-feature reservoirs are independently seeded from ``seed``, so
+    accumulation order across *batches* does not matter for exact
+    counters and is reproducible for sampled state.
+    """
+
+    def __init__(self, feature_names: list[str], *,
+                 n_bins: int = DEFAULT_BINS,
+                 reservoir_size: int = DEFAULT_RESERVOIR,
+                 sample_size: int = DEFAULT_SAMPLE, seed: int = 0):
+        if not feature_names:
+            raise ValueError("profile needs at least one feature name")
+        if n_bins < 1:
+            raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+        self.feature_names = [str(name) for name in feature_names]
+        self.n_bins = n_bins
+        self.sample_size = sample_size
+        self._columns = [
+            _ColumnAccumulator(name, (seed, index), reservoir_size)
+            for index, name in enumerate(self.feature_names)]
+        self._score = _ColumnAccumulator(
+            "__score__", (seed, len(self.feature_names)), reservoir_size)
+        self._n_rows = 0
+        self._n_scored = 0
+        self._n_matches = 0
+
+    def update(self, X: np.ndarray,
+               probabilities: np.ndarray | None = None,
+               predictions: np.ndarray | None = None) -> None:
+        """Fold one feature-matrix batch (and model outputs) in."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != len(self._columns):
+            raise ValueError(
+                f"expected a (n, {len(self._columns)}) matrix, got shape "
+                f"{X.shape}")
+        self._n_rows += X.shape[0]
+        for index, column in enumerate(self._columns):
+            column.update(X[:, index])
+        if probabilities is not None:
+            probabilities = np.asarray(probabilities,
+                                       dtype=np.float64).ravel()
+            self._score.update(probabilities)
+        if predictions is not None:
+            predictions = np.asarray(predictions).ravel()
+            self._n_scored += len(predictions)
+            self._n_matches += int((predictions == 1).sum())
+
+    def finalize(self) -> ReferenceProfile:
+        """The accumulated :class:`ReferenceProfile` (streaming state is
+        left intact; call again after more updates for a newer cut)."""
+        score = (self._score.finalize(self.n_bins, self.sample_size)
+                 if self._score.n else None)
+        return ReferenceProfile(
+            features=[column.finalize(self.n_bins, self.sample_size)
+                      for column in self._columns],
+            score=score,
+            match_rate=(self._n_matches / self._n_scored
+                        if self._n_scored else 0.0),
+            n_rows=self._n_rows)

@@ -1,0 +1,84 @@
+"""MonitorLog: JSONL telemetry for the monitoring loop.
+
+Extends :class:`~repro.automl.runner.RunLog` (one flushed JSON object
+per line, lock-serialized writes) with the monitoring record types:
+
+* ``{"type": "drift", ...}`` — one :class:`~repro.monitor.drift.
+  DriftReport` reduction (``report.as_dict()`` plus caller context);
+* ``{"type": "shadow", ...}`` — one shadow-scored request (champion
+  vs challenger deltas) or a final shadow summary;
+* ``{"type": "trigger", ...}`` — a :class:`~repro.monitor.triggers.
+  RetrainPlan` emitted by a trigger policy;
+* ``{"type": "promotion", ...}`` — a registry ``LATEST`` flip.
+
+Records may carry volatile measurement fields (latencies, wall-clock
+timestamps) next to the deterministic drift/disagreement statistics.
+:func:`deterministic_view` strips the volatile fields so two runs over
+identical traffic compare equal record-for-record — that is the replay
+contract the closed-loop test asserts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from ..automl.runner import RunLog, read_run_log
+
+#: Keys whose values are wall-clock measurements, never content.
+VOLATILE_KEYS = frozenset({
+    "latency", "elapsed", "timestamp", "created_at", "wall_time",
+    "overhead",
+})
+
+
+class MonitorLog(RunLog):
+    """JSONL monitoring telemetry (drift / shadow / trigger records)."""
+
+    def drift(self, report: dict[str, Any], **context: Any) -> None:
+        """Append one drift-report reduction."""
+        self.write({"type": "drift", **context, **report})
+
+    def shadow(self, **fields: Any) -> None:
+        """Append one shadow observation (or the final summary)."""
+        self.write({"type": "shadow", **fields})
+
+    def trigger(self, plan: dict[str, Any], **context: Any) -> None:
+        """Append one emitted retrain plan."""
+        self.write({"type": "trigger", **context, **plan})
+
+    def promotion(self, **fields: Any) -> None:
+        """Append one registry promotion (LATEST flip)."""
+        self.write({"type": "promotion", **fields})
+
+
+def read_monitor_log(path: str | Path) -> list[dict[str, Any]]:
+    """All records of a monitor JSONL log (blank lines skipped)."""
+    return read_run_log(path)
+
+
+def _strip_volatile(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {key: _strip_volatile(item) for key, item in value.items()
+                if not _is_volatile(key)}
+    if isinstance(value, list):
+        return [_strip_volatile(item) for item in value]
+    return value
+
+
+def _is_volatile(key: Any) -> bool:
+    return isinstance(key, str) and (
+        key in VOLATILE_KEYS or "latency" in key
+        or key.endswith(("_elapsed", "_overhead", "_time", "_at")))
+
+
+def deterministic_view(records: list[dict[str, Any]]
+                       ) -> list[dict[str, Any]]:
+    """Records with every volatile (timing) field removed, recursively.
+
+    Two monitoring runs over identical traffic with identical seeds
+    produce equal deterministic views even though their latency and
+    timestamp fields differ — the replay-determinism contract of the
+    monitor log.
+    """
+    return [_strip_volatile(record) for record in records]

@@ -1,0 +1,64 @@
+"""Drift statistics: PSI and two-sample KS over bounded samples.
+
+Pure numpy functions shared by the drift monitor and its tests.  Both
+statistics compare a *reference* description captured at export time
+(:mod:`repro.features.profile`) against *live* state accumulated on the
+serving path; both are deterministic given their inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Fraction floor in PSI so empty bins contribute a finite penalty.
+PSI_EPSILON = 1e-4
+
+
+def psi(reference_fractions: np.ndarray,
+        live_fractions: np.ndarray) -> float:
+    """Population stability index between two binned distributions.
+
+    ``sum((live - ref) * ln(live / ref))`` over aligned bins, with both
+    sides floored at :data:`PSI_EPSILON` so a bin that is empty on one
+    side contributes a large-but-finite term.  Common reading: < 0.1 is
+    stable, 0.1–0.25 is moderate shift, >= 0.25 is drift.
+    """
+    reference = np.asarray(reference_fractions, dtype=np.float64)
+    live = np.asarray(live_fractions, dtype=np.float64)
+    if reference.shape != live.shape:
+        raise ValueError(
+            f"fraction vectors must align, got {reference.shape} vs "
+            f"{live.shape}")
+    if reference.size == 0:
+        return 0.0
+    reference = np.clip(reference, PSI_EPSILON, None)
+    live = np.clip(live, PSI_EPSILON, None)
+    reference = reference / reference.sum()
+    live = live / live.sum()
+    return float(np.sum((live - reference) * np.log(live / reference)))
+
+
+def ks_statistic(sample_a: np.ndarray, sample_b: np.ndarray) -> float:
+    """Two-sample Kolmogorov–Smirnov D statistic.
+
+    The maximum vertical distance between the two empirical CDFs,
+    evaluated at every observed value.  Returns 0.0 when either sample
+    is empty (no evidence either way).
+    """
+    a = np.sort(np.asarray(sample_a, dtype=np.float64).ravel())
+    b = np.sort(np.asarray(sample_b, dtype=np.float64).ravel())
+    if len(a) == 0 or len(b) == 0:
+        return 0.0
+    support = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, support, side="right") / len(a)
+    cdf_b = np.searchsorted(b, support, side="right") / len(b)
+    return float(np.max(np.abs(cdf_a - cdf_b)))
+
+
+def fractions(counts: np.ndarray) -> np.ndarray:
+    """Counts → fractions (all-zero counts stay all-zero, not nan)."""
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        return np.zeros_like(counts)
+    return counts / total

@@ -1,0 +1,95 @@
+"""Synthetic live traffic for monitor smoke runs and closed-loop tests.
+
+Drift detection needs two kinds of traffic to prove itself: a control
+stream distributed like the training data (the monitor must stay
+quiet) and a drifted stream (the monitor must fire).  This module
+builds both from a benchmark pair set by re-rendering the probe-side
+records through :mod:`repro.data.synthetic.corruption` — the same
+operators the benchmark generator uses to dirty source B, so "drift"
+here means realistically degraded values (typos, abbreviations,
+dropped tokens, nulls), not arbitrary noise.
+
+Everything is seeded: the same pair set, profile and seed yield the
+same corrupted tables, which is what lets the closed-loop test assert
+deterministic monitor-log replay.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, cast
+
+import numpy as np
+
+from ..data.pairs import PairSet, RecordPair
+from ..data.synthetic.corruption import CorruptionProfile, Corruptor
+from ..data.table import Table, Value
+
+#: A deliberately heavy corruption mix: frequent typos/abbreviations,
+#: token loss and — the strongest drift signal — injected missing
+#: values shifting per-feature null rates.
+DRIFT_PROFILE = CorruptionProfile(
+    typo_prob=0.6, abbreviation_prob=0.5, token_drop_prob=0.4,
+    token_swap_prob=0.3, missing_prob=0.25, numeric_jitter=0.5,
+    numeric_missing_prob=0.25)
+
+
+def corrupt_table(table: Table, profile: CorruptionProfile,
+                  seed: int = 0) -> Table:
+    """A copy of ``table`` with every value re-rendered dirty.
+
+    Values are corrupted by type (string / numeric / boolean); ``None``
+    stays missing.  Record ids are preserved so existing pair
+    structures can be re-targeted at the corrupted table.
+    """
+    corruptor = Corruptor(profile, np.random.default_rng(seed))
+    rows: list[list[Value]] = []
+    for record in table:
+        row: list[Value] = []
+        for value in record.values:
+            if value is None:
+                row.append(None)
+            elif isinstance(value, bool):
+                row.append(corruptor.corrupt_boolean(value))
+            elif isinstance(value, float):
+                row.append(corruptor.corrupt_numeric(value))
+            else:
+                row.append(corruptor.corrupt_string(str(value)))
+        rows.append(row)
+    return Table(f"{table.name}-drifted", table.columns, rows,
+                 ids=[record.record_id for record in table])
+
+
+def drifted_pairs(pairs: PairSet, profile: CorruptionProfile |
+                  None = None, *, factor: float = 1.0,
+                  seed: int = 0) -> PairSet:
+    """``pairs`` with the probe (A) side re-rendered through a
+    corruption profile — same pair ids, drifted values.
+
+    ``factor`` scales :data:`DRIFT_PROFILE` (or the given profile), so
+    a sweep from quiet to heavy drift is one knob.
+    """
+    profile = (profile or DRIFT_PROFILE).scaled(factor)
+    dirty_a = corrupt_table(pairs.table_a, profile, seed=seed)
+    repaired = [RecordPair(dirty_a.by_id(pair.left.record_id),
+                           pair.right, pair.label)
+                for pair in pairs]
+    return PairSet(dirty_a, pairs.table_b, repaired)
+
+
+def request_batches(pairs: PairSet, batch_pairs: int, *,
+                    n_batches: int | None = None,
+                    seed: int = 0) -> Iterator[PairSet]:
+    """Seeded stream of request-sized batches drawn from ``pairs``.
+
+    Batches are sampled with replacement (live traffic repeats
+    entities), so any request volume can be generated from a small
+    benchmark.  ``n_batches=None`` yields one epoch's worth.
+    """
+    if batch_pairs < 1:
+        raise ValueError(f"batch_pairs must be >= 1, got {batch_pairs}")
+    rng = np.random.default_rng(seed)
+    if n_batches is None:
+        n_batches = max(1, len(pairs) // batch_pairs)
+    for _ in range(n_batches):
+        indices = rng.integers(0, len(pairs), size=batch_pairs)
+        yield cast(PairSet, pairs[indices])

@@ -15,6 +15,12 @@ artifact and back into predictions:
 * :class:`MatchService` — a thread-pool front-end over one
   :class:`StreamMatcher` with a bounded request queue and configurable
   backpressure (:class:`ServiceOverloaded` on overflow in reject mode).
+
+The matchers expose ``monitor=`` / ``shadow=`` taps (the
+:class:`MonitorTap` / :class:`ShadowTap` protocols) feeding the
+observation layer in :mod:`repro.monitor` — drift detection and
+champion/challenger shadow evaluation ride the matrices the serving
+path already computes.
 """
 
 from .bundle import (
@@ -24,7 +30,13 @@ from .bundle import (
     ModelBundle,
     SchemaMismatchError,
 )
-from .matcher import BatchMatcher, MatchResult, StreamMatcher
+from .matcher import (
+    BatchMatcher,
+    MatchResult,
+    MonitorTap,
+    ShadowTap,
+    StreamMatcher,
+)
 from .registry import ModelRegistry
 from .service import MatchService, ServiceOverloaded
 from .telemetry import RequestLog, ServeMetrics
@@ -38,7 +50,9 @@ __all__ = [
     "MatchService",
     "ModelBundle",
     "ModelRegistry",
+    "MonitorTap",
     "RequestLog",
+    "ShadowTap",
     "ServeMetrics",
     "SchemaMismatchError",
     "ServiceOverloaded",

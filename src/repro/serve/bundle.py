@@ -95,6 +95,12 @@ class ModelBundle:
     metadata:
         Free-form JSON-serializable provenance: training metrics, the
         winning configuration, search settings, timestamps.
+    reference_profile:
+        Optional training-time feature/score distribution summary (a
+        :meth:`repro.features.profile.ReferenceProfile.as_dict`
+        payload), stored in the manifest so a drift monitor can be
+        attached to the loaded bundle
+        (:meth:`repro.monitor.FeatureDriftMonitor.for_bundle`).
     """
 
     def __init__(self, predictor: Any,
@@ -102,7 +108,8 @@ class ModelBundle:
                  schema: dict[str, str],
                  threshold: float | None = None,
                  sequence_max_chars: int | None = None,
-                 metadata: dict | None = None):
+                 metadata: dict | None = None,
+                 reference_profile: dict | None = None):
         self.predictor = predictor
         self.plan = [(str(a), str(m)) for a, m in plan]
         if not self.plan:
@@ -116,11 +123,13 @@ class ModelBundle:
         self.threshold = None if threshold is None else float(threshold)
         self.sequence_max_chars = sequence_max_chars
         self.metadata = dict(metadata or {})
+        self.reference_profile = (None if reference_profile is None
+                                  else dict(reference_profile))
 
     # -- identity -------------------------------------------------------
 
     def _manifest_payload(self, pipeline_checksum: str) -> dict:
-        return {
+        payload = {
             "format_version": FORMAT_VERSION,
             "plan": [list(slot) for slot in self.plan],
             "schema": self.schema,
@@ -130,6 +139,11 @@ class ModelBundle:
             "metadata": self.metadata,
             "checksums": {PIPELINE_NAME: pipeline_checksum},
         }
+        # Additive, optional key: bundles without a profile keep their
+        # pre-monitoring manifests (and fingerprints) byte-identical.
+        if self.reference_profile is not None:
+            payload["reference_profile"] = self.reference_profile
+        return payload
 
     @property
     def fingerprint(self) -> str:
@@ -271,7 +285,8 @@ class ModelBundle:
                      schema=manifest["schema"],
                      threshold=manifest.get("threshold"),
                      sequence_max_chars=manifest.get("sequence_max_chars"),
-                     metadata=manifest.get("metadata"))
+                     metadata=manifest.get("metadata"),
+                     reference_profile=manifest.get("reference_profile"))
         return bundle
 
     def __repr__(self) -> str:

@@ -49,6 +49,27 @@ class Blocker(Protocol):
     def block(self, table_a: Table, table_b: Table) -> PairSet: ...
 
 
+class MonitorTap(Protocol):
+    """Drift-monitor hook fed per scored micro-batch.
+
+    The matcher passes the feature matrix it already computed plus the
+    model outputs, so monitoring adds no second featurization pass (see
+    :class:`repro.monitor.FeatureDriftMonitor`).
+    """
+
+    def observe(self, X: np.ndarray, probabilities: np.ndarray,
+                predictions: np.ndarray) -> None: ...
+
+
+class ShadowTap(Protocol):
+    """Champion/challenger hook fed per served request, after the
+    champion's response exists (see
+    :class:`repro.monitor.ShadowEvaluator`)."""
+
+    def observe(self, pairs: PairSet, probabilities: np.ndarray,
+                predictions: np.ndarray, latency: float) -> None: ...
+
+
 @dataclass
 class MatchResult:
     """Scored candidate pairs from one matching request."""
@@ -83,13 +104,17 @@ class _MatcherBase:
 
     def __init__(self, bundle: ModelBundle, *, n_jobs: int = 1,
                  cache: FeatureMatrixCache | bool | None = None,
-                 request_log: RequestLog | str | Path | None = None):
+                 request_log: RequestLog | str | Path | None = None,
+                 monitor: MonitorTap | None = None,
+                 shadow: ShadowTap | None = None):
         self.bundle = bundle
         self.generator = bundle.feature_generator(n_jobs=n_jobs, cache=cache)
         self.metrics = ServeMetrics()
         self._own_log = not isinstance(request_log, RequestLog)
         self.request_log = RequestLog.ensure(request_log)
         self._request_ids = itertools.count(1)
+        self.monitor = monitor
+        self.shadow = shadow
 
     def _score_pairs(self, pairs: PairSet, batch_size: int | None
                      ) -> MatchResult:
@@ -112,6 +137,9 @@ class _MatcherBase:
             batch_probabilities = self.bundle.predict_proba(X)
             probabilities[start:stop] = batch_probabilities
             predictions[start:stop] = self.bundle.decide(batch_probabilities)
+            if self.monitor is not None:
+                self.monitor.observe(X, batch_probabilities,
+                                     predictions[start:stop])
             n_batches += 1
             max_rows = max(max_rows, len(batch))
         return MatchResult(pairs, probabilities, predictions,
@@ -141,6 +169,9 @@ class _MatcherBase:
         latency = time.monotonic() - started
         self.metrics.observe(len(result), result.n_matches, latency,
                              max_batch_rows=result.max_batch_rows)
+        if self.shadow is not None:
+            self.shadow.observe(pairs, result.probabilities,
+                                result.predictions, latency)
         if self.request_log is not None:
             self.request_log.request(
                 request_id=request_id, kind=kind, n_pairs=len(result),
@@ -184,16 +215,23 @@ class BatchMatcher(_MatcherBase):
         Forwarded to the bundle's :class:`FeatureGenerator`.
     request_log:
         Optional JSONL telemetry path (or open :class:`RequestLog`).
+    monitor / shadow:
+        Optional monitoring taps (:class:`MonitorTap` per scored
+        micro-batch, :class:`ShadowTap` per served request) — see
+        :mod:`repro.monitor`.
     """
 
     def __init__(self, bundle: ModelBundle, blocker: Blocker | None = None,
                  *, batch_size: int = 4096, n_jobs: int = 1,
                  cache: FeatureMatrixCache | bool | None = None,
-                 request_log: RequestLog | str | Path | None = None):
+                 request_log: RequestLog | str | Path | None = None,
+                 monitor: MonitorTap | None = None,
+                 shadow: ShadowTap | None = None):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         super().__init__(bundle, n_jobs=n_jobs, cache=cache,
-                         request_log=request_log)
+                         request_log=request_log, monitor=monitor,
+                         shadow=shadow)
         self.blocker = blocker
         self.batch_size = batch_size
 
@@ -239,9 +277,12 @@ class StreamMatcher(_MatcherBase):
                  index: BlockIndex | None = None,
                  max_batch_rows: int | None = None, n_jobs: int = 1,
                  cache: FeatureMatrixCache | bool | None = None,
-                 request_log: RequestLog | str | Path | None = None):
+                 request_log: RequestLog | str | Path | None = None,
+                 monitor: MonitorTap | None = None,
+                 shadow: ShadowTap | None = None):
         super().__init__(bundle, n_jobs=n_jobs, cache=cache,
-                         request_log=request_log)
+                         request_log=request_log, monitor=monitor,
+                         shadow=shadow)
         if max_batch_rows is not None and max_batch_rows < 1:
             raise ValueError(
                 f"max_batch_rows must be >= 1, got {max_batch_rows}")

@@ -100,8 +100,24 @@ class ModelRegistry:
                     out[entry.name] = versions
         return out
 
+    def versions(self, name: str) -> list[str]:
+        """All published versions of ``name``, oldest first."""
+        self._check_name(name)
+        versions = self._versions(self.root / name)
+        if not versions:
+            raise KeyError(f"no model named {name!r} in registry "
+                           f"{self.root}")
+        return versions
+
     def latest(self, name: str) -> str:
-        """The newest version string of ``name``."""
+        """The version ``LATEST`` points at (the serving champion).
+
+        A missing or stale pointer (no file, or a version whose bundle
+        is gone) falls back to a directory scan — and rewrites
+        ``LATEST`` to the scan result, so one corrupted pointer heals
+        itself instead of forcing every future reader down the
+        slow path.
+        """
         model_dir = self.root / name
         latest_file = model_dir / LATEST_NAME
         if latest_file.exists():
@@ -112,7 +128,24 @@ class ModelRegistry:
         if not versions:
             raise KeyError(f"no model named {name!r} in registry "
                            f"{self.root}")
+        self._write_latest(model_dir, versions[-1])
         return versions[-1]
+
+    def promote(self, name: str, version: str) -> str:
+        """Atomically point ``LATEST`` at an existing ``version``.
+
+        The shadow-evaluation path to a new champion: the challenger is
+        already a registered version; promotion is one tmp-file +
+        ``os.replace`` of the pointer, so concurrent readers see either
+        the old champion or the new one, never a partial pointer.
+        Returns the promoted version.
+        """
+        model_dir = self.root / name
+        if not (model_dir / version / MANIFEST_NAME).exists():
+            raise KeyError(f"no bundle for {name!r} version {version!r} "
+                           f"in registry {self.root}")
+        self._write_latest(model_dir, version)
+        return version
 
     def path(self, name: str, version: str | None = None) -> Path:
         """Bundle directory for ``name`` at ``version`` (default latest)."""

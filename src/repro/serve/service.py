@@ -37,14 +37,17 @@ from __future__ import annotations
 
 import queue
 import threading
-from collections.abc import Callable, Iterable
+from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import Future
 from types import TracebackType
-from typing import Union
+from typing import TYPE_CHECKING, Union
 
 from ..data.pairs import PairSet
 from ..data.table import Record, Table
 from .matcher import MatchResult, StreamMatcher
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids serve↔monitor cycle)
+    from ..monitor.triggers import RetrainPlan, TriggerPolicy
 
 #: Queue sentinel: one per worker, enqueued by close() to stop the pool.
 _SHUTDOWN = object()
@@ -157,6 +160,49 @@ class MatchService:
         if not isinstance(records, Table):
             records = list(records)
         return self._enqueue(lambda: self.matcher.extend_index(records))
+
+    # -- monitoring ----------------------------------------------------
+
+    def check_trigger(self, policies: "Sequence[TriggerPolicy] | None"
+                      = None, *, resume_from: str | None = None
+                      ) -> "RetrainPlan | None":
+        """Evaluate retrain triggers over the service's observed state.
+
+        Assembles a :class:`~repro.monitor.triggers.MonitorStatus` from
+        whatever monitoring is attached to the wrapped matcher — the
+        drift monitor's current report, the shadow evaluator's summary,
+        the metrics snapshot, and the served bundle's age — and runs it
+        through ``policies`` (default:
+        :func:`~repro.monitor.triggers.default_policies`).  Returns the
+        first firing policy's :class:`~repro.monitor.triggers.
+        RetrainPlan` (with ``resume_from`` stamped on) or ``None``.
+        Safe to call while workers are serving: drift reports take the
+        monitor's read lock only.
+        """
+        from ..monitor.triggers import (
+            MonitorStatus,
+            bundle_age_seconds,
+            default_policies,
+            evaluate_policies,
+        )
+
+        monitor = getattr(self.matcher, "monitor", None)
+        shadow = getattr(self.matcher, "shadow", None)
+        snapshot = self.metrics.snapshot()
+        status = MonitorStatus(
+            drift=(monitor.report()
+                   if monitor is not None and hasattr(monitor, "report")
+                   else None),
+            shadow=(shadow.summary()
+                    if shadow is not None and hasattr(shadow, "summary")
+                    else None),
+            metrics=snapshot,
+            requests_since_export=snapshot["requests"],
+            bundle_age=bundle_age_seconds(self.matcher.bundle.metadata))
+        if policies is None:
+            policies = default_policies()
+        return evaluate_policies(list(policies), status,
+                                 resume_from=resume_from)
 
     # -- worker pool ---------------------------------------------------
 

@@ -1,11 +1,12 @@
-"""ReadWriteLock semantics: sharing, exclusion, reentrancy, misuse."""
+"""ReadWriteLock and EventGate semantics: sharing, exclusion,
+reentrancy, misuse, every-Nth gating."""
 
 import threading
 import time
 
 import pytest
 
-from repro.concurrency import ReadWriteLock
+from repro.concurrency import EventGate, ReadWriteLock
 
 
 def _in_thread(fn, timeout=30.0):
@@ -118,3 +119,68 @@ class TestReadWriteLock:
         assert not any(t.is_alive() for t in threads)
         expected = n_threads * len(range(0, per_thread, 3))
         assert state["value"] == expected
+
+
+class TestEventGate:
+    def test_fires_exactly_every_nth_tick(self):
+        gate = EventGate(3)
+        fired = [gate.tick() for _ in range(9)]
+        assert fired == [False, False, True] * 3
+        assert gate.count == 9
+
+    def test_interval_one_fires_every_time(self):
+        gate = EventGate(1)
+        assert [gate.tick() for _ in range(4)] == [True] * 4
+
+    def test_bulk_tick_crossing_multiple_boundaries_fires_once(self):
+        """tick(n) reports boundary crossings, not a per-event count —
+        a 25-event batch over a 10-gate is one True, and the next
+        boundary arrives 5 events later."""
+        gate = EventGate(10)
+        assert gate.tick(25) is True
+        assert gate.tick(4) is False
+        assert gate.tick(1) is True   # crosses 30
+        assert gate.count == 30
+
+    def test_zero_tick_is_a_no_op(self):
+        gate = EventGate(5)
+        assert gate.tick(0) is False
+        assert gate.count == 0
+
+    def test_reset_restarts_the_cycle(self):
+        gate = EventGate(4)
+        for _ in range(3):
+            gate.tick()
+        gate.reset()
+        assert gate.count == 0
+        assert [gate.tick() for _ in range(4)] == [False, False, False,
+                                                   True]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError, match="interval"):
+            EventGate(0)
+        with pytest.raises(ValueError, match="n must be"):
+            EventGate(3).tick(-1)
+
+    def test_concurrent_ticks_fire_exactly_once_per_boundary(self):
+        gate = EventGate(10)
+        n_threads, per_thread = 8, 250
+        fired = [0] * n_threads
+        barrier = threading.Barrier(n_threads)
+
+        def worker(index):
+            barrier.wait()
+            for _ in range(per_thread):
+                if gate.tick():
+                    fired[index] += 1
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert not any(thread.is_alive() for thread in threads)
+        total = n_threads * per_thread
+        assert gate.count == total
+        assert sum(fired) == total // 10

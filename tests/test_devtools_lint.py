@@ -455,7 +455,8 @@ def test_seeding_a_violation_is_caught(tmp_path):
 # -- typed public API ---------------------------------------------------
 
 #: Packages pinned to mypy's disallow_untyped_defs in pyproject.toml.
-STRICT_PACKAGES = ("blocking", "data", "features", "similarity", "serve")
+STRICT_PACKAGES = ("blocking", "data", "features", "similarity", "serve",
+                   "monitor")
 
 
 def _unannotated_defs(tree):

@@ -1,0 +1,154 @@
+"""Tests for reference profiles (Reservoir, FeatureProfile, accumulator)."""
+
+import numpy as np
+import pytest
+
+from repro.features import (
+    FeatureProfile,
+    ProfileAccumulator,
+    ReferenceProfile,
+    Reservoir,
+)
+
+
+class TestReservoir:
+    def test_fills_then_caps(self):
+        reservoir = Reservoir(8, seed=0)
+        reservoir.update(np.arange(5, dtype=float))
+        assert len(reservoir) == 5
+        reservoir.update(np.arange(100, dtype=float))
+        assert len(reservoir) == 8
+        assert reservoir.n_seen == 105
+
+    def test_deterministic_for_seed_and_stream(self):
+        def run():
+            reservoir = Reservoir(16, seed=42)
+            for start in range(0, 200, 7):
+                reservoir.update(np.arange(start, start + 7, dtype=float))
+            return reservoir.sample()
+
+        assert np.array_equal(run(), run())
+
+    def test_batched_equals_elementwise(self):
+        """Vectorized Algorithm R == the sequential algorithm it models."""
+        values = np.random.default_rng(1).normal(size=300)
+        batched = Reservoir(10, seed=5)
+        batched.update(values)
+        one_by_one = Reservoir(10, seed=5)
+        for value in values:
+            one_by_one.update(np.array([value]))
+        assert np.array_equal(batched.sample(), one_by_one.sample())
+
+    def test_sample_is_roughly_uniform(self):
+        reservoir = Reservoir(200, seed=0)
+        reservoir.update(np.arange(10_000, dtype=float))
+        # A uniform sample of [0, 10k) has mean ~5k; allow a wide band.
+        assert 3_500 < reservoir.sample().mean() < 6_500
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError, match="size"):
+            Reservoir(0)
+
+
+class TestFeatureProfile:
+    def test_bin_counts_align_with_edges(self):
+        profile = FeatureProfile("f", [0.0, 1.0, 2.0, 3.0],
+                                 [1 / 3, 1 / 3, 1 / 3],
+                                 null_rate=0.0, mean=1.5, std=1.0, n=3)
+        counts = profile.bin_counts(np.array([0.5, 1.5, 2.5]))
+        assert counts.tolist() == [1, 1, 1]
+
+    def test_outer_bins_absorb_out_of_range(self):
+        profile = FeatureProfile("f", [0.0, 1.0, 2.0, 3.0],
+                                 [1 / 3, 1 / 3, 1 / 3],
+                                 null_rate=0.0, mean=1.5, std=1.0, n=3)
+        counts = profile.bin_counts(np.array([-100.0, 100.0]))
+        assert counts.tolist() == [1, 0, 1]
+
+    def test_round_trip(self):
+        profile = FeatureProfile("f", [0.0, 0.5, 1.0], [0.4, 0.6],
+                                 null_rate=0.1, mean=0.5, std=0.2, n=50,
+                                 sample=[0.1, 0.9])
+        assert FeatureProfile.from_dict(profile.as_dict()) == profile
+
+
+class TestProfileAccumulator:
+    def _accumulate(self, seed=0, batch=50):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(200, 3))
+        X[rng.random(200) < 0.2, 0] = np.nan  # feature 0 has nulls
+        probs = rng.random(200)
+        preds = (probs > 0.7).astype(int)
+        acc = ProfileAccumulator(["a", "b", "c"], seed=seed)
+        for start in range(0, 200, batch):
+            stop = start + batch
+            acc.update(X[start:stop], probabilities=probs[start:stop],
+                       predictions=preds[start:stop])
+        return acc.finalize()
+
+    def test_profile_contents(self):
+        reference = self._accumulate()
+        assert reference.n_rows == 200
+        assert reference.feature_names == ["a", "b", "c"]
+        assert reference.score is not None
+        assert reference.score.name == "__score__"
+        assert 0.0 < reference.match_rate < 1.0
+        drifty = reference.feature("a")
+        assert 0.1 < drifty.null_rate < 0.35
+        assert reference.feature("b").null_rate == 0.0
+        assert sum(drifty.bin_fractions) == pytest.approx(1.0)
+        assert len(drifty.bin_edges) == len(drifty.bin_fractions) + 1
+
+    def test_batching_does_not_change_exact_state(self):
+        small = self._accumulate(batch=13)
+        large = self._accumulate(batch=200)
+        for a, b in zip(small.features, large.features):
+            assert a.null_rate == b.null_rate
+            assert a.n == b.n
+            assert a.mean == pytest.approx(b.mean)
+            assert a.std == pytest.approx(b.std)
+
+    def test_deterministic_given_seed(self):
+        assert self._accumulate().as_dict() == self._accumulate().as_dict()
+
+    def test_json_round_trip(self):
+        reference = self._accumulate()
+        payload = reference.as_dict()
+        restored = ReferenceProfile.from_dict(payload)
+        assert restored.as_dict() == payload
+
+    def test_score_side_optional(self):
+        acc = ProfileAccumulator(["a"])
+        acc.update(np.ones((10, 1)))
+        reference = acc.finalize()
+        assert reference.score is None
+        assert reference.match_rate == 0.0
+
+    def test_all_null_column_yields_degenerate_bin(self):
+        acc = ProfileAccumulator(["a"])
+        acc.update(np.full((30, 1), np.nan))
+        profile = acc.finalize().feature("a")
+        assert profile.null_rate == 1.0
+        assert profile.bin_fractions == [1.0]
+
+    def test_constant_column_is_well_formed(self):
+        acc = ProfileAccumulator(["a"])
+        acc.update(np.full((30, 1), 2.5))
+        profile = acc.finalize().feature("a")
+        assert sum(profile.bin_fractions) == pytest.approx(1.0)
+        counts = profile.bin_counts(np.full(5, 2.5))
+        assert counts.sum() == 5
+
+    def test_shape_mismatch_raises(self):
+        acc = ProfileAccumulator(["a", "b"])
+        with pytest.raises(ValueError, match="matrix"):
+            acc.update(np.ones((4, 3)))
+
+    def test_unknown_feature_raises(self):
+        reference = self._accumulate()
+        with pytest.raises(KeyError, match="ghost"):
+            reference.feature("ghost")
+
+    def test_empty_feature_names_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ProfileAccumulator([])

@@ -1,0 +1,90 @@
+"""Tests for the drift statistics (PSI, two-sample KS, fractions)."""
+
+import numpy as np
+import pytest
+
+from repro.monitor import fractions, ks_statistic, psi
+from repro.monitor.stats import PSI_EPSILON
+
+
+class TestPSI:
+    def test_identical_distributions_are_zero(self):
+        ref = np.array([0.1, 0.2, 0.3, 0.4])
+        assert psi(ref, ref) == pytest.approx(0.0)
+
+    def test_is_symmetric(self):
+        a = np.array([0.1, 0.2, 0.3, 0.4])
+        b = np.array([0.4, 0.3, 0.2, 0.1])
+        assert psi(a, b) == pytest.approx(psi(b, a))
+
+    def test_larger_shift_scores_higher(self):
+        ref = np.array([0.25, 0.25, 0.25, 0.25])
+        mild = np.array([0.30, 0.25, 0.25, 0.20])
+        wild = np.array([0.70, 0.10, 0.10, 0.10])
+        assert psi(ref, mild) < psi(ref, wild)
+
+    def test_empty_bins_stay_finite(self):
+        ref = np.array([0.5, 0.5, 0.0])
+        live = np.array([0.0, 0.0, 1.0])
+        value = psi(ref, live)
+        assert np.isfinite(value)
+        assert value > 1.0  # a gross shift, clearly over any threshold
+
+    def test_all_zero_live_side_is_finite(self):
+        # Before any traffic arrives the live fractions are all zero;
+        # the epsilon floor turns that into a large finite PSI, and the
+        # min_rows gate (not the statistic) keeps the verdict quiet.
+        value = psi(np.array([0.5, 0.5]), np.zeros(2))
+        assert np.isfinite(value)
+
+    def test_empty_vectors_are_zero(self):
+        assert psi(np.array([]), np.array([])) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="align"):
+            psi(np.array([0.5, 0.5]), np.array([1.0]))
+
+    def test_epsilon_floor_bounds_single_empty_bin(self):
+        ref = np.array([1.0, 0.0])
+        live = np.array([1.0, 0.0])
+        assert psi(ref, live) == pytest.approx(0.0)
+        assert PSI_EPSILON < 1e-3
+
+
+class TestKS:
+    def test_identical_samples_are_zero(self):
+        a = np.linspace(0, 1, 50)
+        assert ks_statistic(a, a) == pytest.approx(0.0)
+
+    def test_disjoint_supports_are_one(self):
+        a = np.linspace(0.0, 1.0, 30)
+        b = np.linspace(5.0, 6.0, 30)
+        assert ks_statistic(a, b) == pytest.approx(1.0)
+
+    def test_matches_known_value(self):
+        # CDFs of {0, 1} vs {0.5}: max gap is 0.5 at x=0 (0.5 vs 0.0),
+        # then 0.5 again at 0.5 (0.5 vs 1.0).
+        assert ks_statistic(np.array([0.0, 1.0]),
+                            np.array([0.5])) == pytest.approx(0.5)
+
+    def test_empty_side_is_zero(self):
+        assert ks_statistic(np.array([]), np.array([1.0, 2.0])) == 0.0
+        assert ks_statistic(np.array([1.0]), np.array([])) == 0.0
+
+    def test_agrees_with_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(3)
+        a = rng.normal(0, 1, 200)
+        b = rng.normal(0.5, 1.3, 150)
+        expected = scipy_stats.ks_2samp(a, b).statistic
+        assert ks_statistic(a, b) == pytest.approx(expected)
+
+
+class TestFractions:
+    def test_normalizes_counts(self):
+        assert fractions(np.array([1, 1, 2])).tolist() == [0.25, 0.25, 0.5]
+
+    def test_all_zero_counts_stay_zero(self):
+        result = fractions(np.zeros(4, dtype=np.int64))
+        assert result.tolist() == [0.0] * 4
+        assert not np.isnan(result).any()

@@ -208,3 +208,79 @@ class TestRegistry:
         registry.register(bundle, "model")
         (tmp_path / "reg" / "model" / "LATEST").unlink()
         assert registry.latest("model") == "v0002"
+
+    def test_versions_lists_oldest_first(self, bundle, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        for _ in range(3):
+            registry.register(bundle, "model")
+        assert registry.versions("model") == ["v0001", "v0002", "v0003"]
+        with pytest.raises(KeyError, match="no model"):
+            registry.versions("ghost")
+
+    def test_promote_flips_latest_atomically(self, bundle, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.register(bundle, "model")
+        registry.register(bundle, "model")
+        assert registry.latest("model") == "v0002"
+        assert registry.promote("model", "v0001") == "v0001"
+        assert registry.latest("model") == "v0001"
+        with pytest.raises(KeyError, match="no bundle"):
+            registry.promote("model", "v9999")
+
+    def test_stale_pointer_is_rewritten_on_disk(self, bundle, tmp_path):
+        """latest() self-heals: a pointer at a deleted version falls
+        back to a directory scan AND rewrites LATEST, so only the first
+        reader pays for the scan."""
+        import shutil
+
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.register(bundle, "model")
+        registry.register(bundle, "model")
+        shutil.rmtree(tmp_path / "reg" / "model" / "v0002")
+        pointer = tmp_path / "reg" / "model" / "LATEST"
+        assert pointer.read_text().strip() == "v0002"  # now stale
+        assert registry.latest("model") == "v0001"
+        assert pointer.read_text().strip() == "v0001"  # healed
+
+    def test_garbage_pointer_contents_also_heal(self, bundle, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.register(bundle, "model")
+        pointer = tmp_path / "reg" / "model" / "LATEST"
+        pointer.write_text("not-a-version\n")
+        assert registry.latest("model") == "v0001"
+        assert pointer.read_text().strip() == "v0001"
+
+
+class TestReferenceProfile:
+    def test_export_embeds_profile_in_manifest(self, trained_em, tmp_path):
+        matcher, _, _, _ = trained_em
+        matcher.export_bundle(tmp_path / "b")
+        manifest = json.loads(
+            (tmp_path / "b" / MANIFEST_NAME).read_text())
+        profile = manifest["reference_profile"]
+        names = [f"{attribute}__{measure}"
+                 for attribute, measure in manifest["plan"]]
+        assert [f["name"] for f in profile["features"]] == names
+        assert profile["n_rows"] > 0
+
+    def test_profile_round_trips_through_load(self, trained_em, tmp_path):
+        matcher, _, _, _ = trained_em
+        bundle = matcher.export_bundle(tmp_path / "b")
+        restored = ModelBundle.load(tmp_path / "b")
+        assert restored.reference_profile == bundle.reference_profile
+
+    def test_manifest_key_is_additive(self, trained_em, tmp_path):
+        """Bundles without a profile simply omit the key — FORMAT_VERSION
+        is unchanged and old manifests stay loadable."""
+        from repro.core import AutoMLEM
+
+        _, train, valid, _ = trained_em
+        plain = AutoMLEM(n_iterations=1, forest_size=4, seed=0,
+                         capture_reference_profile=False)
+        plain.fit(train, valid)
+        plain.export_bundle(tmp_path / "plain")
+        manifest = json.loads(
+            (tmp_path / "plain" / MANIFEST_NAME).read_text())
+        assert "reference_profile" not in manifest
+        assert ModelBundle.load(tmp_path / "plain").reference_profile \
+            is None

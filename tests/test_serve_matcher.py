@@ -369,6 +369,110 @@ class TestServeMetrics:
         snapshot = ServeMetrics().snapshot()
         assert snapshot["mean_latency"] == 0.0
         assert snapshot["pairs_per_second"] == 0.0
+        assert snapshot["p50_latency"] == 0.0
+        assert snapshot["p99_latency"] == 0.0
+
+    def test_latency_histogram_buckets(self):
+        from repro.serve.telemetry import LATENCY_BUCKETS
+
+        metrics = ServeMetrics()
+        for latency in (0.0005, 0.004, 0.004, 0.3, 42.0):
+            metrics.observe(1, 0, latency)
+        buckets = metrics.snapshot()["latency_buckets"]
+        assert len(buckets) == len(LATENCY_BUCKETS) + 1
+        assert sum(buckets) == 5
+        assert buckets[0] == 1            # <= 1ms
+        assert buckets[LATENCY_BUCKETS.index(0.005)] == 2
+        assert buckets[LATENCY_BUCKETS.index(0.5)] == 1
+        assert buckets[-1] == 1           # the open +inf bucket
+
+    def test_percentiles_are_bucket_upper_bounds(self):
+        metrics = ServeMetrics()
+        for _ in range(98):
+            metrics.observe(1, 0, 0.002)  # -> 2.5ms bucket
+        metrics.observe(1, 0, 0.2)        # -> 250ms bucket
+        metrics.observe(1, 0, 3.0)        # -> 5s bucket
+        snapshot = metrics.snapshot()
+        assert snapshot["p50_latency"] == 0.0025
+        assert snapshot["p95_latency"] == 0.0025
+        assert snapshot["p99_latency"] == 0.25
+
+    def test_open_bucket_percentile_reports_observed_max(self):
+        metrics = ServeMetrics()
+        metrics.observe(1, 0, 77.0)       # beyond the last bound
+        assert metrics.snapshot()["p99_latency"] == 77.0
+
+    def test_errors_do_not_enter_latency_histogram(self):
+        metrics = ServeMetrics()
+        metrics.observe(1, 0, 0.002)
+        metrics.observe_error("ValueError")
+        snapshot = metrics.snapshot()
+        assert sum(snapshot["latency_buckets"]) == 1
+        assert snapshot["requests"] == 2
+
+    def test_rejection_is_neither_a_request_nor_an_error(self):
+        """The backpressure accounting contract: a request shed at the
+        door reaches no worker, so it must appear in ``rejected`` only —
+        ``requests`` and ``errors`` stay untouched, and the invariant
+        ``requests = served + errors`` still holds."""
+        metrics = ServeMetrics()
+        metrics.observe(10, 1, 0.01)
+        metrics.observe_error("TimeoutError")
+        metrics.observe_rejected()
+        metrics.observe_rejected()
+        snapshot = metrics.snapshot()
+        assert snapshot["rejected"] == 2
+        assert snapshot["requests"] == 2
+        assert snapshot["errors"] == 1
+        assert snapshot["requests"] - snapshot["errors"] == 1  # served
+        assert sum(snapshot["latency_buckets"]) == 1
+
+
+class TestMonitoringTaps:
+    """The matcher feeds attached taps without a second featurization."""
+
+    class RecordingMonitor:
+        def __init__(self):
+            self.batches = []
+
+        def observe(self, X, probabilities, predictions):
+            self.batches.append((X.shape, len(probabilities),
+                                 len(predictions)))
+
+    class RecordingShadow:
+        def __init__(self):
+            self.requests = []
+
+        def observe(self, pairs, probabilities, predictions, latency):
+            self.requests.append((len(pairs), len(probabilities),
+                                  latency))
+
+    def test_monitor_tap_sees_every_micro_batch(self, small_benchmark,
+                                                bundle):
+        _, _, test = small_benchmark.splits(seed=0)
+        tap = self.RecordingMonitor()
+        stream = StreamMatcher(bundle, max_batch_rows=8, monitor=tap)
+        stream.submit(test[:20])
+        assert len(tap.batches) == 3  # 8 + 8 + 4
+        assert sum(shape[0] for shape, _, _ in tap.batches) == 20
+        n_features = len(bundle.plan)
+        assert all(shape[1] == n_features for shape, _, _ in tap.batches)
+
+    def test_shadow_tap_sees_each_request_once(self, small_benchmark,
+                                               bundle):
+        _, _, test = small_benchmark.splits(seed=0)
+        tap = self.RecordingShadow()
+        stream = StreamMatcher(bundle, max_batch_rows=8, shadow=tap)
+        stream.submit(test[:20])
+        stream.submit(test[20:30])
+        assert [(n, n) for n, m, _ in tap.requests if n == m] \
+            == [(20, 20), (10, 10)]
+        assert all(latency >= 0.0 for _, _, latency in tap.requests)
+
+    def test_taps_are_optional_and_absent_by_default(self, bundle):
+        stream = StreamMatcher(bundle)
+        assert stream.monitor is None
+        assert stream.shadow is None
 
 
 class TestFreshProcessReload:
