@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 from collections.abc import Iterable, Iterator
 from pathlib import Path
 from typing import TYPE_CHECKING, Union
@@ -95,7 +96,13 @@ class BlockIndex:
         self.state: dict = blocker._new_state()
         self._records: dict[object, Record] = {}
         self._fingerprint = empty_chain_fingerprint()
+        # The cached snapshot is the one attribute readers may fill in:
+        # it gets its own lock, always nested *inside* either side of
+        # _rw_lock, so concurrent probes build the table exactly once
+        # without upgrading their read lock.
+        # repro-guard: _table by _table_lock
         self._table: Table | None = None
+        self._table_lock = threading.Lock()
         self._rw_lock = ReadWriteLock()
 
     # -- content -------------------------------------------------------
@@ -130,7 +137,8 @@ class BlockIndex:
         self._records[record.record_id] = record
         self._fingerprint = chain_fingerprint(self._fingerprint,
                                               record_fingerprint(record))
-        self._table = None
+        with self._table_lock:
+            self._table = None
 
     def add_records(self, source: Union[Table, Iterable[Record]]) -> int:
         """Fold new records into the index; returns how many were added.
@@ -159,13 +167,14 @@ class BlockIndex:
         the index content.
         """
         with self._rw_lock.read_locked():
-            if self._table is None:
-                records = list(self._records.values())
-                self._table = Table(
-                    self.table_name, self.columns or (),
-                    [list(record.values) for record in records],
-                    ids=[record.record_id for record in records])
-            return self._table
+            with self._table_lock:
+                if self._table is None:
+                    records = list(self._records.values())
+                    self._table = Table(
+                        self.table_name, self.columns or (),
+                        [list(record.values) for record in records],
+                        ids=[record.record_id for record in records])
+                return self._table
 
     # -- probing -------------------------------------------------------
 
@@ -213,10 +222,12 @@ class BlockIndex:
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         del state["_rw_lock"]
+        del state["_table_lock"]
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
+        self._table_lock = threading.Lock()
         self._rw_lock = ReadWriteLock()
 
     def save(self, path: Union[str, Path]) -> None:

@@ -655,7 +655,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="snapshot current findings as the new baseline")
     lint.add_argument("--select", default=None, metavar="CODES",
                       help="comma-separated rule codes (e.g. REP001)")
-    lint.add_argument("--format", default="text", choices=("text", "json"),
+    lint.add_argument("--format", default="text",
+                      choices=("text", "json", "sarif"),
                       dest="output_format")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")

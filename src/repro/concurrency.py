@@ -22,13 +22,200 @@ double-firing.
   read helper on the same object), and the writing thread may take
   either side again.  Upgrading — acquiring write while holding only
   read — deadlocks by construction and raises ``RuntimeError`` instead.
+
+A debug-mode **lock-order witness** (:func:`enable_lock_witness`)
+cross-validates the static REP009 model at runtime: every witnessed
+acquisition records "A was held when B was taken" edges in a global
+order graph, and an acquisition that would close a cycle raises
+:class:`LockOrderError` immediately — even when the deadly interleaving
+itself never happens in the run.  The witness is off by default
+(``None`` check per acquisition, no measurable overhead) and is enabled
+by the concurrency test suites.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 from collections.abc import Iterator
 from contextlib import contextmanager
+
+_lock_names = itertools.count(1)
+
+
+def _fresh_name(prefix: str) -> str:
+    return f"{prefix}-{next(_lock_names)}"
+
+
+class LockOrderError(RuntimeError):
+    """A witnessed lock acquisition would close an order cycle."""
+
+
+class LockWitness:
+    """Global lock-acquisition-order checker (debug mode).
+
+    Tracks, per thread, the stack of witnessed lock names currently
+    held, and globally the directed graph of observed "held → acquired"
+    edges.  :meth:`on_acquire` is called *before* blocking on a lock:
+    if the new edge would close a cycle in the order graph the witness
+    raises :class:`LockOrderError` naming the established opposite
+    path, instead of letting the program deadlock whenever the two
+    paths finally interleave.  Edges persist for the lifetime of the
+    witness, so a single-threaded test run still catches inversions
+    that only deadlock under contention.
+
+    Reentrant acquisitions (the name is already on this thread's stack)
+    record no edges — reentrancy is the locks' own business.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._edges: dict[str, set[str]] = {}
+        self._local = threading.local()
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def held(self) -> tuple[str, ...]:
+        """Names this thread currently holds, outermost first."""
+        return tuple(self._stack())
+
+    def _path(self, src: str, dst: str) -> list[str] | None:
+        """A path src → … → dst in the order graph, if one exists.
+
+        Callers hold ``self._lock``.
+        """
+        parent: dict[str, str | None] = {src: None}
+        queue = [src]
+        while queue:
+            current = queue.pop(0)
+            if current == dst:
+                chain = [current]
+                while parent[chain[-1]] is not None:
+                    chain.append(parent[chain[-1]])  # type: ignore[arg-type]
+                return list(reversed(chain))
+            for nxt in sorted(self._edges.get(current, ())):
+                if nxt not in parent:
+                    parent[nxt] = current
+                    queue.append(nxt)
+        return None
+
+    def on_acquire(self, name: str) -> None:
+        """Witness that this thread is about to block on ``name``."""
+        stack = self._stack()
+        if name in stack:
+            stack.append(name)  # reentrant: no new ordering information
+            return
+        outer = [held for held in dict.fromkeys(stack)]
+        if outer:
+            with self._lock:
+                for held in outer:
+                    cycle = self._path(name, held)
+                    if cycle is not None:
+                        order = " -> ".join(cycle)
+                        raise LockOrderError(
+                            f"lock order inversion: acquiring {name!r} "
+                            f"while holding {held!r}, but the opposite "
+                            f"order {order} was already witnessed; one "
+                            f"of these paths must swap its nesting")
+                for held in outer:
+                    self._edges.setdefault(held, set()).add(name)
+        stack.append(name)
+
+    def on_release(self, name: str) -> None:
+        """Witness that this thread released one hold of ``name``."""
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == name:
+                del stack[index]
+                return
+
+    def edges(self) -> dict[str, set[str]]:
+        """A copy of the observed order graph (for assertions)."""
+        with self._lock:
+            return {src: set(dst) for src, dst in self._edges.items()}
+
+
+#: The process-wide witness; ``None`` keeps every hook a no-op.
+_witness: LockWitness | None = None
+
+
+def enable_lock_witness() -> LockWitness:
+    """Install (or return) the process-wide lock-order witness."""
+    global _witness
+    if _witness is None:
+        _witness = LockWitness()
+    return _witness
+
+
+def disable_lock_witness() -> None:
+    """Remove the process-wide witness; hooks become no-ops again."""
+    global _witness
+    _witness = None
+
+
+def active_lock_witness() -> LockWitness | None:
+    """The installed witness, or ``None`` when disabled."""
+    return _witness
+
+
+@contextmanager
+def lock_witness_enabled() -> Iterator[LockWitness]:
+    """Enable the witness for a block (test-suite convenience)."""
+    witness = enable_lock_witness()
+    try:
+        yield witness
+    finally:
+        disable_lock_witness()
+
+
+class WitnessedLock:
+    """A plain mutex that reports to the lock-order witness.
+
+    A named wrapper around :class:`threading.Lock` for code (and
+    fixtures) that wants plain-lock semantics with witness coverage.
+    Non-reentrant, like the lock it wraps — the witness flags a
+    same-name re-acquire path as reentrant, but the underlying lock
+    still deadlocks, so don't.
+    """
+
+    def __init__(self, name: str | None = None):
+        self.name = name or _fresh_name("lock")
+        self._lock = threading.Lock()
+
+    def acquire(self, blocking: bool = True,
+                timeout: float = -1) -> bool:
+        witness = _witness
+        if witness is not None:
+            witness.on_acquire(self.name)
+        acquired = self._lock.acquire(blocking, timeout)
+        if not acquired and witness is not None:
+            witness.on_release(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()
+        witness = _witness
+        if witness is not None:
+            witness.on_release(self.name)
+
+    def __enter__(self) -> "WitnessedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __repr__(self) -> str:
+        state = "locked" if self._lock.locked() else "unlocked"
+        return f"WitnessedLock({self.name!r}, {state})"
 
 
 class ReadWriteLock:
@@ -41,7 +228,10 @@ class ReadWriteLock:
     ...     pass  # exclusive
     """
 
-    def __init__(self) -> None:
+    def __init__(self, name: str | None = None) -> None:
+        #: Identity reported to the lock-order witness; both sides of
+        #: one ReadWriteLock are one node in the order graph.
+        self.name = name or _fresh_name("rwlock")
         self._cond = threading.Condition()
         self._active_readers = 0
         self._waiting_writers = 0
@@ -61,18 +251,26 @@ class ReadWriteLock:
 
     def acquire_read(self) -> None:
         me = threading.get_ident()
-        with self._cond:
-            if self._writer == me or self._held_reads() > 0:
-                # Reentrant: this thread already excludes all writers.
-                self._set_held_reads(self._held_reads() + 1)
+        witness = _witness
+        if witness is not None:
+            witness.on_acquire(self.name)
+        try:
+            with self._cond:
+                if self._writer == me or self._held_reads() > 0:
+                    # Reentrant: this thread already excludes writers.
+                    self._set_held_reads(self._held_reads() + 1)
+                    self._active_readers += 1
+                    return
+                # First-time readers queue behind waiting writers so a
+                # steady probe stream cannot starve extend_index forever.
+                while self._writer is not None or self._waiting_writers:
+                    self._cond.wait()
+                self._set_held_reads(1)
                 self._active_readers += 1
-                return
-            # First-time readers queue behind waiting writers so a
-            # steady probe stream cannot starve extend_index forever.
-            while self._writer is not None or self._waiting_writers:
-                self._cond.wait()
-            self._set_held_reads(1)
-            self._active_readers += 1
+        except BaseException:
+            if witness is not None:
+                witness.on_release(self.name)
+            raise
 
     def release_read(self) -> None:
         with self._cond:
@@ -83,6 +281,9 @@ class ReadWriteLock:
             self._active_readers -= 1
             if self._active_readers == 0:
                 self._cond.notify_all()
+        witness = _witness
+        if witness is not None:
+            witness.on_release(self.name)
 
     @contextmanager
     def read_locked(self) -> Iterator[None]:
@@ -96,22 +297,30 @@ class ReadWriteLock:
 
     def acquire_write(self) -> None:
         me = threading.get_ident()
-        with self._cond:
-            if self._writer == me:
-                self._write_depth += 1
-                return
-            if self._held_reads() > 0:
-                raise RuntimeError(
-                    "cannot upgrade a read lock to a write lock; release "
-                    "the read side first")
-            self._waiting_writers += 1
-            try:
-                while self._writer is not None or self._active_readers:
-                    self._cond.wait()
-            finally:
-                self._waiting_writers -= 1
-            self._writer = me
-            self._write_depth = 1
+        witness = _witness
+        if witness is not None:
+            witness.on_acquire(self.name)
+        try:
+            with self._cond:
+                if self._writer == me:
+                    self._write_depth += 1
+                    return
+                if self._held_reads() > 0:
+                    raise RuntimeError(
+                        "cannot upgrade a read lock to a write lock; "
+                        "release the read side first")
+                self._waiting_writers += 1
+                try:
+                    while self._writer is not None or self._active_readers:
+                        self._cond.wait()
+                finally:
+                    self._waiting_writers -= 1
+                self._writer = me
+                self._write_depth = 1
+        except BaseException:
+            if witness is not None:
+                witness.on_release(self.name)
+            raise
 
     def release_write(self) -> None:
         with self._cond:
@@ -121,6 +330,9 @@ class ReadWriteLock:
             if self._write_depth == 0:
                 self._writer = None
                 self._cond.notify_all()
+        witness = _witness
+        if witness is not None:
+            witness.on_release(self.name)
 
     @contextmanager
     def write_locked(self) -> Iterator[None]:

@@ -18,7 +18,9 @@ from typing import Any
 
 __all__ = [
     "ALL_RULES",
+    "CallGraph",
     "ModuleContext",
+    "PROJECT_RULES",
     "Rule",
     "Violation",
     "check_components",
@@ -26,6 +28,7 @@ __all__ = [
     "lint_paths",
     "main",
     "run_lint",
+    "sarif_log",
 ]
 
 #: Lazy attribute → defining submodule.  Deferring the imports keeps
@@ -34,9 +37,12 @@ __all__ = [
 _EXPORTS = {
     "ModuleContext": "base", "Rule": "base", "Violation": "base",
     "ALL_RULES": "rules",
+    "CallGraph": "callgraph",
+    "PROJECT_RULES": "concurrency_rules",
     "check_components": "conformance",
     "check_similarity_registry": "conformance",
     "lint_paths": "lint", "main": "lint", "run_lint": "lint",
+    "sarif_log": "sarif",
 }
 
 

@@ -1,0 +1,1005 @@
+"""Project-wide call graph with an inferred lock model.
+
+The per-file REP rules see one module at a time, so they cannot know
+that a helper called from ``MatchService._worker_loop`` mutates shared
+state without its guard, or that a function three calls away from
+``Table.fingerprint`` reads the wall clock.  This module builds the
+whole-program view the cross-module rules in
+:mod:`repro.devtools.concurrency_rules` consume:
+
+* an **import-resolved call graph** over every ``repro.*`` module in
+  the linted tree (relative and absolute project imports, ``self.``
+  method dispatch through project base classes, constructor calls, and
+  one level of attribute-type inference from ``__init__`` assignments
+  and annotations);
+* a **lock model**: which class attributes are locks
+  (``threading.Lock``/``RLock``/``Condition``,
+  :class:`repro.concurrency.ReadWriteLock`), the held-lock set at
+  every call / acquisition / attribute-write site (``with self._lock:``
+  blocks, ``read_locked()`` / ``write_locked()`` context managers and
+  explicit ``acquire_read()``-style calls), and a compositional
+  fixpoint that propagates *definitely-held* sets through call edges —
+  a helper whose every non-constructor caller holds the write lock is
+  analyzed with the write lock held, RacerD-style;
+* **guard declarations**: an attribute is guarded either explicitly
+  (``# repro-guard: <attr> by <lock>`` anywhere in the class body) or
+  by inference (some non-``__init__`` method writes it while holding a
+  lock of the same class).
+
+Known imprecision is documented in DESIGN.md §14: resolution is
+name-and-annotation based (no dataflow through containers or return
+values beyond one annotated level), held sets are *must* information
+(intersection over call sites), and lock identity is per class
+attribute, not per instance.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from .base import ImportMap, ModuleContext
+
+#: ``# repro-guard: <attr> by <lock>`` — explicit guard declaration.
+GUARD_RE = re.compile(r"#\s*repro-guard:\s*(\w+)\s+by\s+(\w+)")
+
+#: Constructors whose result is a lock, by canonical dotted origin.
+_LOCK_CONSTRUCTORS = {
+    "threading.Lock": "lock",
+    "threading.RLock": "rlock",
+    "threading.Condition": "condition",
+    "threading.Semaphore": "lock",
+    "threading.BoundedSemaphore": "lock",
+}
+
+#: Project class names that construct locks (resolved by class name so
+#: fixture trees can define their own ReadWriteLock).
+_PROJECT_LOCK_CLASSES = {
+    "ReadWriteLock": "rwlock",
+    "WitnessedLock": "lock",
+}
+
+#: Method names that acquire / release, with the mode they take.
+_ACQUIRE_METHODS = {"acquire": "", "acquire_read": "read",
+                    "acquire_write": "write"}
+_RELEASE_METHODS = {"release": "", "release_read": "read",
+                    "release_write": "write"}
+#: Context-manager methods on a ReadWriteLock.
+_CTX_METHODS = {"read_locked": "read", "write_locked": "write"}
+
+
+@dataclass(frozen=True)
+class Held:
+    """One held lock: its class-attribute identity plus the side held.
+
+    ``mode`` is ``""`` for plain/reentrant locks and conditions,
+    ``"read"`` / ``"write"`` for the two sides of a reader–writer lock.
+    """
+
+    lock: str  # e.g. "repro.blocking.index.BlockIndex._rw_lock"
+    mode: str = ""
+
+    def covers_write(self) -> bool:
+        """True when holding this entitles the thread to mutate state
+        guarded by the lock (the read side of an rwlock does not)."""
+        return self.mode != "read"
+
+    def __str__(self) -> str:
+        return f"{self.lock}:{self.mode}" if self.mode else self.lock
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function, with its held-lock set."""
+
+    node: ast.Call
+    held: frozenset[Held]
+    callee: str | None = None     # resolved project function qualname
+    external: str | None = None   # canonical dotted external target
+
+
+@dataclass
+class Acquisition:
+    """One lock acquisition, with the set already held when it runs."""
+
+    node: ast.AST
+    acquired: Held
+    held_before: frozenset[Held]
+    via_with: bool  # ``with`` context manager vs explicit acquire call
+
+
+@dataclass
+class AttrWrite:
+    """One write (or known mutation) of ``self.<attr>``."""
+
+    node: ast.AST
+    attr: str
+    held: frozenset[Held]
+    mutator: str | None = None  # e.g. "append" for self.x.append(...)
+
+
+@dataclass
+class EnvironRead:
+    """One ``os.environ`` attribute access (taint source)."""
+
+    node: ast.AST
+    held: frozenset[Held]
+
+
+@dataclass
+class FunctionModel:
+    """Everything the whole-program rules need about one function."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    ctx: ModuleContext
+    cls: str | None = None  # owning class qualname, if a method
+    calls: list[CallSite] = field(default_factory=list)
+    acquisitions: list[Acquisition] = field(default_factory=list)
+    writes: list[AttrWrite] = field(default_factory=list)
+    environ_reads: list[EnvironRead] = field(default_factory=list)
+    #: Locks definitely held on entry (fixpoint over call sites).
+    entry_held: frozenset[Held] = frozenset()
+
+    @property
+    def is_constructor(self) -> bool:
+        return self.name in ("__init__", "__new__")
+
+    @property
+    def is_serialization(self) -> bool:
+        """Pickle/copy protocol methods run on unshared objects."""
+        return self.name in ("__getstate__", "__setstate__", "__reduce__",
+                             "__reduce_ex__", "__copy__", "__deepcopy__",
+                             "__del__")
+
+
+@dataclass
+class ClassModel:
+    """The statically-visible concurrency surface of one class."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)  # project qualnames
+    methods: dict[str, str] = field(default_factory=dict)  # own methods
+    lock_attrs: dict[str, str] = field(default_factory=dict)  # attr->kind
+    attr_types: dict[str, str] = field(default_factory=dict)  # attr->class
+    explicit_guards: dict[str, str] = field(default_factory=dict)
+
+
+#: Set of names a module binds to project entities, by dotted origin.
+_Bindings = dict[str, str]
+
+
+class CallGraph:
+    """The project call graph plus the lock model over one source tree.
+
+    Build with :meth:`build` from the :class:`ModuleContext` objects the
+    linter already parsed; every ``ctx`` whose ``module`` is a project
+    dotted path participates.
+    """
+
+    def __init__(self) -> None:
+        self.contexts: dict[str, ModuleContext] = {}
+        self.functions: dict[str, FunctionModel] = {}
+        self.classes: dict[str, ClassModel] = {}
+        self.module_functions: dict[str, dict[str, str]] = {}
+        self.module_classes: dict[str, dict[str, str]] = {}
+        self.module_locks: dict[str, dict[str, str]] = {}
+        self._bindings: dict[str, _Bindings] = {}
+        self._imports: dict[str, ImportMap] = {}
+        #: Thread-pool roots: functions passed as Thread(target=...).
+        self.thread_targets: set[str] = set()
+        #: callee -> [(caller, held-at-site, caller_is_constructor)]
+        self.callers: dict[str, list[tuple[str, frozenset[Held], bool]]] = {}
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def build(cls, contexts: Iterable[ModuleContext]) -> "CallGraph":
+        graph = cls()
+        for ctx in contexts:
+            if ctx.module is not None:
+                graph.contexts[ctx.module] = ctx
+        for module, ctx in graph.contexts.items():
+            graph._index_module(module, ctx)
+        for module, ctx in graph.contexts.items():
+            graph._resolve_bindings(module, ctx)
+        for module, ctx in graph.contexts.items():
+            graph._model_module(module, ctx)
+        for module, ctx in graph.contexts.items():
+            graph._analyze_module(module, ctx)
+        graph.collect_writes()
+        graph._propagate_entry_held()
+        return graph
+
+    def _index_module(self, module: str, ctx: ModuleContext) -> None:
+        """First pass: register classes, functions and module locks."""
+        self._imports[module] = ImportMap.of(ctx.tree)
+        functions: dict[str, str] = {}
+        classes: dict[str, str] = {}
+        locks: dict[str, str] = {}
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{module}.{stmt.name}"
+                functions[stmt.name] = qualname
+                self.functions[qualname] = FunctionModel(
+                    qualname=qualname, module=module, name=stmt.name,
+                    node=stmt, ctx=ctx)
+            elif isinstance(stmt, ast.ClassDef):
+                qualname = f"{module}.{stmt.name}"
+                classes[stmt.name] = qualname
+                model = ClassModel(qualname=qualname, module=module,
+                                   name=stmt.name, node=stmt)
+                for item in stmt.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        method_qualname = f"{qualname}.{item.name}"
+                        model.methods[item.name] = method_qualname
+                        self.functions[method_qualname] = FunctionModel(
+                            qualname=method_qualname, module=module,
+                            name=item.name, node=item, ctx=ctx,
+                            cls=qualname)
+                self._collect_guard_comments(model, ctx)
+                self.classes[qualname] = model
+            elif isinstance(stmt, ast.Assign):
+                kind = self._lock_kind_of_value(module, stmt.value)
+                if kind is not None:
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            locks[target.id] = kind
+        self.module_functions[module] = functions
+        self.module_classes[module] = classes
+        self.module_locks[module] = locks
+
+    def _collect_guard_comments(self, model: ClassModel,
+                                ctx: ModuleContext) -> None:
+        start = model.node.lineno
+        end = max((getattr(n, "end_lineno", start) or start
+                   for n in ast.walk(model.node)), default=start)
+        for lineno in range(start, end + 1):
+            match = GUARD_RE.search(ctx.line_text(lineno))
+            if match:
+                model.explicit_guards[match.group(1)] = match.group(2)
+
+    def _resolve_bindings(self, module: str, ctx: ModuleContext) -> None:
+        """Second pass: local name -> project dotted origin (imports)."""
+        bindings: _Bindings = {}
+        # ``module_name`` strips ``__init__``, so a package's own module
+        # path IS the package: level 1 resolves to itself, not its
+        # parent.  Re-append a sentinel leaf for plain modules only.
+        is_package = ctx.path.name == "__init__.py"
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.level:
+                    parts = module.split(".")
+                    drop = node.level - 1 if is_package else node.level
+                    base_parts = parts[:len(parts) - drop]
+                    origin_base = ".".join(base_parts)
+                    if node.module:
+                        origin_base = (f"{origin_base}.{node.module}"
+                                       if origin_base else node.module)
+                else:
+                    origin_base = node.module or ""
+                    if not (origin_base == "repro"
+                            or origin_base.startswith("repro.")):
+                        continue
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    bindings[bound] = (f"{origin_base}.{alias.name}"
+                                       if origin_base else alias.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "repro" or \
+                            alias.name.startswith("repro."):
+                        bindings[alias.asname
+                                 or alias.name.split(".")[0]] = alias.name
+        self._bindings[module] = bindings
+
+    # -- name resolution ------------------------------------------------
+
+    def _project_target(self, module: str, dotted: str) -> str | None:
+        """A project function/class qualname for a dotted name, if any."""
+        if dotted in self.functions:
+            return dotted
+        if dotted in self.classes:
+            init = self._resolve_method(dotted, "__init__")
+            return init if init is not None else dotted
+        # ``package.Class`` re-exported through an __init__: try every
+        # split point as <module>.<name> with the module known to us.
+        head, _, tail = dotted.rpartition(".")
+        while head:
+            if head in self.contexts:
+                candidate = f"{head}.{tail}"
+                if candidate in self.functions:
+                    return candidate
+                if candidate in self.classes:
+                    init = self._resolve_method(candidate, "__init__")
+                    return init if init is not None else candidate
+                break
+            head, _, new_tail = head.rpartition(".")
+            tail = f"{new_tail}.{tail}"
+        return None
+
+    def _resolve_method(self, class_qualname: str,
+                        method: str) -> str | None:
+        """Method qualname, searching project base classes in order."""
+        seen: set[str] = set()
+        stack = [class_qualname]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            model = self.classes.get(current)
+            if model is None:
+                continue
+            if method in model.methods:
+                return model.methods[method]
+            stack.extend(model.bases)
+        return None
+
+    def _resolve_name(self, module: str, name: str) -> str | None:
+        """Dotted project origin of a bare name in ``module``."""
+        bindings = self._bindings.get(module, {})
+        if name in bindings:
+            return bindings[name]
+        if name in self.module_functions.get(module, {}):
+            return self.module_functions[module][name]
+        if name in self.module_classes.get(module, {}):
+            return self.module_classes[module][name]
+        return None
+
+    def _class_of_expr(self, fn: FunctionModel,
+                       expr: ast.expr) -> str | None:
+        """Project class qualname an expression evaluates to, if known."""
+        if isinstance(expr, ast.Name):
+            origin = self._resolve_name(fn.module, expr.id)
+            if origin is not None:
+                resolved = self._canonical_class(origin)
+                if resolved is not None:
+                    return resolved
+            return None
+        if isinstance(expr, ast.Attribute):
+            if (isinstance(expr.value, ast.Name)
+                    and expr.value.id in ("self", "cls")
+                    and fn.cls is not None):
+                return self._attr_type(fn.cls, expr.attr)
+        if isinstance(expr, ast.Call):
+            target = self._resolve_call_target(fn, expr)
+            if target is not None and target.endswith(".__init__"):
+                return target.rsplit(".", 1)[0]
+            if target in self.classes:  # class without its own __init__
+                return target
+            if target is not None:
+                callee = self.functions.get(target)
+                if callee is not None and callee.node.returns is not None:
+                    return self._class_of_annotation(callee,
+                                                     callee.node.returns)
+        return None
+
+    def _canonical_class(self, dotted: str) -> str | None:
+        if dotted in self.classes:
+            return dotted
+        head, _, tail = dotted.rpartition(".")
+        while head:
+            candidate = f"{head}.{tail}"
+            if candidate in self.classes:
+                return candidate
+            head, _, new_tail = head.rpartition(".")
+            tail = f"{new_tail}.{tail}"
+        return None
+
+    def _class_of_annotation(self, fn: FunctionModel,
+                             annotation: ast.expr) -> str | None:
+        """Resolve a parameter/return annotation to a project class."""
+        text: str | None = None
+        if isinstance(annotation, ast.Constant) and \
+                isinstance(annotation.value, str):
+            text = annotation.value
+        elif isinstance(annotation, ast.Name):
+            text = annotation.id
+        elif isinstance(annotation, ast.Attribute):
+            parts: list[str] = []
+            node: ast.expr = annotation
+            while isinstance(node, ast.Attribute):
+                parts.append(node.attr)
+                node = node.value
+            if isinstance(node, ast.Name):
+                parts.append(node.id)
+                text = ".".join(reversed(parts))
+        if text is None:
+            return None
+        text = text.strip().strip('"\'')
+        if "." in text:
+            head, _, tail = text.partition(".")
+            origin = self._resolve_name(fn.module, head)
+            dotted = f"{origin}.{tail}" if origin else text
+            return self._canonical_class(dotted)
+        origin = self._resolve_name(fn.module, text)
+        return self._canonical_class(origin) if origin else None
+
+    def _attr_type(self, class_qualname: str, attr: str) -> str | None:
+        seen: set[str] = set()
+        stack = [class_qualname]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            model = self.classes.get(current)
+            if model is None:
+                continue
+            if attr in model.attr_types:
+                return model.attr_types[attr]
+            stack.extend(model.bases)
+        return None
+
+    def _lock_attr_kind(self, class_qualname: str,
+                        attr: str) -> tuple[str, str] | None:
+        """(owning class qualname, lock kind) for ``self.<attr>``."""
+        seen: set[str] = set()
+        stack = [class_qualname]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            model = self.classes.get(current)
+            if model is None:
+                continue
+            if attr in model.lock_attrs:
+                return current, model.lock_attrs[attr]
+            stack.extend(model.bases)
+        return None
+
+    def _lock_kind_of_value(self, module: str,
+                            value: ast.expr) -> str | None:
+        """Lock kind constructed by ``value``, or None."""
+        if not isinstance(value, ast.Call):
+            return None
+        imports = self._imports.get(module)
+        dotted = imports.resolve_call(value.func) if imports else None
+        if dotted in _LOCK_CONSTRUCTORS:
+            return _LOCK_CONSTRUCTORS[dotted]
+        name: str | None = None
+        if isinstance(value.func, ast.Name):
+            name = value.func.id
+        elif isinstance(value.func, ast.Attribute):
+            name = value.func.attr
+        if name in _PROJECT_LOCK_CLASSES:
+            return _PROJECT_LOCK_CLASSES[name]
+        return None
+
+    # -- per-function analysis ------------------------------------------
+
+    def _model_module(self, module: str, ctx: ModuleContext) -> None:
+        """Third pass: class bases, lock attributes and attr types.
+
+        Runs over every module before any function-body analysis, so
+        method dispatch through cross-module base classes resolves.
+        """
+        for stmt in ctx.tree.body:
+            if not isinstance(stmt, ast.ClassDef):
+                continue
+            model = self.classes[f"{module}.{stmt.name}"]
+            model.bases = [
+                base for base in (
+                    self._base_qualname(module, expr)
+                    for expr in stmt.bases) if base is not None]
+            init = model.methods.get("__init__")
+            if init is not None:
+                self._collect_attr_facts(self.functions[init], model)
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)) and \
+                        item.name != "__init__":
+                    self._collect_attr_facts(
+                        self.functions[model.methods[item.name]],
+                        model, types=False)
+
+    def _analyze_module(self, module: str, ctx: ModuleContext) -> None:
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._analyze_function(self.functions[f"{module}.{stmt.name}"])
+            elif isinstance(stmt, ast.ClassDef):
+                model = self.classes[f"{module}.{stmt.name}"]
+                for item in stmt.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        self._analyze_function(
+                            self.functions[model.methods[item.name]])
+
+    def _base_qualname(self, module: str, expr: ast.expr) -> str | None:
+        if isinstance(expr, ast.Name):
+            origin = self._resolve_name(module, expr.id)
+            return self._canonical_class(origin) if origin else None
+        if isinstance(expr, ast.Attribute):
+            parts: list[str] = []
+            node: ast.expr = expr
+            while isinstance(node, ast.Attribute):
+                parts.append(node.attr)
+                node = node.value
+            if isinstance(node, ast.Name):
+                origin = self._resolve_name(module, node.id)
+                if origin:
+                    return self._canonical_class(
+                        ".".join([origin, *reversed(parts)]))
+        return None
+
+    def _collect_attr_facts(self, fn: FunctionModel, model: ClassModel,
+                            types: bool = True) -> None:
+        """Record lock attributes (and attr types) a method assigns."""
+        param_types: dict[str, str] = {}
+        if types:
+            args = fn.node.args
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                if arg.annotation is not None:
+                    resolved = self._class_of_annotation(fn, arg.annotation)
+                    if resolved is not None:
+                        param_types[arg.arg] = resolved
+        for node in ast.walk(fn.node):
+            targets: list[ast.expr]
+            value: ast.expr | None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets, value = [node.target], node.value
+            else:
+                continue
+            for target in targets:
+                if not (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    continue
+                attr = target.attr
+                if value is not None:
+                    kind = self._lock_kind_of_value(fn.module, value)
+                    if kind is not None:
+                        model.lock_attrs.setdefault(attr, kind)
+                        continue
+                if not types:
+                    continue
+                resolved = None
+                if value is not None:
+                    if isinstance(value, ast.Name):
+                        resolved = param_types.get(value.id)
+                    else:
+                        resolved = self._class_of_expr(fn, value)
+                if resolved is None and isinstance(node, ast.AnnAssign):
+                    resolved = self._class_of_annotation(fn, node.annotation)
+                if resolved is not None:
+                    model.attr_types.setdefault(attr, resolved)
+
+    def _lock_from_expr(self, fn: FunctionModel,
+                        expr: ast.expr) -> tuple[Held, bool] | None:
+        """(held-token, is-context-call) for a lock-ish expression.
+
+        Recognizes ``self._lock`` (and inherited lock attrs), module-
+        level lock variables, and ``self._rw.read_locked()`` /
+        ``write_locked()`` calls.
+        """
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Attribute) and \
+                    func.attr in _CTX_METHODS:
+                base = self._lock_identity(fn, func.value)
+                if base is not None:
+                    return Held(base, _CTX_METHODS[func.attr]), True
+            return None
+        identity = self._lock_identity(fn, expr)
+        if identity is not None:
+            return Held(identity, ""), False
+        return None
+
+    def _lock_identity(self, fn: FunctionModel,
+                       expr: ast.expr) -> str | None:
+        """Stable identity of a lock-valued expression, or None."""
+        if isinstance(expr, ast.Attribute) and \
+                isinstance(expr.value, ast.Name) and \
+                expr.value.id in ("self", "cls") and fn.cls is not None:
+            found = self._lock_attr_kind(fn.cls, expr.attr)
+            if found is not None:
+                owner, _ = found
+                return f"{owner}.{expr.attr}"
+            return None
+        if isinstance(expr, ast.Name):
+            module_locks = self.module_locks.get(fn.module, {})
+            if expr.id in module_locks:
+                return f"{fn.module}.{expr.id}"
+            local = self._local_locks(fn).get(expr.id)
+            if local is not None:
+                return f"{fn.qualname}.{expr.id}"
+        return None
+
+    def _local_locks(self, fn: FunctionModel) -> dict[str, str]:
+        cached = getattr(fn, "_local_lock_cache", None)
+        if cached is not None:
+            return cached
+        locks: dict[str, str] = {}
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign):
+                kind = self._lock_kind_of_value(fn.module, node.value)
+                if kind is not None:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            locks[target.id] = kind
+        fn._local_lock_cache = locks  # type: ignore[attr-defined]
+        return locks
+
+    def _resolve_call_target(self, fn: FunctionModel,
+                             call: ast.Call) -> str | None:
+        """Project qualname a call dispatches to, if resolvable."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            origin = self._resolve_name(fn.module, func.id)
+            if origin is None:
+                return None
+            return self._project_target(fn.module, origin)
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name) and base.id in ("self", "cls") \
+                    and fn.cls is not None:
+                return self._resolve_method(fn.cls, func.attr)
+            receiver = self._class_of_expr(fn, base)
+            if receiver is not None:
+                return self._resolve_method(receiver, func.attr)
+            if isinstance(base, ast.Name):
+                origin = self._resolve_name(fn.module, base.id)
+                if origin is not None:
+                    if origin in self.classes:
+                        return self._resolve_method(origin, func.attr)
+                    return self._project_target(fn.module,
+                                                f"{origin}.{func.attr}")
+        return None
+
+    def _analyze_function(self, fn: FunctionModel) -> None:
+        imports = self._imports[fn.module]
+        self._walk_block(fn, list(fn.node.body), frozenset(), imports)
+
+    def _walk_block(self, fn: FunctionModel, stmts: list[ast.stmt],
+                    held: frozenset[Held], imports: ImportMap) -> None:
+        current = held
+        for stmt in stmts:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner = current
+                for item in stmt.items:
+                    found = self._lock_from_expr(fn, item.context_expr)
+                    if found is not None:
+                        token, _ = found
+                        fn.acquisitions.append(Acquisition(
+                            node=item.context_expr, acquired=token,
+                            held_before=inner, via_with=True))
+                        inner = inner | {token}
+                    else:
+                        self._visit_expr(fn, item.context_expr, current,
+                                         imports)
+                self._walk_block(fn, list(stmt.body), inner, imports)
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue  # nested defs are separate analysis units
+            # Explicit acquire()/release() statements adjust the held
+            # set for the remainder of this block.
+            adjusted = self._explicit_lock_call(fn, stmt, current)
+            if adjusted is not None:
+                current = adjusted
+                continue
+            for child_block in self._sub_blocks(stmt):
+                self._walk_block(fn, child_block, current, imports)
+            for expr in self._own_exprs(stmt):
+                self._visit_expr(fn, expr, current, imports)
+
+    @staticmethod
+    def _sub_blocks(stmt: ast.stmt) -> Iterator[list[ast.stmt]]:
+        for fname in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, fname, None)
+            if isinstance(block, list) and block and \
+                    isinstance(block[0], ast.stmt):
+                yield block
+        for handler in getattr(stmt, "handlers", []) or []:
+            yield list(handler.body)
+
+    @staticmethod
+    def _own_exprs(stmt: ast.stmt) -> Iterator[ast.expr]:
+        """Expression children of a statement, excluding nested blocks."""
+        for fname, value in ast.iter_fields(stmt):
+            if fname in ("body", "orelse", "finalbody", "handlers"):
+                continue
+            if isinstance(value, ast.expr):
+                yield value
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ast.expr):
+                        yield item
+
+    def _explicit_lock_call(self, fn: FunctionModel, stmt: ast.stmt,
+                            held: frozenset[Held]
+                            ) -> frozenset[Held] | None:
+        """New held set if ``stmt`` is a bare acquire/release call."""
+        if not (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Call)
+                and isinstance(stmt.value.func, ast.Attribute)):
+            return None
+        call = stmt.value
+        assert isinstance(call.func, ast.Attribute)
+        method = call.func.attr
+        if method not in _ACQUIRE_METHODS and \
+                method not in _RELEASE_METHODS:
+            return None
+        identity = self._lock_identity(fn, call.func.value)
+        if identity is None:
+            return None
+        if method in _ACQUIRE_METHODS:
+            token = Held(identity, _ACQUIRE_METHODS[method])
+            fn.acquisitions.append(Acquisition(
+                node=call, acquired=token, held_before=held,
+                via_with=False))
+            return held | {token}
+        mode = _RELEASE_METHODS[method]
+        return frozenset(h for h in held
+                         if not (h.lock == identity and h.mode == mode))
+
+    def _visit_expr(self, fn: FunctionModel, expr: ast.expr,
+                    held: frozenset[Held], imports: ImportMap) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                callee = self._resolve_call_target(fn, node)
+                external = imports.resolve_call(node.func)
+                if external is not None and (
+                        external == "repro"
+                        or external.startswith("repro.")):
+                    resolved = self._project_target(fn.module, external)
+                    if resolved is not None and callee is None:
+                        callee = resolved
+                    external = None
+                fn.calls.append(CallSite(node=node, held=held,
+                                         callee=callee, external=external))
+                if external == "threading.Thread":
+                    self._note_thread_target(fn, node)
+                if callee is not None:
+                    self.callers.setdefault(callee, []).append(
+                        (fn.qualname, held,
+                         fn.is_constructor or fn.is_serialization))
+            elif isinstance(node, ast.Attribute) and \
+                    node.attr == "environ":
+                base = node.value
+                if isinstance(base, ast.Name) and \
+                        imports.names.get(base.id) == "os":
+                    fn.environ_reads.append(EnvironRead(node=node,
+                                                        held=held))
+
+    def _note_thread_target(self, fn: FunctionModel,
+                            call: ast.Call) -> None:
+        for keyword in call.keywords:
+            if keyword.arg != "target":
+                continue
+            value = keyword.value
+            target: str | None = None
+            if isinstance(value, ast.Attribute) and \
+                    isinstance(value.value, ast.Name) and \
+                    value.value.id in ("self", "cls") and \
+                    fn.cls is not None:
+                target = self._resolve_method(fn.cls, value.attr)
+            elif isinstance(value, ast.Name):
+                origin = self._resolve_name(fn.module, value.id)
+                if origin is not None:
+                    target = self._project_target(fn.module, origin)
+            if target is not None:
+                self.thread_targets.add(target)
+
+    # -- attribute writes ------------------------------------------------
+
+    #: Method names treated as in-place mutations of their receiver.
+    _MUTATORS = frozenset({
+        "append", "extend", "add", "update", "pop", "popitem", "clear",
+        "remove", "discard", "insert", "setdefault", "move_to_end",
+        "appendleft", "popleft", "sort",
+    })
+
+    def collect_writes(self) -> None:
+        """Second sweep: attach ``self.<attr>`` write events to every
+        function (assignments, augmented assignments, subscript stores
+        and known mutator-method calls)."""
+        for fn in self.functions.values():
+            if fn.cls is None:
+                continue
+            self._collect_writes_block(fn, list(fn.node.body), frozenset())
+
+    def _collect_writes_block(self, fn: FunctionModel,
+                              stmts: list[ast.stmt],
+                              held: frozenset[Held]) -> None:
+        current = held
+        for stmt in stmts:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner = current
+                for item in stmt.items:
+                    found = self._lock_from_expr(fn, item.context_expr)
+                    if found is not None:
+                        inner = inner | {found[0]}
+                self._collect_writes_block(fn, list(stmt.body), inner)
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            adjusted = self._explicit_held_only(fn, stmt, current)
+            if adjusted is not None:
+                current = adjusted
+                continue
+            for child_block in self._sub_blocks(stmt):
+                self._collect_writes_block(fn, child_block, current)
+            self._record_stmt_writes(fn, stmt, current)
+
+    def _explicit_held_only(self, fn: FunctionModel, stmt: ast.stmt,
+                            held: frozenset[Held]
+                            ) -> frozenset[Held] | None:
+        """Held-set adjustment for bare acquire/release, no recording."""
+        if not (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Call)
+                and isinstance(stmt.value.func, ast.Attribute)):
+            return None
+        call = stmt.value
+        assert isinstance(call.func, ast.Attribute)
+        method = call.func.attr
+        if method in _ACQUIRE_METHODS:
+            identity = self._lock_identity(fn, call.func.value)
+            if identity is not None:
+                return held | {Held(identity, _ACQUIRE_METHODS[method])}
+        elif method in _RELEASE_METHODS:
+            identity = self._lock_identity(fn, call.func.value)
+            if identity is not None:
+                mode = _RELEASE_METHODS[method]
+                return frozenset(
+                    h for h in held
+                    if not (h.lock == identity and h.mode == mode))
+        return None
+
+    def _record_stmt_writes(self, fn: FunctionModel, stmt: ast.stmt,
+                            held: frozenset[Held]) -> None:
+        def self_attr(target: ast.expr) -> str | None:
+            if isinstance(target, ast.Attribute) and \
+                    isinstance(target.value, ast.Name) and \
+                    target.value.id == "self":
+                return target.attr
+            if isinstance(target, ast.Subscript):
+                return self_attr(target.value)
+            return None
+
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                subtargets: list[ast.expr] = list(target.elts)
+            else:
+                subtargets = [target]
+            for sub in subtargets:
+                attr = self_attr(sub)
+                if attr is not None:
+                    fn.writes.append(AttrWrite(node=stmt, attr=attr,
+                                               held=held))
+        # Only this statement's own expressions: nested blocks were
+        # already recorded by the recursive walk with *their* held set.
+        for expr in self._own_exprs(stmt):
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Call) and \
+                        isinstance(node.func, ast.Attribute) and \
+                        node.func.attr in self._MUTATORS:
+                    receiver = node.func.value
+                    if isinstance(receiver, ast.Attribute) and \
+                            isinstance(receiver.value, ast.Name) and \
+                            receiver.value.id == "self":
+                        fn.writes.append(AttrWrite(
+                            node=node, attr=receiver.attr, held=held,
+                            mutator=node.func.attr))
+
+    # -- interprocedural held-set propagation ---------------------------
+
+    def _propagate_entry_held(self) -> None:
+        """Fixpoint: a function's entry set is the intersection over all
+        non-constructor call sites of (caller entry ∪ site-local held).
+
+        Constructor (and pickle-protocol) callers are excluded: they
+        run before the object is shared, so they impose no locking
+        obligation on the helpers they call.  Functions with no
+        project callers (public API, thread roots) start from the
+        empty set — conservatively unlocked.
+        """
+        TOP: frozenset[Held] | None = None
+        entry: dict[str, frozenset[Held] | None] = {}
+        for qualname in self.functions:
+            sites = [s for s in self.callers.get(qualname, [])
+                     if not s[2]]
+            entry[qualname] = TOP if sites else frozenset()
+        changed = True
+        iterations = 0
+        while changed and iterations < 50:
+            changed = False
+            iterations += 1
+            for qualname, fn in self.functions.items():
+                sites = [s for s in self.callers.get(qualname, [])
+                         if not s[2]]
+                if not sites:
+                    continue
+                joined: frozenset[Held] | None = TOP
+                for caller, held_at_site, _ in sites:
+                    caller_entry = entry.get(caller) or frozenset()
+                    if entry.get(caller, frozenset()) is TOP:
+                        continue  # unresolved caller: no constraint yet
+                    site_total = caller_entry | held_at_site
+                    joined = (site_total if joined is TOP
+                              else joined & site_total)
+                if joined is TOP:
+                    continue
+                if entry[qualname] is TOP or entry[qualname] != joined:
+                    entry[qualname] = joined
+                    changed = True
+        for qualname, fn in self.functions.items():
+            resolved = entry.get(qualname)
+            fn.entry_held = (frozenset() if resolved is None
+                             else resolved)
+
+    # -- queries ---------------------------------------------------------
+
+    def effective_held(self, fn: FunctionModel,
+                       local: frozenset[Held]) -> frozenset[Held]:
+        return fn.entry_held | local
+
+    def lock_kind(self, identity: str) -> str | None:
+        """Kind (lock/rlock/condition/rwlock) of a lock identity."""
+        head, _, attr = identity.rpartition(".")
+        model = self.classes.get(head)
+        if model is not None and attr in model.lock_attrs:
+            return model.lock_attrs[attr]
+        module_locks = self.module_locks.get(head)
+        if module_locks is not None and attr in module_locks:
+            return module_locks[attr]
+        fn = self.functions.get(head)
+        if fn is not None:
+            return self._local_locks(fn).get(attr)
+        return None
+
+    def lock_owner(self, cls: str, attr: str) -> str | None:
+        """Owning class qualname of lock attribute ``attr`` on ``cls``."""
+        found = self._lock_attr_kind(cls, attr)
+        return found[0] if found is not None else None
+
+    def reachable_from(self, roots: Iterable[str]) -> dict[str, str | None]:
+        """Forward closure over resolved call edges.
+
+        Returns ``{qualname: parent-or-None}`` so callers can rebuild a
+        witness path from any reached function back to its root.
+        """
+        parent: dict[str, str | None] = {}
+        queue: list[str] = []
+        for root in roots:
+            if root in self.functions and root not in parent:
+                parent[root] = None
+                queue.append(root)
+        while queue:
+            current = queue.pop(0)
+            for site in self.functions[current].calls:
+                if site.callee is not None and site.callee not in parent:
+                    parent[site.callee] = current
+                    queue.append(site.callee)
+        return parent
+
+    def path_to_root(self, qualname: str,
+                     parent: dict[str, str | None]) -> list[str]:
+        chain = [qualname]
+        seen = {qualname}
+        current: str | None = qualname
+        while current is not None:
+            current = parent.get(current)
+            if current is None or current in seen:
+                break
+            chain.append(current)
+            seen.add(current)
+        return list(reversed(chain))

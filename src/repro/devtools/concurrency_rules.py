@@ -1,0 +1,433 @@
+"""Whole-program concurrency & determinism rules (REP009–REP011).
+
+These rules consume the :class:`~repro.devtools.callgraph.CallGraph`
+built over every project module in a lint run — unlike the per-file
+rules they see lock state *across* function and module boundaries:
+
+REP009
+    Lock-order cycles: two locks acquired in opposite nesting orders on
+    different paths can deadlock once both paths run concurrently.
+    Also flags read→write upgrade attempts on a ``ReadWriteLock``
+    (guaranteed ``RuntimeError`` at runtime) and re-acquisition of a
+    non-reentrant plain ``Lock`` (guaranteed self-deadlock).
+
+REP010
+    Write to a guarded shared attribute without holding its lock.  An
+    attribute is *guarded* when the class declares it explicitly
+    (``# repro-guard: attr by lock``) or when some non-constructor
+    method writes it while holding a class lock (inference).  Holding
+    only the read side of a reader–writer lock does not license a
+    write.
+
+REP011
+    Blocking call while holding a lock: ``Future.result``,
+    ``Queue.get``/``put``, explicit ``lock.acquire``, ``subprocess``
+    waits, ``time.sleep`` and bare ``.join()``/``.wait()`` calls inside
+    a critical section serialize every other thread behind the slow
+    operation — or deadlock outright when the blocked-on work needs
+    the same lock.  ``cond.wait()`` *on a held condition* is the one
+    sanctioned pattern (it releases while waiting) and is not flagged.
+
+The module also generalizes REP002 from per-file scoping to call-graph
+reachability: any function transitively reachable from a fingerprint /
+cache-key entry point that reads the wall clock, the environment or
+unseeded global randomness taints the hashed value, no matter which
+package it lives in.  The carve-outs declared on the per-file rule
+(``Rule.exclude``) still apply.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import ast
+
+from .base import Violation
+from .callgraph import CallGraph, FunctionModel, Held
+from .rules import _IMPURE_CALLS, _SEEDED_CONSTRUCTORS, WallClockInHashedPath
+
+
+class ProjectRule:
+    """Base class of the whole-program rules.
+
+    Unlike :class:`~repro.devtools.base.Rule`, ``check`` receives the
+    project :class:`CallGraph`, not one module context.
+    """
+
+    code: str = ""
+    summary: str = ""
+    hint: str = ""
+
+    def check(self, graph: CallGraph) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, fn: FunctionModel, node: ast.AST,
+                  message: str) -> Violation:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Violation(
+            code=self.code, path=fn.ctx.rel, line=lineno, col=col,
+            message=message, hint=self.hint,
+            line_text=fn.ctx.line_text(lineno))
+
+
+def _short(qualname: str) -> str:
+    """Readable tail of a function qualname: ``Class.method``/``func``."""
+    parts = qualname.split(".")
+    return ".".join(parts[-2:]) if len(parts) >= 2 else qualname
+
+
+def _short_lock(identity: str) -> str:
+    parts = identity.split(".")
+    return ".".join(parts[-2:]) if len(parts) >= 2 else identity
+
+
+class LockOrderCycles(ProjectRule):
+    """REP009: inconsistent lock acquisition order across the program."""
+
+    code = "REP009"
+    summary = "lock-order cycle or impossible lock transition"
+    hint = ("pick one global nesting order per lock pair and use it on "
+            "every path; never upgrade a held read lock — release it "
+            "and reacquire the write side")
+
+    def check(self, graph: CallGraph) -> Iterator[Violation]:
+        # Edge (a, b): lock b acquired while a is held, with every site
+        # that witnesses it.  Ordering is on lock identity; the two
+        # sides of a ReadWriteLock are one node.
+        edges: dict[tuple[str, str],
+                    list[tuple[FunctionModel, ast.AST]]] = {}
+        for fn in graph.functions.values():
+            for acq in fn.acquisitions:
+                held = graph.effective_held(fn, acq.held_before)
+                for prior in held:
+                    if prior.lock == acq.acquired.lock:
+                        yield from self._same_lock(graph, fn, acq.node,
+                                                   prior, acq.acquired)
+                    else:
+                        edges.setdefault(
+                            (prior.lock, acq.acquired.lock),
+                            []).append((fn, acq.node))
+        adjacency: dict[str, set[str]] = {}
+        for (src, dst) in edges:
+            adjacency.setdefault(src, set()).add(dst)
+        for (src, dst), sites in sorted(edges.items()):
+            if not self._reaches(adjacency, dst, src):
+                continue
+            cycle = " -> ".join(
+                [_short_lock(src), _short_lock(dst), _short_lock(src)])
+            for fn, node in sites:
+                yield self.violation(
+                    fn, node,
+                    f"acquiring {_short_lock(dst)} while holding "
+                    f"{_short_lock(src)} completes a lock-order cycle "
+                    f"({cycle}); a concurrent path acquires them in the "
+                    f"opposite order")
+
+    def _same_lock(self, graph: CallGraph, fn: FunctionModel,
+                   node: ast.AST, prior: Held,
+                   acquired: Held) -> Iterator[Violation]:
+        kind = graph.lock_kind(acquired.lock)
+        if prior.mode == "read" and acquired.mode == "write":
+            yield self.violation(
+                fn, node,
+                f"read->write upgrade on {_short_lock(acquired.lock)}: "
+                f"the write side is requested while this thread already "
+                f"holds the read side (raises RuntimeError at runtime)")
+        elif kind == "lock" and prior.mode == acquired.mode:
+            yield self.violation(
+                fn, node,
+                f"re-acquiring non-reentrant {_short_lock(acquired.lock)} "
+                f"while already holding it deadlocks this thread")
+
+    @staticmethod
+    def _reaches(adjacency: dict[str, set[str]], src: str,
+                 dst: str) -> bool:
+        seen = {src}
+        stack = [src]
+        while stack:
+            current = stack.pop()
+            if current == dst:
+                return True
+            for nxt in adjacency.get(current, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+
+class UnguardedSharedWrite(ProjectRule):
+    """REP010: guarded shared attribute written without its lock."""
+
+    code = "REP010"
+    summary = "write to a guarded attribute without holding its lock"
+    hint = ("take the declared lock (write side, for a ReadWriteLock) "
+            "around the mutation, or move it into a *_locked helper "
+            "whose callers all hold the lock; declare intentional "
+            "guards with '# repro-guard: <attr> by <lock>'")
+
+    def check(self, graph: CallGraph) -> Iterator[Violation]:
+        guards = self._guards(graph)
+        if not guards:
+            return
+        reachable = graph.reachable_from(sorted(graph.thread_targets))
+        for fn in graph.functions.values():
+            if fn.cls is None or fn.is_constructor or fn.is_serialization:
+                continue
+            for write in fn.writes:
+                guard = self._lookup(graph, guards, fn.cls, write.attr)
+                if guard is None:
+                    continue
+                held = graph.effective_held(fn, write.held)
+                if any(h.lock == guard and h.covers_write()
+                       for h in held):
+                    continue
+                read_only = any(h.lock == guard for h in held)
+                what = (f"mutation of self.{write.attr} via "
+                        f".{write.mutator}()" if write.mutator
+                        else f"write to self.{write.attr}")
+                detail = (f"holding only the read side of "
+                          f"{_short_lock(guard)}" if read_only else
+                          f"without holding {_short_lock(guard)}")
+                suffix = ""
+                if fn.qualname in reachable:
+                    chain = graph.path_to_root(fn.qualname, reachable)
+                    suffix = (f"; reachable from thread root "
+                              f"{_short(chain[0])}")
+                yield self.violation(
+                    fn, write.node,
+                    f"{what} {detail}, which guards it on every other "
+                    f"path{suffix}")
+
+    def _guards(self, graph: CallGraph) -> dict[tuple[str, str], str]:
+        """(class qualname, attr) → guarding lock identity."""
+        guards: dict[tuple[str, str], str] = {}
+        candidates: dict[tuple[str, str], set[str]] = {}
+        for fn in graph.functions.values():
+            if fn.cls is None or fn.is_constructor or fn.is_serialization:
+                continue
+            model = graph.classes.get(fn.cls)
+            if model is None or not self._class_locks(graph, fn.cls):
+                continue
+            for write in fn.writes:
+                if self._is_lock_attr(graph, fn.cls, write.attr):
+                    continue
+                held = graph.effective_held(fn, write.held)
+                own = {h.lock for h in held if h.covers_write()
+                       and self._owned_by(graph, fn.cls, h.lock)}
+                candidates.setdefault((fn.cls, write.attr),
+                                      set()).update(own)
+        for (cls, attr), locks in candidates.items():
+            if len(locks) == 1:
+                guards[(cls, attr)] = next(iter(locks))
+        # Explicit declarations win over (and extend) inference.
+        for cls_qualname, model in graph.classes.items():
+            for attr, lock_name in model.explicit_guards.items():
+                owner = graph.lock_owner(cls_qualname, lock_name)
+                identity = (f"{owner}.{lock_name}" if owner
+                            else f"{cls_qualname}.{lock_name}")
+                guards[(cls_qualname, attr)] = identity
+        return guards
+
+    @staticmethod
+    def _class_locks(graph: CallGraph, cls: str) -> bool:
+        seen: set[str] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            model = graph.classes.get(current)
+            if model is None:
+                continue
+            if model.lock_attrs:
+                return True
+            stack.extend(model.bases)
+        return False
+
+    @staticmethod
+    def _is_lock_attr(graph: CallGraph, cls: str, attr: str) -> bool:
+        return graph.lock_owner(cls, attr) is not None
+
+    @staticmethod
+    def _owned_by(graph: CallGraph, cls: str, identity: str) -> bool:
+        head, _, attr = identity.rpartition(".")
+        return graph.lock_owner(cls, attr) == head
+
+    def _lookup(self, graph: CallGraph,
+                guards: dict[tuple[str, str], str], cls: str,
+                attr: str) -> str | None:
+        seen: set[str] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            if (current, attr) in guards:
+                return guards[(current, attr)]
+            model = graph.classes.get(current)
+            if model is not None:
+                stack.extend(model.bases)
+        return None
+
+
+#: Resolved external calls that block the calling thread.
+_BLOCKING_EXTERNALS = frozenset({
+    "time.sleep", "subprocess.run", "subprocess.call",
+    "subprocess.check_call", "subprocess.check_output",
+})
+
+#: Receiver names that mark ``.get``/``.put`` as queue operations
+#: rather than dict/dataframe accessors.
+_QUEUEISH = ("queue", "q")
+
+
+class BlockingCallWhileLocked(ProjectRule):
+    """REP011: blocking operation inside a critical section."""
+
+    code = "REP011"
+    summary = "blocking call while holding a lock"
+    hint = ("move the blocking operation outside the critical section "
+            "(collect under the lock, block after releasing); if the "
+            "wait is intentional use a Condition on the same lock")
+
+    def check(self, graph: CallGraph) -> Iterator[Violation]:
+        for fn in graph.functions.values():
+            for site in fn.calls:
+                held = graph.effective_held(fn, site.held)
+                if not held:
+                    continue
+                reason = self._blocking_reason(graph, fn, site.node,
+                                               site.external, held)
+                if reason is not None:
+                    locks = ", ".join(sorted(
+                        _short_lock(h.lock) for h in held))
+                    yield self.violation(
+                        fn, site.node,
+                        f"{reason} while holding {locks}")
+            for acq in fn.acquisitions:
+                if acq.via_with:
+                    continue
+                held = graph.effective_held(fn, acq.held_before)
+                others = {h for h in held
+                          if h.lock != acq.acquired.lock}
+                if not others:
+                    continue
+                locks = ", ".join(sorted(
+                    _short_lock(h.lock) for h in others))
+                yield self.violation(
+                    fn, acq.node,
+                    f"explicit acquire of "
+                    f"{_short_lock(acq.acquired.lock)} blocks while "
+                    f"holding {locks}")
+
+    def _blocking_reason(self, graph: CallGraph, fn: FunctionModel,
+                         call: ast.Call, external: str | None,
+                         held: frozenset[Held]) -> str | None:
+        if external in _BLOCKING_EXTERNALS:
+            return f"call to {external} blocks"
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        method = func.attr
+        if method == "result":
+            return "Future.result() blocks until the worker finishes"
+        if method in ("wait", "wait_for"):
+            receiver = graph._lock_identity(fn, func.value)
+            if receiver is not None and any(h.lock == receiver
+                                            for h in held):
+                return None  # cond.wait() releases the held condition
+            return f".{method}() blocks"
+        if method == "join" and not call.args:
+            return ".join() blocks until the joined thread exits"
+        if method in ("get", "put") and self._queueish(func.value):
+            return f"queue .{method}() can block on a full/empty queue"
+        return None
+
+    @staticmethod
+    def _queueish(receiver: ast.expr) -> bool:
+        name: str | None = None
+        if isinstance(receiver, ast.Name):
+            name = receiver.id
+        elif isinstance(receiver, ast.Attribute):
+            name = receiver.attr
+        if name is None:
+            return False
+        lowered = name.lower().lstrip("_")
+        return lowered in _QUEUEISH or "queue" in lowered
+
+
+class FingerprintReachabilityTaint(ProjectRule):
+    """REP002, generalized: impurity reachable from fingerprint code.
+
+    The per-file REP002 flags impure calls *inside* the scoped
+    packages.  This rule follows the call graph instead: every function
+    transitively reachable from a ``*fingerprint*`` / ``cache_key``
+    entry point is part of a hashed path, wherever it lives.  Findings
+    that duplicate per-file REP002 hits are dropped by the driver.
+    """
+
+    code = "REP002"
+    summary = "impure call reachable from a fingerprint entry point"
+    hint = WallClockInHashedPath.hint
+
+    #: Function names that start a hashed path.
+    _ENTRY_NAMES = ("cache_key", "_cache_key")
+
+    @classmethod
+    def _is_entry(cls, name: str) -> bool:
+        return "fingerprint" in name or name in cls._ENTRY_NAMES
+
+    def check(self, graph: CallGraph) -> Iterator[Violation]:
+        exclude = WallClockInHashedPath.exclude
+        entries = sorted(q for q, fn in graph.functions.items()
+                         if self._is_entry(fn.name))
+        parent = graph.reachable_from(entries)
+        for qualname in sorted(parent):
+            fn = graph.functions[qualname]
+            if any(fn.module == prefix or fn.module.startswith(prefix)
+                   for prefix in exclude):
+                continue
+            chain = graph.path_to_root(qualname, parent)
+            via = " -> ".join(_short(q) for q in chain)
+            for site in fn.calls:
+                impurity = self._impure(site.external)
+                if impurity is not None:
+                    yield self.violation(
+                        fn, site.node,
+                        f"{impurity} on a hashed path ({via})")
+            for read in fn.environ_reads:
+                yield self.violation(
+                    fn, read.node,
+                    f"os.environ read on a hashed path ({via})")
+
+    @staticmethod
+    def _impure(external: str | None) -> str | None:
+        if external is None:
+            return None
+        if external in _IMPURE_CALLS:
+            return f"call to {external} is time/environment-dependent"
+        parts = external.split(".")
+        if parts[:2] == ["numpy", "random"] and len(parts) > 2 and \
+                parts[2] not in _SEEDED_CONSTRUCTORS:
+            return f"call to {external} draws unseeded randomness"
+        if parts[0] == "random" and len(parts) == 2 and \
+                parts[1] != "Random":
+            return f"call to {external} draws unseeded randomness"
+        return None
+
+
+#: Every whole-program rule, in catalog order.  REP002's project pass
+#: shares its code with the per-file rule on purpose: baselines and
+#: suppressions treat them as one rule.
+PROJECT_RULES: tuple[ProjectRule, ...] = (
+    LockOrderCycles(),
+    UnguardedSharedWrite(),
+    BlockingCallWhileLocked(),
+    FingerprintReachabilityTaint(),
+)
+
+#: Codes owned exclusively by the whole-program pass.
+PROJECT_CODES = frozenset({"REP009", "REP010", "REP011"})

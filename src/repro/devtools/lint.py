@@ -28,10 +28,14 @@ import sys
 from collections import Counter
 from collections.abc import Iterable, Sequence
 from pathlib import Path
+from typing import TextIO
 
 from . import conformance
 from .base import ModuleContext, Violation, parse_module
+from .callgraph import CallGraph
+from .concurrency_rules import PROJECT_CODES, PROJECT_RULES
 from .rules import ALL_RULES
+from .sarif import sarif_log
 
 DEFAULT_BASELINE = ".repro-lint-baseline"
 DEFAULT_TARGETS = ("src", "tests", "benchmarks")
@@ -77,6 +81,7 @@ def lint_paths(paths: Sequence[Path | str], *,
     """All (unsuppressed) findings for ``paths``, in file/line order."""
     root = Path.cwd() if root is None else root
     violations: list[Violation] = []
+    contexts: dict[str, ModuleContext] = {}
     for path in iter_python_files(Path(p) for p in paths):
         rel = _relpath(path, root)
         ctx, parse_error = parse_module(path, rel)
@@ -84,6 +89,7 @@ def lint_paths(paths: Sequence[Path | str], *,
             violations.append(parse_error)
             continue
         assert ctx is not None
+        contexts[rel] = ctx
         found: list[Violation] = []
         for rule in ALL_RULES:
             if select is not None and rule.code not in select:
@@ -98,8 +104,42 @@ def lint_paths(paths: Sequence[Path | str], *,
             elif rel.endswith(_TRIGGERS_ANCHOR):
                 found.extend(conformance.check_trigger_registry(path, rel))
         violations.extend(_apply_suppressions(ctx, found))
+    violations.extend(_project_pass(contexts, violations, select))
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return violations
+
+
+def _project_pass(contexts: dict[str, ModuleContext],
+                  per_file: Sequence[Violation],
+                  select: set[str] | None) -> list[Violation]:
+    """Whole-program rules over every project module in the run.
+
+    Findings duplicating a per-file hit (REP002 sites inside the scoped
+    packages are seen by both passes) are dropped; per-line
+    suppressions apply exactly as for per-file rules.
+    """
+    wanted = [rule for rule in PROJECT_RULES
+              if select is None or rule.code in select]
+    if not wanted:
+        return []
+    project = [ctx for ctx in contexts.values() if ctx.module is not None]
+    if not project:
+        return []
+    graph = CallGraph.build(project)
+    seen = {(v.code, v.path, v.line) for v in per_file}
+    kept: list[Violation] = []
+    for rule in wanted:
+        for violation in rule.check(graph):
+            if (violation.code, violation.path, violation.line) in seen:
+                continue
+            ctx = contexts.get(violation.path)
+            if ctx is not None:
+                codes = ctx.suppressed_codes(violation.line)
+                if "ALL" in codes or violation.code in codes:
+                    continue
+            seen.add((violation.code, violation.path, violation.line))
+            kept.append(violation)
+    return kept
 
 
 # -- baseline -----------------------------------------------------------
@@ -157,7 +197,7 @@ def split_by_baseline(
 # -- CLI ----------------------------------------------------------------
 
 
-def _print_rule_catalog(out) -> None:
+def _print_rule_catalog(out: TextIO) -> None:
     print("repro lint rule catalog:", file=out)
     for rule in ALL_RULES:
         print(f"  {rule.code}  {rule.summary}", file=out)
@@ -170,14 +210,31 @@ def _print_rule_catalog(out) -> None:
     print("          anchored on repro/automl/components.py, "
           "repro/similarity/registry.py and repro/monitor/triggers.py",
           file=out)
+    for rule in PROJECT_RULES:
+        if rule.code == "REP002":
+            continue  # listed above with its per-file half
+        print(f"  {rule.code}  {rule.summary}", file=out)
+        print(f"          whole-program (call-graph) rule; "
+              f"hint: {rule.hint}", file=out)
+
+
+def known_rule_codes() -> set[str]:
+    """Every code ``--select`` accepts."""
+    codes = {rule.code for rule in ALL_RULES}
+    codes.update(PROJECT_CODES)
+    codes.add(conformance.CODE)
+    codes.add("REP000")
+    return codes
 
 
 def run_lint(paths: Sequence[str], *, baseline: str = DEFAULT_BASELINE,
              no_baseline: bool = False, update_baseline: bool = False,
              select: str | None = None, output_format: str = "text",
-             root: Path | None = None, out=None) -> int:
+             root: Path | None = None, out: TextIO | None = None,
+             err: TextIO | None = None) -> int:
     """Programmatic entry point; returns the process exit code."""
     out = sys.stdout if out is None else out
+    err = sys.stderr if err is None else err
     root = Path.cwd() if root is None else root
     if not paths:
         paths = [str(root / target) for target in DEFAULT_TARGETS
@@ -186,6 +243,13 @@ def run_lint(paths: Sequence[str], *, baseline: str = DEFAULT_BASELINE,
     if select:
         selected = {code.strip().upper() for code in select.split(",")
                     if code.strip()}
+        unknown = sorted(selected - known_rule_codes())
+        if unknown:
+            print(f"error: unknown rule code{'s' if len(unknown) > 1 else ''} "
+                  f"in --select: {', '.join(unknown)} "
+                  f"(run --list-rules for the catalog)",
+                  file=err)
+            return 2
     violations = lint_paths(paths, select=selected, root=root)
 
     baseline_path = Path(baseline)
@@ -201,6 +265,10 @@ def run_lint(paths: Sequence[str], *, baseline: str = DEFAULT_BASELINE,
     known = (Counter() if no_baseline
              else load_baseline(baseline_path))
     new, matched, stale = split_by_baseline(violations, known)
+
+    if output_format == "sarif":
+        print(json.dumps(sarif_log(new), indent=2), file=out)
+        return 1 if new else 0
 
     if output_format == "json":
         print(json.dumps({
@@ -241,8 +309,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated rule codes to run "
                              "(e.g. REP001,REP005)")
     parser.add_argument("--format", default="text",
-                        choices=("text", "json"), dest="output_format",
-                        help="finding output format")
+                        choices=("text", "json", "sarif"),
+                        dest="output_format",
+                        help="finding output format (sarif emits a "
+                             "SARIF 2.1.0 log of the new findings)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
     return parser

@@ -1,0 +1,110 @@
+"""SARIF 2.1.0 output for ``repro lint --format sarif``.
+
+Emits the subset of the Static Analysis Results Interchange Format
+that GitHub code scanning consumes: one run, one driver, a rule
+catalog with help text, and one result per *new* (non-baselined)
+finding.  ``partialFingerprints`` carries the same line-text
+fingerprint the baseline machinery uses, so code-scanning alert
+identity survives line-number drift exactly like the baseline does.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from .base import Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+#: Tool metadata reported in runs[].tool.driver.
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://github.com/repro/repro"
+
+
+def _rule_entry(code: str, summary: str, hint: str) -> dict[str, Any]:
+    entry: dict[str, Any] = {
+        "id": code,
+        "name": code,
+        "shortDescription": {"text": summary},
+    }
+    if hint:
+        entry["help"] = {"text": hint}
+    return entry
+
+
+def rule_catalog() -> list[dict[str, Any]]:
+    """Every rule the linter can emit, in stable catalog order."""
+    from . import conformance
+    from .concurrency_rules import PROJECT_RULES
+    from .rules import ALL_RULES
+
+    entries = [_rule_entry(
+        "REP000", "file cannot be parsed",
+        "fix the syntax error; no rule ran on this file")]
+    entries.extend(_rule_entry(rule.code, rule.summary, rule.hint)
+                   for rule in ALL_RULES)
+    entries.append(_rule_entry(
+        conformance.CODE, "registry/component conformance",
+        "keep components/registries introspectable and dispatchable"))
+    seen = {entry["id"] for entry in entries}
+    for rule in PROJECT_RULES:
+        if rule.code not in seen:
+            entries.append(_rule_entry(rule.code, rule.summary,
+                                       rule.hint))
+            seen.add(rule.code)
+    return entries
+
+
+def _result(violation: Violation,
+            rule_index: dict[str, int]) -> dict[str, Any]:
+    message = violation.message
+    if violation.hint:
+        message = f"{message}. Hint: {violation.hint}"
+    result: dict[str, Any] = {
+        "ruleId": violation.code,
+        "level": "error",
+        "message": {"text": message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": violation.path,
+                    "uriBaseId": "%SRCROOT%",
+                },
+                "region": {
+                    "startLine": max(violation.line, 1),
+                    "startColumn": violation.col + 1,
+                },
+            },
+        }],
+        "partialFingerprints": {
+            "reproLintFingerprint/v1": violation.fingerprint,
+        },
+    }
+    if violation.code in rule_index:
+        result["ruleIndex"] = rule_index[violation.code]
+    return result
+
+
+def sarif_log(violations: Sequence[Violation]) -> dict[str, Any]:
+    """The complete SARIF log object for one lint run."""
+    rules = rule_catalog()
+    rule_index = {entry["id"]: index
+                  for index, entry in enumerate(rules)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "informationUri": TOOL_URI,
+                    "rules": rules,
+                },
+            },
+            "results": [_result(violation, rule_index)
+                        for violation in violations],
+        }],
+    }

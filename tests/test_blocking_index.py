@@ -227,3 +227,68 @@ class TestParallelBuild:
             parallel = make(2).index(b)
             assert parallel.fingerprint == sequential.fingerprint
             assert probe_keys(parallel, a) == probe_keys(sequential, a)
+
+
+class TestConcurrentSnapshot:
+    def test_as_table_races_with_growth(self, catalog):
+        """Regression: ``as_table`` used to cache ``_table`` while
+        holding only the read side of the rw-lock, racing concurrent
+        readers and growers.  The snapshot cache now has its own mutex;
+        hammering snapshots against growth must stay consistent (and
+        lock-order clean, which the witness checks)."""
+        import threading
+
+        from repro.concurrency import lock_witness_enabled
+
+        with lock_witness_enabled():
+            blocker = QGramBlocker("name", min_overlap=2)
+            index = BlockIndex(blocker, table_name=catalog.name,
+                               columns=catalog.columns)
+            index.add_records(list(catalog)[:2])
+            errors = []
+            barrier = threading.Barrier(6)
+            stop = threading.Event()
+
+            def snapshotter():
+                barrier.wait()
+                try:
+                    while not stop.is_set():
+                        table = index.as_table()
+                        # A snapshot is internally consistent: row count
+                        # and id count always agree.
+                        assert table.num_rows == len(list(table))
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            def grower():
+                barrier.wait()
+                try:
+                    base = 100
+                    for i in range(20):
+                        index.add_records(Table(
+                            catalog.name, catalog.columns,
+                            [[f"new place {i}", "city"]], ids=[base + i]))
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+                finally:
+                    stop.set()
+
+            threads = [threading.Thread(target=snapshotter)
+                       for _ in range(5)]
+            threads.append(threading.Thread(target=grower))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(60)
+            assert not any(thread.is_alive() for thread in threads)
+            assert errors == []
+            assert index.as_table().num_rows == 2 + 20
+
+    def test_snapshot_cache_survives_pickle(self, catalog):
+        index = QGramBlocker("name", min_overlap=2).index(catalog)
+        index.as_table()  # populate the cache and its lock
+        clone = pickle.loads(pickle.dumps(index))
+        assert clone.as_table().fingerprint == catalog.fingerprint
+        clone.add_records(Table("B", ["name", "city"],
+                                [["granita", "malibu"]], ids=[77]))
+        assert clone.as_table().num_rows == catalog.num_rows + 1

@@ -6,7 +6,14 @@ import time
 
 import pytest
 
-from repro.concurrency import EventGate, ReadWriteLock
+from repro.concurrency import (
+    EventGate,
+    LockOrderError,
+    ReadWriteLock,
+    WitnessedLock,
+    active_lock_witness,
+    lock_witness_enabled,
+)
 
 
 def _in_thread(fn, timeout=30.0):
@@ -184,3 +191,140 @@ class TestEventGate:
         total = n_threads * per_thread
         assert gate.count == total
         assert sum(fired) == total // 10
+
+
+class TestLockWitness:
+    """The runtime lock-order witness: the dynamic half of REP009."""
+
+    def test_inverted_acquisition_order_trips_the_witness(self):
+        with lock_witness_enabled():
+            a, b = WitnessedLock("wa"), WitnessedLock("wb")
+            with a:
+                with b:
+                    pass
+            with pytest.raises(LockOrderError, match="lock order inversion"):
+                with b:
+                    with a:
+                        pass
+
+    def test_inversion_is_caught_without_the_deadly_interleaving(self):
+        """The edges persist: thread one runs A→B to completion, thread
+        two later runs B→A — no actual deadlock occurs, the witness
+        still reports the cycle."""
+        with lock_witness_enabled():
+            a, b = WitnessedLock("ta"), WitnessedLock("tb")
+
+            def forward():
+                with a:
+                    with b:
+                        pass
+                return "ok"
+
+            def backward():
+                try:
+                    with b:
+                        with a:
+                            pass
+                except LockOrderError:
+                    return "tripped"
+                return "silent"
+
+            finished, result = _in_thread(forward)
+            assert finished and result == ["ok"]
+            finished, result = _in_thread(backward)
+            assert finished and result == ["tripped"]
+
+    def test_consistent_order_records_edges_without_raising(self):
+        with lock_witness_enabled() as witness:
+            a, b = WitnessedLock("ca"), WitnessedLock("cb")
+            for _ in range(3):
+                with a:
+                    with b:
+                        pass
+            assert witness.edges() == {"ca": {"cb"}}
+
+    def test_rwlock_inversion_between_two_locks_trips(self):
+        with lock_witness_enabled():
+            outer = ReadWriteLock("rw-outer")
+            inner = ReadWriteLock("rw-inner")
+            with outer.read_locked():
+                with inner.write_locked():
+                    pass
+            with pytest.raises(LockOrderError):
+                with inner.read_locked():
+                    with outer.write_locked():
+                        pass
+
+    def test_rwlock_reentrancy_is_not_an_inversion(self):
+        with lock_witness_enabled() as witness:
+            lock = ReadWriteLock("rw-re")
+            with lock.read_locked():
+                with lock.read_locked():
+                    pass
+            with lock.write_locked():
+                with lock.write_locked():
+                    with lock.read_locked():
+                        pass
+            assert witness.held() == ()
+            assert witness.edges() == {}
+
+    def test_upgrade_attempt_leaves_the_witness_stack_balanced(self):
+        with lock_witness_enabled() as witness:
+            lock = ReadWriteLock("rw-up")
+            with lock.read_locked():
+                with pytest.raises(RuntimeError, match="upgrade"):
+                    lock.acquire_write()
+            assert witness.held() == ()
+
+    def test_disabled_witness_has_no_hooks(self):
+        assert active_lock_witness() is None
+        a, b = WitnessedLock("da"), WitnessedLock("db")
+        with a:
+            with b:
+                pass
+        with b:  # would trip if a witness were installed
+            with a:
+                pass
+
+    def test_stress_rwlock_counter_under_witness(self):
+        """The existing reader/writer stress pattern stays correct (and
+        trip-free) with the witness enabled."""
+        with lock_witness_enabled() as witness:
+            lock = ReadWriteLock("rw-stress")
+            state = {"value": 0}
+            totals = []
+            barrier = threading.Barrier(8)
+
+            def writer():
+                barrier.wait()
+                for _ in range(200):
+                    with lock.write_locked():
+                        state["value"] += 1
+
+            def reader():
+                barrier.wait()
+                local = 0
+                for _ in range(200):
+                    with lock.read_locked():
+                        local = max(local, state["value"])
+                totals.append(local)
+
+            threads = [threading.Thread(target=writer) for _ in range(4)]
+            threads += [threading.Thread(target=reader) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(60)
+            assert not any(thread.is_alive() for thread in threads)
+            assert state["value"] == 4 * 200
+            assert all(0 <= total <= 800 for total in totals)
+            assert witness.held() == ()
+
+    def test_witnessed_lock_basics(self):
+        lock = WitnessedLock("basic")
+        assert not lock.locked()
+        with lock:
+            assert lock.locked()
+        assert not lock.locked()
+        assert lock.acquire(blocking=False)
+        lock.release()

@@ -1,0 +1,361 @@
+"""The project call graph + lock model: import resolution (absolute and
+relative), method dispatch, held-lock tracking through ``with`` blocks
+and explicit acquire/release, interprocedural entry-held propagation,
+thread-root detection, and spot checks against the real tree."""
+
+import textwrap
+from pathlib import Path
+
+from repro.devtools.base import parse_module
+from repro.devtools.callgraph import CallGraph, Held
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def build_graph(tmp_path, files):
+    """Write a fixture tree under ``tmp_path`` and build its graph."""
+    contexts = []
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    for path in sorted((tmp_path / "src").rglob("*.py")):
+        ctx, err = parse_module(path, path.as_posix())
+        assert err is None, err
+        contexts.append(ctx)
+    return CallGraph.build(contexts)
+
+
+def real_graph():
+    contexts = []
+    for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+        ctx, err = parse_module(path, path.as_posix())
+        assert err is None, err
+        contexts.append(ctx)
+    return CallGraph.build(contexts)
+
+
+# -- import + call resolution -------------------------------------------
+
+
+def test_resolves_absolute_and_relative_imports(tmp_path):
+    graph = build_graph(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/util.py": "def helper():\n    return 1\n",
+        "src/repro/pkg/__init__.py": "",
+        "src/repro/pkg/a.py": """\
+            from repro.util import helper
+            from ..util import helper as aliased
+            from .b import sibling
+
+            def entry():
+                helper()
+                aliased()
+                sibling()
+        """,
+        "src/repro/pkg/b.py": "def sibling():\n    return 2\n",
+    })
+    entry = graph.functions["repro.pkg.a.entry"]
+    callees = {site.callee for site in entry.calls}
+    assert callees == {"repro.util.helper", "repro.pkg.b.sibling"}
+
+
+def test_relative_import_in_package_init_resolves_to_self(tmp_path):
+    graph = build_graph(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/pkg/__init__.py": """\
+            from .core import work
+
+            def run():
+                work()
+        """,
+        "src/repro/pkg/core.py": "def work():\n    return 1\n",
+    })
+    run = graph.functions["repro.pkg.run"]
+    assert {site.callee for site in run.calls} == {"repro.pkg.core.work"}
+
+
+def test_self_method_dispatch_through_project_base_class(tmp_path):
+    graph = build_graph(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/base.py": """\
+            class Base:
+                def shared(self):
+                    return 1
+        """,
+        "src/repro/child.py": """\
+            from .base import Base
+
+            class Child(Base):
+                def entry(self):
+                    self.shared()
+        """,
+    })
+    entry = graph.functions["repro.child.Child.entry"]
+    assert {site.callee for site in entry.calls} == {
+        "repro.base.Base.shared"}
+
+
+def test_attribute_type_inference_resolves_receiver_methods(tmp_path):
+    graph = build_graph(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/store.py": """\
+            class Store:
+                def put(self, value):
+                    return value
+        """,
+        "src/repro/user.py": """\
+            from .store import Store
+
+            class User:
+                def __init__(self):
+                    self._store = Store()
+
+                def entry(self, value):
+                    self._store.put(value)
+        """,
+    })
+    user = graph.classes["repro.user.User"]
+    assert user.attr_types["_store"] == "repro.store.Store"
+    entry = graph.functions["repro.user.User.entry"]
+    assert {site.callee for site in entry.calls} == {
+        "repro.store.Store.put"}
+
+
+def test_constructor_call_resolves_to_init(tmp_path):
+    graph = build_graph(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/thing.py": """\
+            class Thing:
+                def __init__(self):
+                    self.x = 1
+        """,
+        "src/repro/maker.py": """\
+            from .thing import Thing
+
+            def make():
+                return Thing()
+        """,
+    })
+    make = graph.functions["repro.maker.make"]
+    assert {site.callee for site in make.calls} == {
+        "repro.thing.Thing.__init__"}
+
+
+# -- the lock model ------------------------------------------------------
+
+
+LOCKED_CLASS = {
+    "src/repro/__init__.py": "",
+    "src/repro/locked.py": """\
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = {}
+
+            def store(self, key, value):
+                with self._lock:
+                    self._items[key] = value
+                    self._note(key)
+
+            def _note(self, key):
+                return key
+    """,
+}
+
+
+def test_with_lock_context_tracks_held_set(tmp_path):
+    graph = build_graph(tmp_path, LOCKED_CLASS)
+    cache = graph.classes["repro.locked.Cache"]
+    assert cache.lock_attrs == {"_lock": "lock"}
+    store = graph.functions["repro.locked.Cache.store"]
+    [site] = [s for s in store.calls
+              if s.callee == "repro.locked.Cache._note"]
+    assert site.held == frozenset({Held("repro.locked.Cache._lock")})
+    [write] = store.writes
+    assert write.attr == "_items"
+    assert Held("repro.locked.Cache._lock") in write.held
+
+
+def test_rwlock_context_managers_carry_modes(tmp_path):
+    graph = build_graph(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/concurrency.py": """\
+            class ReadWriteLock:
+                def read_locked(self):
+                    ...
+
+                def write_locked(self):
+                    ...
+        """,
+        "src/repro/index.py": """\
+            from .concurrency import ReadWriteLock
+
+            class Index:
+                def __init__(self):
+                    self._rw = ReadWriteLock()
+                    self._rows = []
+
+                def add(self, row):
+                    with self._rw.write_locked():
+                        self._rows.append(row)
+
+                def snapshot(self):
+                    with self._rw.read_locked():
+                        return list(self._rows)
+        """,
+    })
+    index = graph.classes["repro.index.Index"]
+    assert index.lock_attrs == {"_rw": "rwlock"}
+    add = graph.functions["repro.index.Index.add"]
+    [write] = add.writes
+    assert write.held == frozenset(
+        {Held("repro.index.Index._rw", "write")})
+    assert not Held("repro.index.Index._rw", "read").covers_write()
+    assert Held("repro.index.Index._rw", "write").covers_write()
+
+
+def test_explicit_acquire_release_adjusts_held_set(tmp_path):
+    graph = build_graph(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/manual.py": """\
+            import threading
+
+            class Manual:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def bump(self):
+                    self._lock.acquire()
+                    self._n += 1
+                    self._lock.release()
+                    self._n = self._n
+        """,
+    })
+    bump = graph.functions["repro.manual.Manual.bump"]
+    locked = [w for w in bump.writes
+              if Held("repro.manual.Manual._lock") in w.held]
+    unlocked = [w for w in bump.writes if not w.held]
+    assert len(locked) == 1 and len(unlocked) == 1
+
+
+def test_entry_held_propagates_through_callers(tmp_path):
+    graph = build_graph(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/prop.py": """\
+            import threading
+
+            class Prop:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+                    self._reset_locked()
+
+                def reset(self):
+                    with self._lock:
+                        self._reset_locked()
+
+                def _reset_locked(self):
+                    self._n = 0
+        """,
+    })
+    helper = graph.functions["repro.prop.Prop._reset_locked"]
+    # The __init__ call site imposes no lock obligation; the one real
+    # caller holds the lock, so the helper is analyzed as locked.
+    assert helper.entry_held == frozenset(
+        {Held("repro.prop.Prop._lock")})
+
+
+def test_unlocked_caller_clears_propagated_entry_set(tmp_path):
+    graph = build_graph(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/prop.py": """\
+            import threading
+
+            class Prop:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+
+                def reset(self):
+                    with self._lock:
+                        self._helper()
+
+                def sloppy_reset(self):
+                    self._helper()
+
+                def _helper(self):
+                    self._n = 0
+        """,
+    })
+    helper = graph.functions["repro.prop.Prop._helper"]
+    # Intersection over call sites: one caller is unlocked.
+    assert helper.entry_held == frozenset()
+
+
+def test_thread_target_detection(tmp_path):
+    graph = build_graph(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/svc.py": """\
+            import threading
+
+            class Service:
+                def start(self):
+                    self._thread = threading.Thread(
+                        target=self._loop, daemon=True)
+                    self._thread.start()
+
+                def _loop(self):
+                    while True:
+                        pass
+        """,
+    })
+    assert graph.thread_targets == {"repro.svc.Service._loop"}
+    reachable = graph.reachable_from(graph.thread_targets)
+    assert "repro.svc.Service._loop" in reachable
+
+
+def test_guard_comments_collected_per_class(tmp_path):
+    graph = build_graph(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/guarded.py": """\
+            import threading
+
+            class Guarded:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    # repro-guard: _table by _lock
+                    self._table = None
+        """,
+    })
+    model = graph.classes["repro.guarded.Guarded"]
+    assert model.explicit_guards == {"_table": "_lock"}
+
+
+# -- spot checks against the real tree ----------------------------------
+
+
+def test_real_tree_lock_inventory_and_thread_roots():
+    graph = real_graph()
+    assert graph.thread_targets == {
+        "repro.serve.service.MatchService._worker_loop"}
+    index = graph.classes["repro.blocking.index.BlockIndex"]
+    assert index.lock_attrs["_rw_lock"] == "rwlock"
+    assert index.lock_attrs["_table_lock"] == "lock"
+    monitor = graph.classes["repro.monitor.drift.FeatureDriftMonitor"]
+    assert monitor.lock_attrs["_lock"] == "rwlock"
+
+
+def test_real_tree_locked_helpers_infer_write_entry():
+    graph = real_graph()
+    flush = graph.functions[
+        "repro.monitor.drift.FeatureDriftMonitor._flush_locked"]
+    assert Held("repro.monitor.drift.FeatureDriftMonitor._lock",
+                "write") in flush.entry_held
+    register = graph.functions[
+        "repro.blocking.index.BlockIndex._register"]
+    assert Held("repro.blocking.index.BlockIndex._rw_lock",
+                "write") in register.entry_held

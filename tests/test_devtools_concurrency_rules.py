@@ -1,0 +1,531 @@
+"""REP009/REP010/REP011 and the REP002 reachability taint: hit and
+non-hit fixture trees, driven through ``lint_paths`` so the project
+pass, suppression handling and per-file dedup are exercised end to
+end."""
+
+import textwrap
+from pathlib import Path
+
+from repro.devtools.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def lint_tree(tmp_path, files, select=None):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    selected = None if select is None else set(select.split(","))
+    return lint_paths([tmp_path / "src"], select=selected, root=tmp_path)
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+# -- REP009: lock-order cycles ------------------------------------------
+
+
+TWO_LOCKS = """\
+    import threading
+
+    class Pair:
+        def __init__(self):
+            self._a = threading.Lock()
+            self._b = threading.Lock()
+"""
+
+
+def test_rep009_flags_opposite_nesting_orders(tmp_path):
+    found = lint_tree(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/deadlock.py": TWO_LOCKS + """\
+
+        def forward(p):
+            with p._a:
+                with p._b:
+                    pass
+    """,
+    }, select="REP009")
+    # One order alone is fine...
+    assert found == []
+    found = lint_tree(tmp_path, {
+        "src/repro/deadlock.py": TWO_LOCKS + """\
+
+    class Worker(Pair):
+        def forward(self):
+            with self._a:
+                with self._b:
+                    pass
+
+        def backward(self):
+            with self._b:
+                with self._a:
+                    pass
+    """,
+    }, select="REP009")
+    assert codes(found) == ["REP009", "REP009"]
+    assert "lock-order cycle" in found[0].message
+
+
+def test_rep009_consistent_order_across_functions_is_clean(tmp_path):
+    found = lint_tree(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/ordered.py": TWO_LOCKS + """\
+
+    class Worker(Pair):
+        def one(self):
+            with self._a:
+                with self._b:
+                    pass
+
+        def two(self):
+            with self._a:
+                with self._b:
+                    pass
+    """,
+    }, select="REP009")
+    assert found == []
+
+
+def test_rep009_cycle_through_call_chain(tmp_path):
+    """The inversion is only visible interprocedurally: ``outer`` holds
+    A and calls a helper that takes B, while another path nests B→A."""
+    found = lint_tree(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/chain.py": TWO_LOCKS + """\
+
+    class Worker(Pair):
+        def outer(self):
+            with self._a:
+                self._take_b()
+
+        def _take_b(self):
+            with self._b:
+                pass
+
+        def inverted(self):
+            with self._b:
+                with self._a:
+                    pass
+    """,
+    }, select="REP009")
+    assert "REP009" in codes(found)
+
+
+def test_rep009_read_write_upgrade_is_flagged(tmp_path):
+    found = lint_tree(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/up.py": """\
+            from repro.concurrency import ReadWriteLock
+
+            class Store:
+                def __init__(self):
+                    self._rw = ReadWriteLock()
+
+                def bad(self):
+                    with self._rw.read_locked():
+                        with self._rw.write_locked():
+                            pass
+
+                def good(self):
+                    with self._rw.read_locked():
+                        pass
+        """,
+        "src/repro/concurrency.py": """\
+            class ReadWriteLock:
+                def read_locked(self):
+                    ...
+
+                def write_locked(self):
+                    ...
+        """,
+    }, select="REP009")
+    assert codes(found) == ["REP009"]
+    assert "read->write upgrade" in found[0].message
+
+
+def test_rep009_plain_lock_reacquire_is_flagged_rlock_is_not(tmp_path):
+    found = lint_tree(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/re.py": """\
+            import threading
+
+            class Plain:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def bad(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+
+            class Reentrant:
+                def __init__(self):
+                    self._lock = threading.RLock()
+
+                def fine(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+        """,
+    }, select="REP009")
+    assert codes(found) == ["REP009"]
+    assert "re-acquiring non-reentrant" in found[0].message
+
+
+# -- REP010: unguarded writes to guarded attributes ---------------------
+
+
+def cache_fixture(locked_evict):
+    """A FeatureMatrixCache-shaped class; ``locked_evict`` drops or
+    keeps the ``with self._lock:`` around the second write site."""
+    evict_body = ("        with self._lock:\n"
+                  "            self._items.pop(key, None)\n"
+                  if locked_evict else
+                  "        self._items.pop(key, None)\n")
+    return {
+        "src/repro/__init__.py": "",
+        "src/repro/cache.py": (
+            "import threading\n\n\n"
+            "class MatrixCache:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.RLock()\n"
+            "        self._items = {}\n\n"
+            "    def store(self, key, value):\n"
+            "        with self._lock:\n"
+            "            self._items[key] = value\n\n"
+            "    def evict(self, key):\n" + evict_body),
+    }
+
+
+def test_rep010_catches_write_without_its_inferred_lock(tmp_path):
+    found = lint_tree(tmp_path, cache_fixture(locked_evict=False),
+                      select="REP010")
+    assert codes(found) == ["REP010"]
+    assert "self._items" in found[0].message
+    assert "MatrixCache._lock" in found[0].message
+
+
+def test_rep010_all_writes_locked_is_clean(tmp_path):
+    assert lint_tree(tmp_path, cache_fixture(locked_evict=True),
+                     select="REP010") == []
+
+
+def test_rep010_read_side_does_not_license_a_write(tmp_path):
+    found = lint_tree(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/concurrency.py": """\
+            class ReadWriteLock:
+                def read_locked(self):
+                    ...
+
+                def write_locked(self):
+                    ...
+        """,
+        "src/repro/idx.py": """\
+            from .concurrency import ReadWriteLock
+
+            class Index:
+                def __init__(self):
+                    self._rw = ReadWriteLock()
+                    self._rows = []
+
+                def add(self, row):
+                    with self._rw.write_locked():
+                        self._rows.append(row)
+
+                def sneaky(self, row):
+                    with self._rw.read_locked():
+                        self._rows.append(row)
+        """,
+    }, select="REP010")
+    assert codes(found) == ["REP010"]
+    assert "read side" in found[0].message
+
+
+def test_rep010_explicit_guard_comment_declares_the_lock(tmp_path):
+    found = lint_tree(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/decl.py": """\
+            import threading
+
+            class Declared:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    # repro-guard: _state by _lock
+                    self._state = None
+
+                def poke(self):
+                    self._state = 1
+        """,
+    }, select="REP010")
+    assert codes(found) == ["REP010"]
+
+
+def test_rep010_locked_helper_convention_is_understood(tmp_path):
+    """A ``*_locked`` helper whose only non-constructor caller holds
+    the lock writes with the lock held — no finding."""
+    found = lint_tree(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/helper.py": """\
+            import threading
+
+            class Helper:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._n = 0
+                    self._reset_locked()
+
+                def reset(self):
+                    with self._lock:
+                        self._reset_locked()
+
+                def bump(self):
+                    with self._lock:
+                        self._n += 1
+
+                def _reset_locked(self):
+                    self._n = 0
+        """,
+    }, select="REP010")
+    assert found == []
+
+
+def test_rep010_suppression_comment_is_honored(tmp_path):
+    files = cache_fixture(locked_evict=False)
+    files["src/repro/cache.py"] = files["src/repro/cache.py"].replace(
+        "        self._items.pop(key, None)\n",
+        "        self._items.pop(key, None)"
+        "  # repro-lint: disable=REP010 single-threaded teardown\n")
+    assert lint_tree(tmp_path, files, select="REP010") == []
+
+
+# -- REP011: blocking calls inside critical sections --------------------
+
+
+def test_rep011_flags_blocking_calls_under_a_lock(tmp_path):
+    found = lint_tree(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/block.py": """\
+            import threading
+            import time
+
+            class Busy:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._queue = None
+
+                def waits_on_future(self, future):
+                    with self._lock:
+                        return future.result()
+
+                def sleeps(self):
+                    with self._lock:
+                        time.sleep(0.1)
+
+                def feeds_queue(self, item):
+                    with self._lock:
+                        self._queue.put(item)
+        """,
+    }, select="REP011")
+    assert codes(found) == ["REP011", "REP011", "REP011"]
+    messages = " | ".join(v.message for v in found)
+    assert "Future.result()" in messages
+    assert "time.sleep" in messages
+    assert ".put()" in messages
+
+
+def test_rep011_same_operations_outside_the_lock_are_clean(tmp_path):
+    found = lint_tree(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/ok.py": """\
+            import threading
+            import time
+
+            class Fine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._queue = None
+
+                def collect_then_block(self, future, item):
+                    with self._lock:
+                        pending = list(range(3))
+                    time.sleep(0)
+                    self._queue.put(item)
+                    return future.result(), pending
+        """,
+    }, select="REP011")
+    assert found == []
+
+
+def test_rep011_condition_wait_on_held_condition_is_sanctioned(tmp_path):
+    found = lint_tree(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/cv.py": """\
+            import threading
+
+            class Gate:
+                def __init__(self):
+                    self._cond = threading.Condition()
+                    self._open = False
+
+                def block_until_open(self):
+                    with self._cond:
+                        while not self._open:
+                            self._cond.wait()
+        """,
+    }, select="REP011")
+    assert found == []
+
+
+def test_rep011_str_join_and_dict_get_are_not_blocking(tmp_path):
+    found = lint_tree(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/fp.py": """\
+            import threading
+
+            class NotBlocking:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cache = {}
+
+                def fine(self, parts, key):
+                    with self._lock:
+                        text = ", ".join(parts)
+                        return self._cache.get(key, text)
+        """,
+    }, select="REP011")
+    assert found == []
+
+
+def test_rep011_explicit_acquire_of_second_lock_is_flagged(tmp_path):
+    found = lint_tree(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/nested.py": """\
+            import threading
+
+            class Nested:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def bad(self):
+                    with self._a:
+                        self._b.acquire()
+                        self._b.release()
+        """,
+    }, select="REP011")
+    assert codes(found) == ["REP011"]
+    assert "explicit acquire" in found[0].message
+
+
+# -- REP002 as call-graph reachability taint ----------------------------
+
+
+def test_rep002_taint_follows_calls_out_of_the_scoped_packages(tmp_path):
+    """The impure call sits in a package the per-file rule never
+    scopes; only the reachability pass can connect it to a
+    fingerprint."""
+    found = lint_tree(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/features/__init__.py": "",
+        "src/repro/features/cache.py": """\
+            from repro.util.stamp import salt
+
+            def record_fingerprint(record):
+                return hash((salt(), record))
+        """,
+        "src/repro/util/__init__.py": "",
+        "src/repro/util/stamp.py": """\
+            import time
+
+            def salt():
+                return time.time()
+        """,
+    }, select="REP002")
+    assert codes(found) == ["REP002"]
+    assert found[0].path.endswith("src/repro/util/stamp.py")
+    assert "time.time" in found[0].message
+    assert "record_fingerprint" in found[0].message  # the entry path
+
+
+def test_rep002_taint_pure_closure_is_clean(tmp_path):
+    found = lint_tree(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/features/__init__.py": "",
+        "src/repro/features/cache.py": """\
+            from repro.util.stamp import salt
+
+            def record_fingerprint(record):
+                return hash((salt(), record))
+        """,
+        "src/repro/util/__init__.py": "",
+        "src/repro/util/stamp.py": """\
+            def salt():
+                return 42
+        """,
+    }, select="REP002")
+    assert found == []
+
+
+def test_rep002_taint_honors_the_monitor_carve_out(tmp_path):
+    """``repro.monitor`` is excluded on the per-file rule; the
+    reachability pass keeps the carve-out."""
+    found = lint_tree(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/monitor/__init__.py": "",
+        "src/repro/monitor/stale.py": """\
+            import time
+
+            def staleness_fingerprint():
+                return time.time()
+        """,
+    }, select="REP002")
+    assert found == []
+
+
+def test_rep002_taint_dedupes_against_the_per_file_rule(tmp_path):
+    """A wall-clock call directly inside a scoped fingerprint function
+    is seen by both passes but reported once."""
+    found = lint_tree(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/features/__init__.py": "",
+        "src/repro/features/cache.py": """\
+            import time
+
+            def record_fingerprint(record):
+                return hash((time.time(), record))
+        """,
+    }, select="REP002")
+    assert codes(found) == ["REP002"]
+
+
+def test_rep002_taint_flags_unseeded_randomness_in_closure(tmp_path):
+    found = lint_tree(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/util/__init__.py": "",
+        "src/repro/util/keys.py": """\
+            import numpy as np
+
+            def jitter():
+                return np.random.random()
+
+            def cache_key(item):
+                return (item, jitter())
+        """,
+    }, select="REP002")
+    assert codes(found) == ["REP002"]
+    assert "unseeded randomness" in found[0].message
+
+
+# -- the real tree stays clean ------------------------------------------
+
+
+def test_real_tree_has_no_unbaselined_whole_program_findings():
+    found = lint_paths(
+        [REPO_ROOT / "src"],
+        select={"REP002", "REP009", "REP010", "REP011"},
+        root=REPO_ROOT)
+    assert found == []

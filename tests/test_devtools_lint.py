@@ -391,8 +391,110 @@ def test_cli_list_rules_exits_zero(capsys):
     assert main(["--list-rules"]) == 0
     text = capsys.readouterr().out
     for code in ("REP001", "REP002", "REP003", "REP004", "REP005",
-                 "REP006", "REP007"):
+                 "REP006", "REP007", "REP009", "REP010", "REP011"):
         assert code in text
+
+
+def test_unknown_select_code_exits_2(tmp_path, capsys):
+    path = tmp_path / IN_SCOPE
+    path.parent.mkdir(parents=True)
+    path.write_text("x = 1\n")
+    err = io.StringIO()
+    assert run_lint([str(path)], root=tmp_path, select="REP999",
+                    out=io.StringIO(), err=err) == 2
+    message = err.getvalue()
+    assert "unknown rule code" in message and "REP999" in message
+    assert "--list-rules" in message
+    # Mixed known/unknown still refuses, naming only the unknown ones.
+    err = io.StringIO()
+    assert run_lint([str(path)], root=tmp_path, select="REP005,BOGUS",
+                    out=io.StringIO(), err=err) == 2
+    assert "BOGUS" in err.getvalue()
+    assert "REP005" not in err.getvalue().replace("BOGUS", "")
+    # And through the argparse surface.
+    assert main([str(path), "--select", "NOPE"]) == 2
+
+
+def test_write_baseline_on_clean_tree_is_empty_and_stable(tmp_path):
+    path = tmp_path / IN_SCOPE
+    path.parent.mkdir(parents=True)
+    path.write_text("CLEAN = 1\n")
+    baseline_path = tmp_path / ".repro-lint-baseline"
+    assert run_lint([str(path)], root=tmp_path, update_baseline=True,
+                    out=io.StringIO()) == 0
+    assert baseline_path.exists()
+    first = baseline_path.read_text(encoding="utf-8")
+    assert load_baseline(baseline_path) == {}
+    # A second snapshot is byte-identical: the workflow is idempotent.
+    assert run_lint([str(path)], root=tmp_path, update_baseline=True,
+                    out=io.StringIO()) == 0
+    assert baseline_path.read_text(encoding="utf-8") == first
+
+
+# -- SARIF output -------------------------------------------------------
+
+
+def test_sarif_output_validates_github_shape(tmp_path):
+    path = tmp_path / IN_SCOPE
+    path.parent.mkdir(parents=True)
+    path.write_text("def check(x):\n    return x == 1.0\n")
+    out = io.StringIO()
+    code = run_lint([str(path)], root=tmp_path, output_format="sarif",
+                    out=out)
+    assert code == 1
+    log = json.loads(out.getvalue())
+
+    assert log["version"] == "2.1.0"
+    assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+    [run] = log["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    assert "informationUri" in driver
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert len(rule_ids) == len(set(rule_ids))
+    for required in ("REP005", "REP009", "REP010", "REP011"):
+        assert required in rule_ids
+
+    [result] = run["results"]
+    assert result["ruleId"] == "REP005"
+    assert driver["rules"][result["ruleIndex"]]["id"] == "REP005"
+    assert result["level"] == "error"
+    assert result["message"]["text"]
+    [location] = result["locations"]
+    physical = location["physicalLocation"]
+    assert physical["artifactLocation"]["uri"] == IN_SCOPE
+    assert physical["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+    assert physical["region"]["startLine"] == 2
+    assert physical["region"]["startColumn"] >= 1
+    assert "reproLintFingerprint/v1" in result["partialFingerprints"]
+
+
+def test_sarif_clean_run_exits_zero_with_empty_results(tmp_path):
+    path = tmp_path / IN_SCOPE
+    path.parent.mkdir(parents=True)
+    path.write_text("CLEAN = 1\n")
+    out = io.StringIO()
+    assert run_lint([str(path)], root=tmp_path, output_format="sarif",
+                    out=out) == 0
+    log = json.loads(out.getvalue())
+    assert log["runs"][0]["results"] == []
+
+
+# -- perf budget --------------------------------------------------------
+
+
+def test_whole_program_pass_fits_time_budget():
+    """The call-graph rules must stay fast enough to gate CI: a full
+    project pass over ``src/`` in under 10 seconds."""
+    import time as _time
+
+    start = _time.perf_counter()
+    out = io.StringIO()
+    run_lint([str(REPO_ROOT / "src")], root=REPO_ROOT, no_baseline=True,
+             select="REP009,REP010,REP011", out=out)
+    elapsed = _time.perf_counter() - start
+    assert elapsed < 10.0, (
+        f"whole-program lint took {elapsed:.1f}s (budget 10s)")
 
 
 # -- plumbing -----------------------------------------------------------
@@ -456,7 +558,9 @@ def test_seeding_a_violation_is_caught(tmp_path):
 
 #: Packages pinned to mypy's disallow_untyped_defs in pyproject.toml.
 STRICT_PACKAGES = ("blocking", "data", "features", "similarity", "serve",
-                   "monitor")
+                   "monitor", "devtools")
+#: Single modules (not packages) held to the same bar.
+STRICT_MODULES = ("concurrency",)
 
 
 def _unannotated_defs(tree):
@@ -474,12 +578,15 @@ def _unannotated_defs(tree):
             yield f"{node.name}:{node.lineno} return type"
 
 
-@pytest.mark.parametrize("package", STRICT_PACKAGES)
-def test_strict_packages_are_fully_annotated(package):
+@pytest.mark.parametrize("target", STRICT_PACKAGES + STRICT_MODULES)
+def test_strict_packages_are_fully_annotated(target):
     """Local stand-in for the CI mypy gate (mypy is not vendored): every
     def in the strict packages carries complete annotations."""
+    base = REPO_ROOT / "src/repro" / target
+    paths = (sorted(base.rglob("*.py")) if base.is_dir()
+             else [base.with_suffix(".py")])
     missing = []
-    for path in sorted((REPO_ROOT / "src/repro" / package).rglob("*.py")):
+    for path in paths:
         tree = ast.parse(path.read_text(encoding="utf-8"))
         for item in _unannotated_defs(tree):
             missing.append(f"{path.relative_to(REPO_ROOT)}: {item}")
@@ -493,4 +600,6 @@ def test_mypy_config_covers_strict_packages():
     config = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
     for package in STRICT_PACKAGES:
         assert f'"repro.{package}.*"' in config
+    for module in STRICT_MODULES:
+        assert f'"repro.{module}"' in config
     assert "disallow_untyped_defs = true" in config

@@ -18,6 +18,7 @@ import pytest
 
 from repro.automl.runner import RunLog, read_run_log
 from repro.blocking import BlockIndex, QGramBlocker
+from repro.concurrency import lock_witness_enabled
 from repro.features.cache import FeatureMatrixCache
 from repro.serve import (
     MatchService,
@@ -37,6 +38,15 @@ def deadlock_deadline():
     faulthandler.dump_traceback_later(DEADLINE_SECONDS, exit=True)
     yield
     faulthandler.cancel_dump_traceback_later()
+
+
+@pytest.fixture(autouse=True)
+def lock_order_witness():
+    """Run the whole stress suite under the runtime lock-order witness:
+    any acquisition that closes an order cycle raises LockOrderError in
+    the offending thread instead of deadlocking some future run."""
+    with lock_witness_enabled() as witness:
+        yield witness
 
 
 @pytest.fixture()
