@@ -1,0 +1,25 @@
+"""Opt-in perf regression check for incremental entity resolution.
+
+Skipped unless pytest is invoked with ``--perf`` (see conftest) so the
+tier-1 suite stays fast:
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_resolve.py --perf
+"""
+
+import json
+
+import pytest
+
+from bench_resolve import FULL_SCALE, check_report, run_bench
+
+pytestmark = pytest.mark.perf
+
+
+def test_full_scale_gates_hold(tmp_path):
+    report = run_bench(n_decisions=FULL_SCALE, seed=0, batch_size=500)
+    (tmp_path / "bench_resolve.json").write_text(
+        json.dumps(report, indent=2), encoding="utf-8")
+    assert check_report(report) == 0, report
+    assert report["parity"]
+    assert report["quality"]["pairwise_f1"] >= 0.99
+    assert report["speedup_vs_recluster"] >= 10.0

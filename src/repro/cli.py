@@ -21,6 +21,10 @@ The subcommands cover the common workflows without writing Python:
   evaluation and retrain triggers over a serving bundle
   (``watch`` / ``shadow`` / ``promote`` / ``report``; see
   :mod:`repro.monitor`);
+* ``resolve`` — cluster pairwise decisions into entities, fuse golden
+  records, report cluster quality, and persist a versioned
+  :class:`~repro.resolve.EntityStore` snapshot (see
+  :mod:`repro.resolve`);
 * ``lint`` — run the AST-based reproducibility linter (REP rules)
   over source trees (see :mod:`repro.devtools`).
 """
@@ -119,7 +123,7 @@ _EXPERIMENTS = {
     "table3": "run_table3", "table4": "run_table4", "fig8": "run_fig8",
     "fig9": "run_fig9", "fig10": "run_fig10", "fig12": "run_fig12",
     "fig13": "run_fig13", "fig14": "run_fig14", "fig15": "run_fig15",
-    "serving": "run_serving_study",
+    "serving": "run_serving_study", "resolution": "run_resolution_study",
 }
 
 #: Experiments with their own (non ``config=``) signatures, dispatched
@@ -292,10 +296,18 @@ def _cmd_serve_stream(args) -> int:
     records = list(table_a)
     batches = [records[start:start + args.batch_rows]
                for start in range(0, len(records), args.batch_rows)]
+    store = None
+    if args.resolve:
+        from .resolve import CorrelationClustering, EntityStore, ResolveLog
+
+        store = EntityStore(
+            refiner=CorrelationClustering(seed=args.seed),
+            log=ResolveLog.ensure(args.resolve_log))
     matcher = StreamMatcher(bundle, index=index,
                             max_batch_rows=args.batch_size,
                             n_jobs=args.n_jobs,
-                            request_log=args.request_log)
+                            request_log=args.request_log,
+                            resolver=store)
     with MatchService(matcher, workers=args.workers,
                       max_queue=args.max_queue,
                       overflow=args.overflow) as service:
@@ -331,6 +343,130 @@ def _cmd_serve_stream(args) -> int:
           f"(max queue depth {snapshot['max_queue_depth']}, "
           f"{snapshot['rejected']} rejected, "
           f"{snapshot['pairs_per_second']:.0f} pairs/s)")
+    if store is not None:
+        stats = store.stats()
+        print(f"resolved {stats['n_nodes']} records into "
+              f"{stats['n_components']} entities "
+              f"(store v{stats['version']}, "
+              f"entity-merge rate {stats['entity_merge_rate']:.3f})")
+        if args.store:
+            path = store.save(args.store)
+            print(f"saved entity-store snapshot {path}")
+        if store.log is not None:
+            store.log.summary(**store.stats())
+            store.log.close()
+    return 0
+
+
+def _cmd_resolve(args) -> int:
+    import csv
+
+    from .blocking import gold_pair_keys
+    from .resolve import (
+        CorrelationClustering,
+        EntityStore,
+        RecordFusion,
+        ResolveLog,
+        decisions_from_result,
+        evaluate_clustering,
+        gold_decisions,
+    )
+
+    if args.data_dir:
+        from .data.io import read_pairs, read_table
+
+        data = Path(args.data_dir)
+        table_a = read_table(data / "tableA.csv")
+        table_b = read_table(data / "tableB.csv")
+        pairs = read_pairs(data / args.pairs, table_a, table_b)
+    else:
+        from .data.synthetic import load_benchmark
+
+        benchmark = load_benchmark(args.dataset, seed=args.seed,
+                                   scale=args.scale)
+        pairs = benchmark.pairs
+    gold = gold_pair_keys(pairs) if pairs.is_labeled else None
+
+    pairwise_f1 = None
+    if args.bundle:
+        from .serve import BatchMatcher
+
+        bundle = _resolve_bundle(args)
+        with BatchMatcher(bundle, batch_size=args.batch_size,
+                          n_jobs=args.n_jobs) as matcher:
+            result = matcher.match_pairs(pairs)
+        decisions = decisions_from_result(result)
+        if pairs.is_labeled:
+            pairwise_f1 = result.metrics()["f1"]
+    else:
+        if not pairs.is_labeled:
+            raise SystemExit(
+                "resolve without --bundle clusters gold labels, but the "
+                "pairs are unlabeled; pass --bundle to score them first")
+        # Oracle mode: cluster the gold labels themselves — exercises
+        # the clustering + fusion + persistence path with no model.
+        decisions = gold_decisions(pairs)
+
+    per_attribute = {}
+    for override in args.fuse or ():
+        attribute, _, resolver = override.partition("=")
+        if not resolver:
+            raise SystemExit(f"--fuse expects ATTR=RESOLVER, "
+                             f"got {override!r}")
+        per_attribute[attribute] = resolver
+    store = EntityStore(
+        threshold=args.threshold,
+        refiner=(None if args.no_refine
+                 else CorrelationClustering(seed=args.seed)),
+        fusion=RecordFusion(default=args.default_resolver,
+                            per_attribute=per_attribute, seed=args.seed),
+        log=ResolveLog.ensure(args.resolve_log))
+    store.add_records("a", {pair.left.record_id: pair.left
+                            for pair in pairs}.values())
+    store.add_records("b", {pair.right.record_id: pair.right
+                            for pair in pairs}.values())
+    store.apply(decisions, context={"source": "cli-resolve"})
+
+    entities = store.entities()
+    print(f"{len(pairs)} decisions -> {len(entities)} entities "
+          f"(store v{store.version}, "
+          f"fingerprint {store.fingerprint[:16]})")
+    if gold is not None:
+        components = {members[0]: members
+                      for members in entities.values()}
+        report = evaluate_clustering(components, gold)
+        f1_note = (f"  (pairwise-decision f1={pairwise_f1:.4f})"
+                   if pairwise_f1 is not None else "")
+        print(f"cluster precision={report.pairwise_precision:.4f} "
+              f"recall={report.pairwise_recall:.4f} "
+              f"f1={report.pairwise_f1:.4f} "
+              f"ari={report.adjusted_rand_index:.4f}{f1_note}")
+        sizes = " ".join(f"{bucket}:{count}" for bucket, count
+                         in report.cluster_sizes.items())
+        print(f"cluster sizes: {sizes}")
+    if args.output:
+        golden = store.golden_records()
+        columns: list[str] = []
+        for record in golden.values():
+            for column in record:
+                if column not in columns:
+                    columns.append(column)
+        with Path(args.output).open("w", newline="",
+                                    encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["entity_id", "n_members", *columns])
+            for entity_id in sorted(golden):
+                writer.writerow([entity_id,
+                                 len(store.members(entity_id)),
+                                 *[golden[entity_id].get(column)
+                                   for column in columns]])
+        print(f"wrote {len(golden)} golden records to {args.output}")
+    if args.store:
+        path = store.save(args.store)
+        print(f"saved entity-store snapshot {path}")
+    if store.log is not None:
+        store.log.summary(**store.stats())
+        store.log.close()
     return 0
 
 
@@ -600,6 +736,60 @@ def build_parser() -> argparse.ArgumentParser:
                               help="backpressure when the queue is full")
     serve_stream.add_argument("--batch-rows", type=int, default=64,
                               help="probe-side records per request")
+    serve_stream.add_argument("--resolve", action="store_true",
+                              help="fold every scored request into a "
+                                   "standing EntityStore and report "
+                                   "entity assignments")
+    serve_stream.add_argument("--store", default=None,
+                              help="save an entity-store snapshot to "
+                                   "this directory on exit (with "
+                                   "--resolve)")
+    serve_stream.add_argument("--resolve-log", default=None,
+                              help="append JSONL resolve telemetry here "
+                                   "(with --resolve)")
+
+    resolve = commands.add_parser(
+        "resolve",
+        help="cluster pairwise decisions into entities and fuse golden "
+             "records")
+    resolve.add_argument("--bundle", default=None,
+                         help="bundle directory (or registry root with "
+                              "--name); omitted: cluster the gold labels "
+                              "(oracle mode)")
+    resolve.add_argument("--name", default=None,
+                         help="treat the bundle path as a ModelRegistry "
+                              "root and load this registered model")
+    resolve.add_argument("--model-version", default=None,
+                         help="registry version (default: latest)")
+    _add_data_args(resolve)
+    resolve.add_argument("--pairs", default="test.csv",
+                         help="pairs CSV inside --data-dir "
+                              "(default: test.csv)")
+    resolve.add_argument("--threshold", type=float, default=None,
+                         help="re-threshold positive edges on score "
+                              "(default: trust the bundle's decisions)")
+    resolve.add_argument("--no-refine", action="store_true",
+                         help="skip correlation-clustering refinement "
+                              "of over-merged components")
+    resolve.add_argument("--default-resolver", default="most_frequent",
+                         choices=("longest", "most_frequent",
+                                  "numeric_median", "newest"),
+                         help="fusion resolver for attributes without "
+                              "a --fuse override")
+    resolve.add_argument("--fuse", action="append", metavar="ATTR=RESOLVER",
+                         help="per-attribute fusion override "
+                              "(repeatable)")
+    resolve.add_argument("--batch-size", type=int, default=4096,
+                         help="featurization micro-batch row cap "
+                              "(with --bundle)")
+    resolve.add_argument("--n-jobs", type=int, default=1)
+    resolve.add_argument("--output", default=None,
+                         help="write the golden-records CSV here")
+    resolve.add_argument("--store", default=None,
+                         help="save an entity-store snapshot to this "
+                              "directory")
+    resolve.add_argument("--resolve-log", default=None,
+                         help="append JSONL resolve telemetry here")
 
     block = commands.add_parser(
         "block",
@@ -674,6 +864,7 @@ def main(argv: list[str] | None = None) -> int:
         "predict": _cmd_predict,
         "serve-batch": _cmd_serve_batch,
         "serve-stream": _cmd_serve_stream,
+        "resolve": _cmd_resolve,
         "block": _cmd_block,
         "monitor": _cmd_monitor,
         "lint": _cmd_lint,

@@ -33,6 +33,10 @@ a unique class-level string ``name``, and defines (or inherits a
 non-abstract) ``evaluate`` — the same conventions the similarity
 registry follows, so policy plug-ins fail ``repro lint`` instead of a
 monitoring run.
+
+Checks on ``resolve/fusion.py``: the same class-registry conventions
+over ``ALL_RESOLVERS`` / ``AttributeResolver`` / ``resolve`` — fusion
+plug-ins fail ``repro lint`` instead of a golden-record build.
 """
 
 from __future__ import annotations
@@ -400,17 +404,19 @@ def _only_raises_not_implemented(func: ast.FunctionDef) -> bool:
     return isinstance(exc, ast.Name) and exc.id == "NotImplementedError"
 
 
-def check_trigger_registry(path: Path,
-                           rel: str | None = None) -> list[Violation]:
-    """REP007 findings for a ``monitor/triggers.py`` file.
+def _check_class_registry(path: Path, rel: str, *, registry: str,
+                          base: str, method: str, kind: str,
+                          kind_plural: str, module_label: str,
+                          method_hint: str) -> list[Violation]:
+    """Shared REP007 machinery for class-based registries.
 
-    Mirrors the similarity-registry conventions: ``ALL_POLICIES``
-    entries must be classes defined in the module, subclass
-    ``TriggerPolicy``, expose a unique class-level string ``name`` and
-    a concrete ``evaluate`` (own or inherited, not the abstract base
-    stub).
+    Checks that every ``registry`` tuple entry is a class defined in
+    the module, subclasses ``base``, exposes a unique class-level
+    string ``name`` (not the base's ``"base"`` placeholder) and
+    defines — or inherits — a concrete ``method`` (not the abstract
+    ``raise NotImplementedError`` stub).  Both the trigger-policy and
+    the fusion-resolver registries follow these conventions.
     """
-    rel = rel or path.as_posix()
     tree = ast.parse(path.read_text(encoding="utf-8"))
     violations: list[Violation] = []
 
@@ -422,27 +428,26 @@ def check_trigger_registry(path: Path,
     classes = {node.name: node for node in tree.body
                if isinstance(node, ast.ClassDef)}
 
-    def subclasses_policy(name: str, seen: set[str] | None = None) -> bool:
-        if name == "TriggerPolicy":
+    def subclasses_base(name: str, seen: set[str] | None = None) -> bool:
+        if name == base:
             return True
         seen = seen or set()
         if name in seen or name not in classes:
             return False
         seen.add(name)
-        return any(subclasses_policy(base.id, seen)
-                   for base in classes[name].bases
-                   if isinstance(base, ast.Name))
+        return any(subclasses_base(b.id, seen)
+                   for b in classes[name].bases
+                   if isinstance(b, ast.Name))
 
-    def concrete_evaluate(name: str) -> bool:
+    def concrete_method(name: str) -> bool:
         current: str | None = name
         while current is not None and current in classes:
             node = classes[current]
             for item in node.body:
                 if isinstance(item, ast.FunctionDef) \
-                        and item.name == "evaluate":
+                        and item.name == method:
                     return not _only_raises_not_implemented(item)
-            bases = [base.id for base in node.bases
-                     if isinstance(base, ast.Name)]
+            bases = [b.id for b in node.bases if isinstance(b, ast.Name)]
             current = bases[0] if bases else None
         return False
 
@@ -456,56 +461,95 @@ def check_trigger_registry(path: Path,
             targets, value = [node.target], node.value
         else:
             continue
-        if not any(isinstance(t, ast.Name) and t.id == "ALL_POLICIES"
+        if not any(isinstance(t, ast.Name) and t.id == registry
                    for t in targets):
             continue
         found_registry = True
         if not isinstance(value, (ast.Tuple, ast.List)):
             report(node.lineno, node.col_offset,
-                   "ALL_POLICIES must be a literal tuple of policy classes",
-                   "list every TriggerPolicy subclass explicitly")
+                   f"{registry} must be a literal tuple of {kind} classes",
+                   f"list every {base} subclass explicitly")
             continue
         for elt in value.elts:
             if isinstance(elt, ast.Name):
                 entries.append((elt.id, elt.lineno, elt.col_offset))
             else:
                 report(elt.lineno, elt.col_offset,
-                       "ALL_POLICIES entry is not a bare class name",
+                       f"{registry} entry is not a bare class name",
                        "register classes, not instances or expressions")
 
     if not found_registry:
-        report(1, 0, "no ALL_POLICIES registry found",
-               "export the policy catalog as ALL_POLICIES")
+        report(1, 0, f"no {registry} registry found",
+               f"export the {kind} catalog as {registry}")
 
     seen_names: dict[str, str] = {}
     for cls_name, lineno, col in entries:
         node = classes.get(cls_name)
         if node is None:
             report(lineno, col,
-                   f"ALL_POLICIES entry {cls_name} is not a class defined "
+                   f"{registry} entry {cls_name} is not a class defined "
                    f"in the module",
-                   "register only classes defined in monitor/triggers.py")
+                   f"register only classes defined in {module_label}")
             continue
-        if not subclasses_policy(cls_name):
+        if not subclasses_base(cls_name):
             report(node.lineno, node.col_offset,
-                   f"{cls_name} does not subclass TriggerPolicy",
-                   "derive registered policies from TriggerPolicy")
-        policy_name = _class_str_attr(node, "name")
-        if policy_name is None or policy_name == "base":
+                   f"{cls_name} does not subclass {base}",
+                   f"derive registered {kind_plural} from {base}")
+        entry_name = _class_str_attr(node, "name")
+        if entry_name is None or entry_name == "base":
             report(node.lineno, node.col_offset,
                    f"{cls_name} lacks its own class-level string `name`",
-                   "give every registered policy a distinct name attribute")
-        elif policy_name in seen_names:
+                   f"give every registered {kind} a distinct name "
+                   f"attribute")
+        elif entry_name in seen_names:
             report(node.lineno, node.col_offset,
-                   f"duplicate policy name {policy_name!r} (also on "
-                   f"{seen_names[policy_name]})",
-                   "policy names must be unique registry keys")
+                   f"duplicate {kind} name {entry_name!r} (also on "
+                   f"{seen_names[entry_name]})",
+                   f"{kind} names must be unique registry keys")
         else:
-            seen_names[policy_name] = cls_name
-        if not concrete_evaluate(cls_name):
+            seen_names[entry_name] = cls_name
+        if not concrete_method(cls_name):
             report(node.lineno, node.col_offset,
                    f"{cls_name} neither defines nor inherits a concrete "
-                   f"evaluate()",
-                   "implement evaluate(status) returning a RetrainPlan "
-                   "or None")
+                   f"{method}()",
+                   method_hint)
     return violations
+
+
+def check_trigger_registry(path: Path,
+                           rel: str | None = None) -> list[Violation]:
+    """REP007 findings for a ``monitor/triggers.py`` file.
+
+    Mirrors the similarity-registry conventions: ``ALL_POLICIES``
+    entries must be classes defined in the module, subclass
+    ``TriggerPolicy``, expose a unique class-level string ``name`` and
+    a concrete ``evaluate`` (own or inherited, not the abstract base
+    stub).
+    """
+    return _check_class_registry(
+        path, rel or path.as_posix(),
+        registry="ALL_POLICIES", base="TriggerPolicy",
+        method="evaluate", kind="policy", kind_plural="policies",
+        module_label="monitor/triggers.py",
+        method_hint="implement evaluate(status) returning a RetrainPlan "
+                    "or None")
+
+
+def check_resolver_registry(path: Path,
+                            rel: str | None = None) -> list[Violation]:
+    """REP007 findings for a ``resolve/fusion.py`` file.
+
+    Same conventions as the trigger registry: ``ALL_RESOLVERS``
+    entries must be classes defined in the module, subclass
+    ``AttributeResolver``, expose a unique class-level string ``name``
+    and a concrete ``resolve`` (own or inherited, not the abstract
+    base stub) — so a fusion plug-in fails ``repro lint`` instead of a
+    golden-record build.
+    """
+    return _check_class_registry(
+        path, rel or path.as_posix(),
+        registry="ALL_RESOLVERS", base="AttributeResolver",
+        method="resolve", kind="resolver", kind_plural="resolvers",
+        module_label="resolve/fusion.py",
+        method_hint="implement resolve(values, rng) returning one fused "
+                    "value")

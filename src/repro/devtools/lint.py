@@ -44,6 +44,7 @@ DEFAULT_TARGETS = ("src", "tests", "benchmarks")
 _COMPONENTS_ANCHOR = "repro/automl/components.py"
 _REGISTRY_ANCHOR = "repro/similarity/registry.py"
 _TRIGGERS_ANCHOR = "repro/monitor/triggers.py"
+_RESOLVERS_ANCHOR = "repro/resolve/fusion.py"
 
 
 def iter_python_files(paths: Iterable[Path]) -> list[Path]:
@@ -103,6 +104,8 @@ def lint_paths(paths: Sequence[Path | str], *,
                 found.extend(conformance.check_similarity_registry(path, rel))
             elif rel.endswith(_TRIGGERS_ANCHOR):
                 found.extend(conformance.check_trigger_registry(path, rel))
+            elif rel.endswith(_RESOLVERS_ANCHOR):
+                found.extend(conformance.check_resolver_registry(path, rel))
         violations.extend(_apply_suppressions(ctx, found))
     violations.extend(_project_pass(contexts, violations, select))
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
@@ -205,10 +208,12 @@ def _print_rule_catalog(out: TextIO) -> None:
                  else "scope: " + ", ".join(rule.scope))
         print(f"          {scope}; hint: {rule.hint}", file=out)
     print(f"  {conformance.CODE}  registry/component conformance "
-          f"(automl components + similarity and trigger registries)",
+          f"(automl components + similarity, trigger and resolver "
+          f"registries)",
           file=out)
     print("          anchored on repro/automl/components.py, "
-          "repro/similarity/registry.py and repro/monitor/triggers.py",
+          "repro/similarity/registry.py, repro/monitor/triggers.py "
+          "and repro/resolve/fusion.py",
           file=out)
     for rule in PROJECT_RULES:
         if rule.code == "REP002":

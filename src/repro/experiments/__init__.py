@@ -9,6 +9,7 @@ from .extra import (
     run_labeler_study,
     run_metalearning_warmstart,
     run_query_strategies,
+    run_resolution_study,
     run_search_comparison,
     run_serving_study,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "run_fig13",
     "run_fig14",
     "run_fig15",
+    "run_resolution_study",
     "run_search_comparison",
     "run_serving_study",
     "run_table3",

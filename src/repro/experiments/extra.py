@@ -412,3 +412,72 @@ def run_serving_study(config: ExperimentConfig = FAST,
                   batches=result.n_batches,
                   pairs_per_s=snapshot["pairs_per_second"])
     return table
+
+
+def run_resolution_study(config: ExperimentConfig = FAST,
+                         dataset: str = "fodors_zagats",
+                         n_requests: int = 4,
+                         batch_size: int = 512) -> ResultTable:
+    """Deployment bench: pairwise decisions → stable entities.
+
+    Trains AutoML-EM, streams the test pairs through a
+    :class:`~repro.serve.BatchMatcher` in several requests with an
+    :class:`~repro.resolve.EntityStore` resolver tap, and compares the
+    matcher's *pairwise* F1 against the induced *clustering's* pairwise
+    F1 (transitive closure plus correlation-clustering refinement
+    should not lose quality).  A second store re-clusters the full
+    decision set in one batch; its partition must equal the incremental
+    one — the incremental-equals-batch parity guarantee, measured here
+    on real model decisions rather than synthetic streams.
+    """
+    from ..blocking import gold_pair_keys
+    from ..resolve import (
+        CorrelationClustering,
+        EntityStore,
+        decisions_from_result,
+        evaluate_clustering,
+    )
+    from ..serve import BatchMatcher
+
+    data = load_bundle(dataset, config)
+    matcher = AutoMLEM(n_iterations=config.automl_iterations,
+                       forest_size=config.forest_size,
+                       trial_timeout=config.trial_timeout, seed=0)
+    matcher.fit(data.train, data.valid)
+    bundle = matcher.export_bundle()
+
+    store = EntityStore(refiner=CorrelationClustering(seed=0))
+    test = data.test
+    chunk = max(1, (len(test) + n_requests - 1) // n_requests)
+    results = []
+    with BatchMatcher(bundle, batch_size=batch_size,
+                      resolver=store) as served:
+        for start in range(0, len(test), chunk):
+            results.append(served.match_pairs(test[start:start + chunk]))
+
+    decisions = [decision for result in results
+                 for decision in decisions_from_result(result)]
+    predictions = np.concatenate([r.predictions for r in results])
+    from ..ml.metrics import precision_recall_f1
+    _, _, decision_f1 = precision_recall_f1(test.labels, predictions)
+
+    gold = gold_pair_keys(test)
+    entities = store.entities()
+    components = {members[0]: members for members in entities.values()}
+    report = evaluate_clustering(components, gold)
+
+    batch_store = EntityStore(refiner=CorrelationClustering(seed=0))
+    batch_store.apply(decisions)
+    parity = batch_store.entities() == entities
+
+    table = ResultTable(
+        f"Extra - entity resolution on {dataset} "
+        f"({len(decisions)} decisions over {len(results)} requests)",
+        ["stage", "f1_pct", "ari_pct", "entities", "parity"])
+    table.add_row(stage="pairwise decisions", f1_pct=100 * decision_f1)
+    table.add_row(stage="entity clusters",
+                  f1_pct=100 * report.pairwise_f1,
+                  ari_pct=100 * report.adjusted_rand_index,
+                  entities=report.n_entities,
+                  parity=parity)
+    return table

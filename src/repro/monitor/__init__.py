@@ -28,6 +28,7 @@ from .stats import fractions, ks_statistic, psi
 from .traffic import DRIFT_PROFILE, corrupt_table, drifted_pairs, request_batches
 from .triggers import (
     ALL_POLICIES,
+    ClusterChurnTrigger,
     DisagreementTrigger,
     DriftTrigger,
     MonitorStatus,
@@ -41,6 +42,7 @@ from .triggers import (
 
 __all__ = [
     "ALL_POLICIES",
+    "ClusterChurnTrigger",
     "DRIFT_PROFILE",
     "DisagreementTrigger",
     "DriftReport",

@@ -48,6 +48,10 @@ class MonitorStatus:
     #: Seconds since the served bundle was exported (see
     #: :func:`bundle_age_seconds`).
     bundle_age: float | None = None
+    #: Entity-store churn counters (an
+    #: :meth:`repro.resolve.EntityStore.stats` snapshot) when the
+    #: serving path resolves entities; ``None`` otherwise.
+    resolve: dict[str, Any] | None = None
 
 
 def bundle_age_seconds(metadata: dict[str, Any],
@@ -235,18 +239,64 @@ class StalenessTrigger(TriggerPolicy):
         return None
 
 
+class ClusterChurnTrigger(TriggerPolicy):
+    """Fire when the entity store keeps merging established entities.
+
+    Early in a stream, unions are mostly *attachments* — singletons
+    joining their entity.  A sustained high *entity-merge* rate (two
+    multi-record entities fusing) means the clustering is still
+    reorganizing: either the matcher's decisions are unstable or the
+    world shifted under the standing entities — both retrain-worthy.
+
+    ``threshold`` bounds the acceptable entity-merge share of unions,
+    ``min_unions`` gates on evidence volume (rates over a handful of
+    unions are noise).
+    """
+
+    name = "cluster_churn"
+
+    def __init__(self, threshold: float = 0.2, min_unions: int = 50):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(
+                f"threshold must be in (0, 1], got {threshold}")
+        if min_unions < 1:
+            raise ValueError(
+                f"min_unions must be >= 1, got {min_unions}")
+        self.threshold = float(threshold)
+        self.min_unions = int(min_unions)
+
+    def evaluate(self, status: MonitorStatus) -> RetrainPlan | None:
+        resolve = status.resolve
+        if resolve is None:
+            return None
+        n_unions = int(resolve.get("n_unions", 0))
+        rate = float(resolve.get("entity_merge_rate", 0.0))
+        if n_unions < self.min_unions or rate < self.threshold:
+            return None
+        return self._fire(
+            f"entity-merge rate {rate:.3f} >= {self.threshold} over "
+            f"{n_unions} unions (clustering still reorganizing)",
+            entity_merge_rate=rate, n_unions=n_unions,
+            n_entity_merges=int(resolve.get("n_entity_merges", 0)),
+            n_components=int(resolve.get("n_components", 0)),
+            threshold=self.threshold)
+
+
 #: Every registered trigger policy (REP007 conformance anchor).
-ALL_POLICIES = (DriftTrigger, DisagreementTrigger, StalenessTrigger)
+ALL_POLICIES = (DriftTrigger, DisagreementTrigger, StalenessTrigger,
+                ClusterChurnTrigger)
 
 
 def default_policies(*, disagreement_threshold: float = 0.1,
                      max_requests: int | None = None,
-                     max_age: float | None = None
+                     max_age: float | None = None,
+                     churn_threshold: float = 0.2
                      ) -> tuple[TriggerPolicy, ...]:
     """One instance of every registered policy with common knobs."""
     return (DriftTrigger(),
             DisagreementTrigger(threshold=disagreement_threshold),
-            StalenessTrigger(max_requests=max_requests, max_age=max_age))
+            StalenessTrigger(max_requests=max_requests, max_age=max_age),
+            ClusterChurnTrigger(threshold=churn_threshold))
 
 
 def evaluate_policies(policies: tuple[TriggerPolicy, ...] |

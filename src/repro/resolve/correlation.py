@@ -1,0 +1,159 @@
+"""Correlation-clustering refinement: split over-merged components.
+
+Transitive closure over positive edges (what
+:class:`~repro.resolve.unionfind.ConnectedComponents` computes) is
+deliberately optimistic: one false-positive decision chains two real
+entities into one component.  The matcher's *negative* decisions are
+the evidence that this happened — a component whose internal pairs the
+model explicitly called non-matches is over-merged.
+
+:class:`CorrelationClustering` runs the classic greedy pivot algorithm
+(CC-Pivot, Ailon/Charikar/Newman) *inside* each such component:
+
+1. visit unclustered nodes in a seeded, deterministic pivot order;
+2. the pivot opens a cluster and absorbs every still-unclustered node
+   it shares a positive edge with;
+3. repeat until the component is exhausted.
+
+Nodes connected to the pivot only through a negative (or missing) edge
+stay behind for a later pivot — which is exactly the split.  Components
+with no internal negative evidence are returned untouched, so
+refinement composes with the incremental clusterer without disturbing
+its incremental-equals-batch parity guarantee.
+
+Determinism: the pivot permutation is drawn from a
+``numpy`` generator seeded by ``(seed, component canonical)`` — two
+refinements of the same decision set with the same seed produce
+bit-identical output, independent of decision arrival order, because
+both the component inventory and each component's node list are
+already order-independent content.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from .decisions import MatchDecision, NodeKey, order_key, stable_hash
+
+
+class CorrelationClustering:
+    """Seeded greedy-pivot refinement over negative-evidence edges.
+
+    Parameters
+    ----------
+    seed:
+        Pivot-order seed.  The same seed and decision set always
+        produce the same refinement.
+    negative_threshold:
+        A non-matched decision counts as negative evidence only when
+        its score is *below* this bound (default: any non-match).
+        Raising it ignores borderline negatives near the decision
+        boundary.
+    min_component:
+        Components smaller than this are never refined (a pair cannot
+        be over-merged into itself in any way a pivot pass would fix).
+    """
+
+    def __init__(self, seed: int = 0,
+                 negative_threshold: float | None = None,
+                 min_component: int = 3):
+        if negative_threshold is not None \
+                and not 0.0 <= negative_threshold <= 1.0:
+            raise ValueError(f"negative_threshold must be in [0, 1], "
+                             f"got {negative_threshold}")
+        if min_component < 2:
+            raise ValueError(
+                f"min_component must be >= 2, got {min_component}")
+        self.seed = int(seed)
+        self.negative_threshold = negative_threshold
+        self.min_component = int(min_component)
+
+    def _is_negative(self, decision: MatchDecision) -> bool:
+        if decision.matched:
+            return False
+        return (self.negative_threshold is None
+                or decision.score < self.negative_threshold)
+
+    def _edge_signs(self, decisions: Iterable[MatchDecision]
+                    ) -> dict[tuple[NodeKey, NodeKey], bool]:
+        """Normalized endpoint pair → is-positive.
+
+        Conflicting repeat judgments resolve by *content*, not stream
+        position: any positive decision makes the pair positive, only
+        exclusively-negative evidence counts as negative.  This mirrors
+        the union–find (where any positive edge merges, whenever it
+        arrives) and keeps refinement independent of decision order —
+        a "most recent wins" rule would make the refined partition
+        depend on how a shuffled stream happened to interleave.
+        """
+        signs: dict[tuple[NodeKey, NodeKey], bool] = {}
+        for decision in decisions:
+            if decision.matched:
+                signs[decision.key] = True
+            elif self._is_negative(decision):
+                signs.setdefault(decision.key, False)
+        return signs
+
+    def refine(self,
+               components: Mapping[NodeKey, tuple[NodeKey, ...]],
+               decisions: Iterable[MatchDecision]
+               ) -> dict[NodeKey, tuple[NodeKey, ...]]:
+        """Split over-merged components; returns a refined partition.
+
+        ``components`` is :meth:`ConnectedComponents.components` output
+        (canonical → sorted members); ``decisions`` the full decision
+        stream the partition was built from.  The result has the same
+        shape, with every cluster re-keyed by its own minimum member.
+        """
+        signs = self._edge_signs(decisions)
+        refined: dict[NodeKey, tuple[NodeKey, ...]] = {}
+        for canonical, members in components.items():
+            if len(members) < self.min_component or not \
+                    self._has_internal_negative(members, signs):
+                refined[canonical] = members
+                continue
+            for cluster in self._pivot(canonical, members, signs):
+                refined[cluster[0]] = cluster
+        return dict(sorted(refined.items(),
+                           key=lambda item: order_key(item[0])))
+
+    def _has_internal_negative(
+            self, members: tuple[NodeKey, ...],
+            signs: dict[tuple[NodeKey, NodeKey], bool]) -> bool:
+        member_set = set(members)
+        for (left, right), positive in signs.items():
+            if not positive and left in member_set \
+                    and right in member_set:
+                return True
+        return False
+
+    def _pivot(self, canonical: NodeKey, members: tuple[NodeKey, ...],
+               signs: dict[tuple[NodeKey, NodeKey], bool]
+               ) -> list[tuple[NodeKey, ...]]:
+        """Greedy pivot clustering of one component's members."""
+        rng = np.random.default_rng(
+            [self.seed, stable_hash(canonical)])
+        order = [members[i] for i in rng.permutation(len(members))]
+        unclustered = set(members)
+        clusters: list[tuple[NodeKey, ...]] = []
+        for pivot in order:
+            if pivot not in unclustered:
+                continue
+            unclustered.discard(pivot)
+            cluster = [pivot]
+            for other in list(unclustered):
+                key = ((pivot, other)
+                       if order_key(pivot) <= order_key(other)
+                       else (other, pivot))
+                if signs.get(key, False):
+                    cluster.append(other)
+                    unclustered.discard(other)
+            clusters.append(tuple(sorted(cluster, key=order_key)))
+        return clusters
+
+    def __repr__(self) -> str:
+        return (f"CorrelationClustering(seed={self.seed}, "
+                f"negative_threshold={self.negative_threshold}, "
+                f"min_component={self.min_component})")

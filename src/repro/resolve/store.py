@@ -1,0 +1,442 @@
+"""The versioned, thread-safe entity store behind the serving path.
+
+:class:`EntityStore` is where the resolve subsystem's pieces meet the
+serving layer: it owns the incremental clusterer, the decision log, the
+member records, and hands out stable entity ids while matchers keep
+streaming decisions in.  The contract:
+
+* **Thread safety** — a :class:`~repro.concurrency.ReadWriteLock`
+  imposes reader–writer discipline (the same convention as
+  :class:`~repro.blocking.index.BlockIndex`): lookups and snapshots
+  share the read side, :meth:`apply` / :meth:`add_records` take the
+  exclusive write side, so a reader always observes a whole store
+  version — never a half-applied decision batch.
+* **Versioning** — every applied batch bumps :attr:`version` and
+  yields a :class:`ResolveDelta` (churn accounting for telemetry and
+  the monitoring layer's cluster-churn trigger).
+* **Stable identity** — entity ids come from
+  :func:`~repro.resolve.decisions.entity_id_for` over each cluster's
+  canonical (minimum) member, so they are independent of decision
+  arrival order and identical between incremental and batch
+  clustering of the same decisions.
+* **Fingerprint-keyed persistence** — :meth:`save` writes an atomic
+  ``snapshot-v%06d.pkl`` (staged ``.tmp`` + ``os.replace``) carrying
+  the order-independent decision fingerprint; :meth:`load` verifies
+  format version and fingerprint before trusting a snapshot, the same
+  content-keyed invalidation convention as the block index and the
+  feature cache.
+
+Telemetry (:class:`~repro.resolve.metrics.ResolveLog`) is emitted
+*outside* the write lock: the delta is computed under the lock, the
+JSONL line is written after release, so the store never nests the log's
+internal lock inside ``_rw_lock``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Union
+
+from ..concurrency import ReadWriteLock
+from ..data.table import Record, Value
+from .correlation import CorrelationClustering
+from .decisions import (
+    MatchDecision,
+    NodeKey,
+    decisions_fingerprint,
+    decisions_from_result,
+    entity_id_for,
+    node_key,
+)
+from .fusion import RecordFusion
+from .metrics import ResolveLog
+from .unionfind import ConnectedComponents
+
+if TYPE_CHECKING:
+    from ..serve.matcher import MatchResult
+
+#: Bumped whenever the pickled snapshot layout changes incompatibly.
+STORE_FORMAT_VERSION = 1
+
+#: Name of the pointer file naming the latest snapshot in a directory.
+LATEST_POINTER = "LATEST"
+
+
+class EntityStoreError(ValueError):
+    """A persisted entity-store snapshot is unreadable or inconsistent."""
+
+
+@dataclass(frozen=True)
+class ResolveDelta:
+    """What one applied decision batch changed — the churn receipt.
+
+    ``entity_merge_rate`` is the batch-local fraction of unions that
+    fused two established multi-record entities (as opposed to
+    attaching singletons); sustained high values late in a stream mean
+    the clustering is still reorganizing — the signal the monitoring
+    layer's cluster-churn trigger thresholds.
+    """
+
+    version: int
+    n_decisions: int
+    n_new_nodes: int
+    n_unions: int
+    n_attachments: int
+    n_entity_merges: int
+    n_components: int
+
+    @property
+    def entity_merge_rate(self) -> float:
+        return (self.n_entity_merges / self.n_unions
+                if self.n_unions else 0.0)
+
+    def to_dict(self) -> dict[str, int | float]:
+        return {
+            "version": self.version,
+            "n_decisions": self.n_decisions,
+            "n_new_nodes": self.n_new_nodes,
+            "n_unions": self.n_unions,
+            "n_attachments": self.n_attachments,
+            "n_entity_merges": self.n_entity_merges,
+            "n_components": self.n_components,
+            "entity_merge_rate": self.entity_merge_rate,
+        }
+
+
+class EntityStore:
+    """Versioned entity assignments over a streaming decision log.
+
+    Parameters
+    ----------
+    threshold:
+        Optional score re-threshold for positive edges (see
+        :class:`~repro.resolve.unionfind.ConnectedComponents`).
+    refiner:
+        Optional :class:`~repro.resolve.correlation.CorrelationClustering`
+        applied on top of connected components wherever negative
+        evidence shows over-merging.  ``None`` serves raw components.
+    fusion:
+        The :class:`~repro.resolve.fusion.RecordFusion` policy behind
+        :meth:`golden`.
+    log:
+        Optional :class:`~repro.resolve.metrics.ResolveLog`; every
+        :meth:`apply` and :meth:`save` emits one JSONL line (written
+        outside the store lock).
+    """
+
+    def __init__(self, threshold: float | None = None,
+                 refiner: CorrelationClustering | None = None,
+                 fusion: RecordFusion | None = None,
+                 log: ResolveLog | None = None):
+        self.refiner = refiner
+        self.fusion = fusion if fusion is not None else RecordFusion()
+        self.log = log
+        # Everything the write side mutates is guarded by _rw_lock;
+        # readers take the shared side and see whole versions only.
+        # repro-guard: _cc by _rw_lock
+        # repro-guard: _decisions by _rw_lock
+        # repro-guard: _records by _rw_lock
+        # repro-guard: _version by _rw_lock
+        # repro-guard: _last_delta by _rw_lock
+        self._cc = ConnectedComponents(threshold)
+        self._decisions: list[MatchDecision] = []
+        self._records: dict[NodeKey, Record] = {}
+        self._version = 0
+        self._last_delta: ResolveDelta | None = None
+        self._rw_lock = ReadWriteLock()
+
+    # -- content -------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone batch counter; bumped once per :meth:`apply`."""
+        with self._rw_lock.read_locked():
+            return self._version
+
+    @property
+    def n_decisions(self) -> int:
+        with self._rw_lock.read_locked():
+            return len(self._decisions)
+
+    @property
+    def n_entities(self) -> int:
+        with self._rw_lock.read_locked():
+            return self._cc.n_components
+
+    @property
+    def n_records(self) -> int:
+        with self._rw_lock.read_locked():
+            return len(self._records)
+
+    @property
+    def fingerprint(self) -> str:
+        """Order-independent digest of the applied decision set."""
+        with self._rw_lock.read_locked():
+            return decisions_fingerprint(self._decisions)
+
+    def __len__(self) -> int:
+        return self.n_entities
+
+    def __repr__(self) -> str:
+        with self._rw_lock.read_locked():
+            return (f"EntityStore(v{self._version}, "
+                    f"{len(self._decisions)} decisions, "
+                    f"{self._cc.n_components} entities, "
+                    f"{len(self._records)} records)")
+
+    # -- mutation ------------------------------------------------------
+
+    def add_records(self, side: str,
+                    records: Iterable[Record]) -> int:
+        """Register member records (golden-record source material).
+
+        Every record becomes a (possibly singleton) entity immediately;
+        re-adding a record id replaces the stored payload (newest
+        version wins, which is what :class:`NewestResolver` relies on).
+        Returns how many records were registered.
+        """
+        count = 0
+        with self._rw_lock.write_locked():
+            for record in records:
+                node = node_key(side, record.record_id)
+                self._records[node] = record
+                self._cc.add_node(node)
+                count += 1
+        return count
+
+    def apply(self, decisions: Sequence[MatchDecision],
+              context: Mapping[str, object] | None = None
+              ) -> ResolveDelta:
+        """Fold one decision batch in; returns the churn delta.
+
+        The store mutates under the exclusive write lock; the telemetry
+        line (delta plus optional caller ``context``, e.g. a request
+        id) is written after release.
+        """
+        with self._rw_lock.write_locked():
+            nodes_before = self._cc.n_nodes
+            unions_before = self._cc.n_unions
+            attach_before = self._cc.n_attachments
+            merges_before = self._cc.n_entity_merges
+            self._decisions.extend(decisions)
+            self._cc.add_many(decisions)
+            self._version += 1
+            delta = ResolveDelta(
+                version=self._version,
+                n_decisions=len(decisions),
+                n_new_nodes=self._cc.n_nodes - nodes_before,
+                n_unions=self._cc.n_unions - unions_before,
+                n_attachments=self._cc.n_attachments - attach_before,
+                n_entity_merges=self._cc.n_entity_merges - merges_before,
+                n_components=self._cc.n_components,
+            )
+            self._last_delta = delta
+        if self.log is not None:
+            self.log.resolve(**{**(dict(context) if context else {}),
+                                **delta.to_dict()})
+        return delta
+
+    def apply_result(self, result: "MatchResult", *,
+                     left_side: str = "a", right_side: str = "b",
+                     context: Mapping[str, object] | None = None
+                     ) -> dict[str, str]:
+        """Fold a scored serving result in; returns entity assignments.
+
+        Stores both endpoint records of every pair (so golden records
+        cover streamed data), applies the decisions, and maps each
+        touched record — keyed ``"<side>:<record_id>"`` — to its
+        current entity id.
+        """
+        decisions = decisions_from_result(
+            result, left_side=left_side, right_side=right_side)
+        touched: dict[NodeKey, Record] = {}
+        for pair in result.pairs:
+            touched[node_key(left_side, pair.left.record_id)] = pair.left
+            touched[node_key(right_side, pair.right.record_id)] = \
+                pair.right
+        with self._rw_lock.write_locked():
+            for node, record in touched.items():
+                self._records.setdefault(node, record)
+                self._cc.add_node(node)
+        self.apply(decisions, context=context)
+        with self._rw_lock.read_locked():
+            return {entity_id_for(node):
+                    entity_id_for(self._cc.canonical(node))
+                    for node in sorted(touched, key=lambda n: (n[0],
+                                                               str(n[1])))}
+
+    # -- lookups -------------------------------------------------------
+
+    def entity_of(self, record_id: Union[int, str],
+                  side: str = "a") -> str | None:
+        """The entity id of one record, or ``None`` if never seen."""
+        node = node_key(side, record_id)
+        with self._rw_lock.read_locked():
+            if node not in self._cc:
+                return None
+            return entity_id_for(self._cc.canonical(node))
+
+    def entities(self) -> dict[str, tuple[NodeKey, ...]]:
+        """The full current partition: entity id → sorted members.
+
+        With a ``refiner`` configured, over-merged components (those
+        carrying internal negative evidence) are split before ids are
+        assigned; without one this is the raw connected-components
+        view.
+        """
+        with self._rw_lock.read_locked():
+            components = self._cc.components()
+            if self.refiner is not None:
+                components = self.refiner.refine(components,
+                                                 self._decisions)
+        return {entity_id_for(canonical): members
+                for canonical, members in components.items()}
+
+    def members(self, entity_id: str) -> tuple[NodeKey, ...]:
+        """Sorted member nodes of ``entity_id``."""
+        try:
+            return self.entities()[entity_id]
+        except KeyError:
+            raise KeyError(f"unknown entity id {entity_id!r}") from None
+
+    def record_of(self, node: NodeKey) -> Record | None:
+        """The stored payload record for ``node``, if any."""
+        with self._rw_lock.read_locked():
+            return self._records.get(node)
+
+    def golden(self, entity_id: str) -> dict[str, Value]:
+        """The fused golden record of one entity.
+
+        Members without a stored payload (decision-only endpoints) are
+        skipped; an entity with no payload at all raises
+        :class:`EntityStoreError`.
+        """
+        members = self.members(entity_id)
+        with self._rw_lock.read_locked():
+            records = [self._records[node] for node in members
+                       if node in self._records]
+        if not records:
+            raise EntityStoreError(
+                f"entity {entity_id!r} has no stored records to fuse; "
+                f"register payloads via add_records or apply_result")
+        return self.fusion.fuse(entity_id, records)
+
+    def golden_records(self) -> dict[str, dict[str, Value]]:
+        """Golden records for every entity that has stored payloads."""
+        golden: dict[str, dict[str, Value]] = {}
+        for entity_id, members in self.entities().items():
+            with self._rw_lock.read_locked():
+                records = [self._records[node] for node in members
+                           if node in self._records]
+            if records:
+                golden[entity_id] = self.fusion.fuse(entity_id, records)
+        return golden
+
+    def stats(self) -> dict[str, int | float]:
+        """Store-level counters for telemetry and monitoring."""
+        with self._rw_lock.read_locked():
+            stats: dict[str, int | float] = dict(self._cc.stats())
+            stats["version"] = self._version
+            stats["n_decisions"] = len(self._decisions)
+            stats["n_records"] = len(self._records)
+            if self._last_delta is not None:
+                stats["last_entity_merge_rate"] = \
+                    self._last_delta.entity_merge_rate
+                stats["last_n_entity_merges"] = \
+                    self._last_delta.n_entity_merges
+        return stats
+
+    # -- persistence ---------------------------------------------------
+
+    def __getstate__(self) -> dict[str, object]:
+        state = self.__dict__.copy()
+        del state["_rw_lock"]
+        # The telemetry log is an open file handle + lock — runtime
+        # plumbing, not store content.  A loaded snapshot starts silent;
+        # callers reattach a log if they want one.
+        state["log"] = None
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._rw_lock = ReadWriteLock()
+
+    def save(self, directory: Union[str, Path]) -> Path:
+        """Persist one atomic, versioned snapshot; returns its path.
+
+        Writes ``snapshot-v%06d.pkl`` for the current version via a
+        staged ``.tmp`` + ``os.replace``, then repoints the ``LATEST``
+        file the same way — a reader following ``LATEST`` always finds
+        a complete snapshot, even mid-save.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        # The read lock keeps apply() out while pickling walks the live
+        # structures, so the payload is one consistent version.
+        with self._rw_lock.read_locked():
+            version = self._version
+            fingerprint = decisions_fingerprint(self._decisions)
+            path = directory / f"snapshot-v{version:06d}.pkl"
+            payload = {
+                "format_version": STORE_FORMAT_VERSION,
+                "store_version": version,
+                "decisions_fingerprint": fingerprint,
+                "store": self,
+            }
+            staged = path.with_name(path.name + ".tmp")
+            with staged.open("wb") as handle:
+                pickle.dump(payload, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(staged, path)
+        pointer = directory / LATEST_POINTER
+        pointer_staged = pointer.with_name(pointer.name + ".tmp")
+        pointer_staged.write_text(path.name + "\n", encoding="utf-8")
+        os.replace(pointer_staged, pointer)
+        if self.log is not None:
+            self.log.snapshot(store_version=version, path=str(path),
+                              decisions_fingerprint=fingerprint)
+        return path
+
+    @classmethod
+    def load(cls, target: Union[str, Path]) -> "EntityStore":
+        """Load a snapshot file, or a directory's ``LATEST`` snapshot,
+        verifying format version and decision fingerprint."""
+        target = Path(target)
+        if target.is_dir():
+            pointer = target / LATEST_POINTER
+            if not pointer.exists():
+                raise EntityStoreError(
+                    f"{target} has no {LATEST_POINTER} pointer; nothing "
+                    f"was ever saved there")
+            name = pointer.read_text(encoding="utf-8").strip()
+            target = target / name
+        try:
+            with target.open("rb") as handle:
+                payload = pickle.load(handle)
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError) as exc:
+            raise EntityStoreError(
+                f"{target} is not a readable entity-store snapshot: "
+                f"{exc}") from exc
+        if not isinstance(payload, dict):
+            raise EntityStoreError(
+                f"{target} does not contain an entity-store snapshot")
+        if payload.get("format_version") != STORE_FORMAT_VERSION:
+            raise EntityStoreError(
+                f"{target} has unsupported entity-store format "
+                f"{payload.get('format_version')!r} "
+                f"(expected {STORE_FORMAT_VERSION})")
+        store = payload["store"]
+        if not isinstance(store, cls):
+            raise EntityStoreError(
+                f"{target} does not contain an EntityStore")
+        if payload.get("decisions_fingerprint") != \
+                decisions_fingerprint(store._decisions):
+            raise EntityStoreError(
+                f"{target} decision fingerprint does not match its "
+                f"payload (corrupt or hand-edited snapshot)")
+        return store

@@ -16,11 +16,12 @@ artifact and back into predictions:
   :class:`StreamMatcher` with a bounded request queue and configurable
   backpressure (:class:`ServiceOverloaded` on overflow in reject mode).
 
-The matchers expose ``monitor=`` / ``shadow=`` taps (the
-:class:`MonitorTap` / :class:`ShadowTap` protocols) feeding the
-observation layer in :mod:`repro.monitor` — drift detection and
-champion/challenger shadow evaluation ride the matrices the serving
-path already computes.
+The matchers expose ``monitor=`` / ``shadow=`` / ``resolver=`` taps
+(the :class:`MonitorTap` / :class:`ShadowTap` / :class:`ResolverTap`
+protocols) feeding the observation layer in :mod:`repro.monitor` and
+the entity-resolution layer in :mod:`repro.resolve` — drift detection,
+champion/challenger shadow evaluation and incremental clustering all
+ride the scores the serving path already computes.
 """
 
 from .bundle import (
@@ -34,6 +35,8 @@ from .matcher import (
     BatchMatcher,
     MatchResult,
     MonitorTap,
+    NoStandingIndexError,
+    ResolverTap,
     ShadowTap,
     StreamMatcher,
 )
@@ -51,7 +54,9 @@ __all__ = [
     "ModelBundle",
     "ModelRegistry",
     "MonitorTap",
+    "NoStandingIndexError",
     "RequestLog",
+    "ResolverTap",
     "ShadowTap",
     "ServeMetrics",
     "SchemaMismatchError",

@@ -43,6 +43,20 @@ from .bundle import ModelBundle
 from .telemetry import RequestLog, ServeMetrics
 
 
+class NoStandingIndexError(RuntimeError, ValueError):
+    """A record-level stream operation was called without a standing
+    block index.
+
+    :meth:`StreamMatcher.submit_records` and
+    :meth:`StreamMatcher.extend_index` both require the matcher to have
+    been constructed with a standing index — ``index=
+    blocker.index(catalog)`` or ``index=BlockIndex.load(path)``.
+    Subclasses both :class:`RuntimeError` (mis-configured runtime
+    state) and :class:`ValueError` (what earlier releases raised), so
+    existing ``except`` clauses keep working.
+    """
+
+
 class Blocker(Protocol):
     """Anything that can produce candidate pairs for two tables."""
 
@@ -70,6 +84,25 @@ class ShadowTap(Protocol):
                 predictions: np.ndarray, latency: float) -> None: ...
 
 
+class ResolverTap(Protocol):
+    """Entity-resolution hook fed every scored request.
+
+    The matcher hands over each scored result; the tap folds the
+    pairwise decisions into its standing clustering and returns the
+    touched records' entity assignments (``"<side>:<record_id>"`` →
+    entity id), which the matcher attaches to the result.  See
+    :class:`repro.resolve.EntityStore` — the protocol keeps the serving
+    layer import-free of :mod:`repro.resolve`.
+    """
+
+    def apply_result(self, result: "MatchResult", *,
+                     left_side: str = "a", right_side: str = "b",
+                     context: dict[str, object] | None = None
+                     ) -> dict[str, str]: ...
+
+    def stats(self) -> dict[str, int | float]: ...
+
+
 @dataclass
 class MatchResult:
     """Scored candidate pairs from one matching request."""
@@ -79,6 +112,10 @@ class MatchResult:
     predictions: np.ndarray
     n_batches: int = 1
     max_batch_rows: int = 0
+    #: Entity assignments (``"<side>:<record_id>"`` → entity id) for
+    #: every record this request touched; ``None`` unless the matcher
+    #: was constructed with a ``resolver=`` tap.
+    entities: dict[str, str] | None = None
 
     def __len__(self) -> int:
         return len(self.pairs)
@@ -106,7 +143,8 @@ class _MatcherBase:
                  cache: FeatureMatrixCache | bool | None = None,
                  request_log: RequestLog | str | Path | None = None,
                  monitor: MonitorTap | None = None,
-                 shadow: ShadowTap | None = None):
+                 shadow: ShadowTap | None = None,
+                 resolver: ResolverTap | None = None):
         self.bundle = bundle
         self.generator = bundle.feature_generator(n_jobs=n_jobs, cache=cache)
         self.metrics = ServeMetrics()
@@ -115,6 +153,7 @@ class _MatcherBase:
         self._request_ids = itertools.count(1)
         self.monitor = monitor
         self.shadow = shadow
+        self.resolver = resolver
 
     def _score_pairs(self, pairs: PairSet, batch_size: int | None
                      ) -> MatchResult:
@@ -172,11 +211,16 @@ class _MatcherBase:
         if self.shadow is not None:
             self.shadow.observe(pairs, result.probabilities,
                                 result.predictions, latency)
+        if self.resolver is not None:
+            result.entities = self.resolver.apply_result(
+                result, context={"request_id": request_id, "kind": kind})
         if self.request_log is not None:
             self.request_log.request(
                 request_id=request_id, kind=kind, n_pairs=len(result),
                 n_matches=result.n_matches, n_batches=result.n_batches,
                 max_batch_rows=result.max_batch_rows, latency=latency,
+                n_entities=(len(set(result.entities.values()))
+                            if result.entities is not None else None),
                 error=None)
         return result
 
@@ -219,6 +263,11 @@ class BatchMatcher(_MatcherBase):
         Optional monitoring taps (:class:`MonitorTap` per scored
         micro-batch, :class:`ShadowTap` per served request) — see
         :mod:`repro.monitor`.
+    resolver:
+        Optional :class:`ResolverTap` (e.g. a
+        :class:`repro.resolve.EntityStore`): every scored request's
+        decisions fold into the standing clustering, and results carry
+        ``entities`` assignments.
     """
 
     def __init__(self, bundle: ModelBundle, blocker: Blocker | None = None,
@@ -226,12 +275,13 @@ class BatchMatcher(_MatcherBase):
                  cache: FeatureMatrixCache | bool | None = None,
                  request_log: RequestLog | str | Path | None = None,
                  monitor: MonitorTap | None = None,
-                 shadow: ShadowTap | None = None):
+                 shadow: ShadowTap | None = None,
+                 resolver: ResolverTap | None = None):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         super().__init__(bundle, n_jobs=n_jobs, cache=cache,
                          request_log=request_log, monitor=monitor,
-                         shadow=shadow)
+                         shadow=shadow, resolver=resolver)
         self.blocker = blocker
         self.batch_size = batch_size
 
@@ -279,10 +329,11 @@ class StreamMatcher(_MatcherBase):
                  cache: FeatureMatrixCache | bool | None = None,
                  request_log: RequestLog | str | Path | None = None,
                  monitor: MonitorTap | None = None,
-                 shadow: ShadowTap | None = None):
+                 shadow: ShadowTap | None = None,
+                 resolver: ResolverTap | None = None):
         super().__init__(bundle, n_jobs=n_jobs, cache=cache,
                          request_log=request_log, monitor=monitor,
-                         shadow=shadow)
+                         shadow=shadow, resolver=resolver)
         if max_batch_rows is not None and max_batch_rows < 1:
             raise ValueError(
                 f"max_batch_rows must be >= 1, got {max_batch_rows}")
@@ -317,13 +368,16 @@ class StreamMatcher(_MatcherBase):
         """Block one incoming record batch against the standing index
         and score the resulting candidate pairs.
 
-        Requires the matcher to have been constructed with ``index=``.
-        Probing reuses the index as-is — the catalog table is never
-        re-indexed — so a hot stream's per-batch blocking cost is
-        proportional to the batch, not the catalog.
+        Requires a standing index: construct the matcher with
+        ``index=blocker.index(catalog)`` or
+        ``index=BlockIndex.load(path)``, otherwise
+        :class:`NoStandingIndexError` is raised.  Probing reuses the
+        index as-is — the catalog table is never re-indexed — so a hot
+        stream's per-batch blocking cost is proportional to the batch,
+        not the catalog.
         """
         if self.index is None:
-            raise ValueError(
+            raise NoStandingIndexError(
                 "StreamMatcher.submit_records needs a standing block "
                 "index; construct with index=blocker.index(catalog) or "
                 "index=BlockIndex.load(path)")
@@ -333,9 +387,16 @@ class StreamMatcher(_MatcherBase):
     def extend_index(self, records: Union[Table, Iterable[Record]]) -> int:
         """Fold newly arrived catalog records into the standing index;
         returns how many were added.  Subsequent :meth:`submit_records`
-        batches see the new records immediately."""
+        batches see the new records immediately.
+
+        Requires a standing index: construct the matcher with
+        ``index=blocker.index(catalog)`` or
+        ``index=BlockIndex.load(path)``, otherwise
+        :class:`NoStandingIndexError` is raised.
+        """
         if self.index is None:
-            raise ValueError(
+            raise NoStandingIndexError(
                 "StreamMatcher.extend_index needs a standing block "
-                "index; construct with index=...")
+                "index; construct with index=blocker.index(catalog) or "
+                "index=BlockIndex.load(path)")
         return self.index.add_records(records)

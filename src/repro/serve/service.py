@@ -188,6 +188,7 @@ class MatchService:
 
         monitor = getattr(self.matcher, "monitor", None)
         shadow = getattr(self.matcher, "shadow", None)
+        resolver = getattr(self.matcher, "resolver", None)
         snapshot = self.metrics.snapshot()
         status = MonitorStatus(
             drift=(monitor.report()
@@ -198,7 +199,10 @@ class MatchService:
                     else None),
             metrics=snapshot,
             requests_since_export=snapshot["requests"],
-            bundle_age=bundle_age_seconds(self.matcher.bundle.metadata))
+            bundle_age=bundle_age_seconds(self.matcher.bundle.metadata),
+            resolve=(resolver.stats()
+                     if resolver is not None and hasattr(resolver, "stats")
+                     else None))
         if policies is None:
             policies = default_policies()
         return evaluate_policies(list(policies), status,

@@ -558,7 +558,7 @@ def test_seeding_a_violation_is_caught(tmp_path):
 
 #: Packages pinned to mypy's disallow_untyped_defs in pyproject.toml.
 STRICT_PACKAGES = ("blocking", "data", "features", "similarity", "serve",
-                   "monitor", "devtools")
+                   "monitor", "resolve", "devtools")
 #: Single modules (not packages) held to the same bar.
 STRICT_MODULES = ("concurrency",)
 

@@ -8,6 +8,7 @@ import pytest
 
 from repro.monitor import (
     ALL_POLICIES,
+    ClusterChurnTrigger,
     DisagreementTrigger,
     DriftTrigger,
     MonitorStatus,
@@ -104,6 +105,38 @@ class TestStalenessTrigger:
             StalenessTrigger(max_requests=0)
         with pytest.raises(ValueError, match="max_age"):
             StalenessTrigger(max_age=-1)
+
+
+class TestClusterChurnTrigger:
+    def churn(self, rate, n_unions=100):
+        return {"n_unions": n_unions, "entity_merge_rate": rate,
+                "n_entity_merges": int(rate * n_unions),
+                "n_components": 42}
+
+    def test_fires_on_sustained_merge_rate(self):
+        plan = ClusterChurnTrigger(threshold=0.2).evaluate(
+            MonitorStatus(resolve=self.churn(0.35)))
+        assert plan is not None
+        assert plan.policy == "cluster_churn"
+        assert "0.350" in plan.reason
+        assert plan.details["n_components"] == 42
+        assert plan.details["threshold"] == pytest.approx(0.2)
+
+    def test_holds_below_threshold_or_volume_floor(self):
+        trigger = ClusterChurnTrigger(threshold=0.2, min_unions=50)
+        assert trigger.evaluate(
+            MonitorStatus(resolve=self.churn(0.1))) is None
+        assert trigger.evaluate(
+            MonitorStatus(resolve=self.churn(0.9, n_unions=10))) is None
+
+    def test_no_resolver_attached_never_fires(self):
+        assert ClusterChurnTrigger().evaluate(MonitorStatus()) is None
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            ClusterChurnTrigger(threshold=0.0)
+        with pytest.raises(ValueError, match="min_unions"):
+            ClusterChurnTrigger(min_unions=0)
 
 
 class TestBundleAge:

@@ -1,0 +1,198 @@
+"""Unit tests for the versioned EntityStore and its persistence."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.automl.runner import read_run_log
+from repro.data.table import Record
+from repro.resolve import (
+    LATEST_POINTER,
+    STORE_FORMAT_VERSION,
+    CorrelationClustering,
+    EntityStore,
+    EntityStoreError,
+    MatchDecision,
+    RecordFusion,
+    ResolveLog,
+    node_key,
+)
+
+
+def D(left, right, score=0.9, matched=True):
+    return MatchDecision(node_key(*left), node_key(*right), score, matched)
+
+
+def record(record_id, **attrs):
+    return Record(record_id, list(attrs), list(attrs.values()))
+
+
+@pytest.fixture()
+def store():
+    built = EntityStore()
+    built.add_records("a", [record(1, name="Acme", city="NYC"),
+                            record(2, name="Acme Inc", city="NYC")])
+    built.add_records("b", [record(1, name="Acme", city=None)])
+    built.apply([D(("a", 1), ("b", 1)), D(("a", 2), ("b", 1))])
+    return built
+
+
+class TestEntityStore:
+    def test_versioning_and_delta(self, store):
+        assert store.version == 1
+        delta = store.apply([D(("a", 9), ("b", 9))])
+        assert store.version == 2
+        assert delta.version == 2
+        assert delta.n_decisions == 1
+        assert delta.n_new_nodes == 2
+        assert delta.n_unions == delta.n_attachments == 1
+        assert delta.n_entity_merges == 0
+        assert delta.entity_merge_rate == pytest.approx(0.0)
+        assert "entity_merge_rate" in delta.to_dict()
+
+    def test_lookups(self, store):
+        assert store.entity_of(1) == "a:1"
+        assert store.entity_of(1, side="b") == "a:1"
+        assert store.entity_of(404) is None
+        assert store.members("a:1") == (("a", 1), ("a", 2), ("b", 1))
+        with pytest.raises(KeyError, match="unknown entity"):
+            store.members("a:404")
+        assert store.record_of(("a", 1))["name"] == "Acme"
+        assert store.record_of(("a", 404)) is None
+        assert len(store) == store.n_entities == 1
+        assert store.n_records == 3
+        assert "EntityStore(v1" in repr(store)
+
+    def test_golden_record(self, store):
+        golden = store.golden("a:1")
+        assert golden["name"] == "Acme"       # modal value
+        assert golden["city"] == "NYC"        # None payload skipped
+        assert store.golden_records() == {"a:1": golden}
+
+    def test_golden_without_payloads_raises(self):
+        bare = EntityStore()
+        bare.apply([D(("a", 1), ("b", 1))])
+        with pytest.raises(EntityStoreError, match="no stored records"):
+            bare.golden("a:1")
+
+    def test_readd_replaces_payload_newest_wins(self, store):
+        store.add_records("a", [record(1, name="Acme Updated",
+                                       city="NYC")])
+        fused = EntityStore(fusion=RecordFusion(default="newest"))
+        fused.add_records("a", [record(1, v="old")])
+        fused.add_records("a", [record(1, v="new")])
+        assert store.record_of(("a", 1))["name"] == "Acme Updated"
+        assert fused.golden("a:1") == {"v": "new"}
+
+    def test_refiner_splits_in_entities_view(self):
+        decisions = [D(("a", 1), ("b", 1)), D(("b", 1), ("a", 2)),
+                     D(("a", 1), ("a", 2), 0.05, False)]
+        raw = EntityStore()
+        raw.apply(decisions)
+        refined = EntityStore(refiner=CorrelationClustering(seed=0))
+        refined.apply(decisions)
+        assert len(raw.entities()) == 1
+        assert len(refined.entities()) == 2
+
+    def test_stats_surface(self, store):
+        stats = store.stats()
+        assert stats["version"] == 1
+        assert stats["n_decisions"] == 2
+        assert stats["n_records"] == 3
+        assert stats["n_unions"] == 2
+        assert stats["n_attachments"] == 2
+        assert stats["last_entity_merge_rate"] == pytest.approx(0.0)
+        assert stats["last_n_entity_merges"] == 0
+
+    def test_concurrent_apply_keeps_counters_consistent(self):
+        shared = EntityStore()
+        batches = [[D(("a", i), ("b", i))] for i in range(40)]
+
+        def worker(chunk):
+            for batch in chunk:
+                shared.apply(batch)
+
+        threads = [threading.Thread(target=worker,
+                                    args=(batches[i::4],))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert shared.version == 40
+        assert shared.n_decisions == 40
+        assert shared.n_entities == 40
+
+
+class TestPersistence:
+    def test_round_trip_through_directory_latest(self, store, tmp_path):
+        path = store.save(tmp_path)
+        assert path.name == "snapshot-v000001.pkl"
+        assert (tmp_path / LATEST_POINTER).read_text().strip() == \
+            path.name
+        loaded = EntityStore.load(tmp_path)
+        assert loaded.version == store.version
+        assert loaded.fingerprint == store.fingerprint
+        assert loaded.entities() == store.entities()
+        assert loaded.golden("a:1") == store.golden("a:1")
+        # the loaded store is live: locks were recreated on unpickle
+        loaded.apply([D(("a", 9), ("b", 9))])
+        assert loaded.version == 2
+
+    def test_save_drops_log_but_logs_the_snapshot(self, store, tmp_path):
+        store.log = ResolveLog.ensure(tmp_path / "resolve.jsonl")
+        path = store.save(tmp_path)
+        store.log.close()
+        lines = read_run_log(tmp_path / "resolve.jsonl")
+        assert [line["type"] for line in lines] == ["snapshot"]
+        assert lines[0]["store_version"] == 1
+        assert EntityStore.load(path).log is None
+
+    def test_missing_latest_pointer(self, tmp_path):
+        with pytest.raises(EntityStoreError, match=LATEST_POINTER):
+            EntityStore.load(tmp_path)
+
+    def test_unreadable_snapshot(self, tmp_path):
+        garbage = tmp_path / "snapshot-v000001.pkl"
+        garbage.write_bytes(b"not a pickle")
+        with pytest.raises(EntityStoreError, match="not a readable"):
+            EntityStore.load(garbage)
+
+    def test_wrong_payload_shape(self, tmp_path):
+        target = tmp_path / "snap.pkl"
+        target.write_bytes(pickle.dumps([1, 2, 3]))
+        with pytest.raises(EntityStoreError, match="does not contain"):
+            EntityStore.load(target)
+
+    def test_format_version_mismatch(self, store, tmp_path):
+        path = store.save(tmp_path)
+        payload = pickle.loads(path.read_bytes())
+        payload["format_version"] = STORE_FORMAT_VERSION + 1
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(EntityStoreError, match="unsupported"):
+            EntityStore.load(path)
+
+    def test_fingerprint_mismatch(self, store, tmp_path):
+        path = store.save(tmp_path)
+        payload = pickle.loads(path.read_bytes())
+        payload["decisions_fingerprint"] = "0" * 64
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(EntityStoreError, match="fingerprint"):
+            EntityStore.load(path)
+
+
+class TestResolveLog:
+    def test_apply_context_reaches_the_log(self, tmp_path):
+        log_path = tmp_path / "resolve.jsonl"
+        store = EntityStore(log=ResolveLog.ensure(log_path))
+        store.apply([D(("a", 1), ("b", 1))],
+                    context={"request_id": "r-1"})
+        store.log.summary(**store.stats())
+        store.log.close()
+        lines = read_run_log(log_path)
+        assert [line["type"] for line in lines] == ["resolve", "summary"]
+        assert lines[0]["request_id"] == "r-1"
+        assert lines[0]["version"] == 1
+        assert lines[0]["n_unions"] == 1
+        assert lines[1]["n_components"] == 1
